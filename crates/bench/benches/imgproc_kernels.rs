@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the imaging substrate's hot kernels at
+//! the paper's tile size (256×256).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seaice_imgproc::color::{rgb_to_gray, rgb_to_hsv};
+use seaice_imgproc::filter::{box_blur_f32, gaussian_blur, median_filter};
+use seaice_imgproc::ops::{in_range, min_max_normalize};
+use seaice_imgproc::threshold::otsu_threshold;
+use seaice_s2::synth::{generate, SceneConfig};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let scene = generate(&SceneConfig::tiny(256), 42);
+    let rgb = scene.rgb;
+    let gray = rgb_to_gray(&rgb);
+    let gray_f = gray.to_f32();
+
+    let mut g = c.benchmark_group("imgproc_256");
+    g.sample_size(20);
+    g.bench_function("rgb_to_hsv", |b| b.iter(|| black_box(rgb_to_hsv(&rgb))));
+    g.bench_function("rgb_to_gray", |b| b.iter(|| black_box(rgb_to_gray(&rgb))));
+    g.bench_function("gaussian_blur_r2", |b| {
+        b.iter(|| black_box(gaussian_blur(&rgb, 2, 1.0)))
+    });
+    g.bench_function("median_filter_r1", |b| {
+        b.iter(|| black_box(median_filter(&rgb, 1)))
+    });
+    g.bench_function("box_blur_f32_r32", |b| {
+        b.iter(|| black_box(box_blur_f32(&gray_f, 32)))
+    });
+    g.bench_function("otsu_threshold", |b| {
+        b.iter(|| black_box(otsu_threshold(&gray)))
+    });
+    g.bench_function("in_range_hsv", |b| {
+        let hsv = rgb_to_hsv(&rgb);
+        b.iter(|| black_box(in_range(&hsv, &[0, 0, 205], &[185, 255, 255])))
+    });
+    g.bench_function("min_max_normalize", |b| {
+        b.iter(|| black_box(min_max_normalize(&gray, 0, 255)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmark behind Table II: the mini-map-reduce engine's
+//! measured end-to-end cost across cluster shapes (simulated times are
+//! the `reproduce table2` output; this measures the engine itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seaice_mapreduce::{ClusterSpec, CostModel, Session};
+use std::hint::black_box;
+
+/// A deterministic CPU-bound task standing in for one tile's labeling.
+fn spin(x: u64) -> u64 {
+    let mut acc = x;
+    for i in 0..5_000u64 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mapreduce");
+    g.sample_size(10);
+
+    for &(e, cores) in &[(1usize, 1usize), (1, 4), (4, 4)] {
+        g.bench_with_input(
+            BenchmarkId::new("load_map_collect_256tasks", format!("{e}x{cores}")),
+            &(e, cores),
+            |b, &(e, cores)| {
+                b.iter(|| {
+                    let session = Session::new(ClusterSpec::new(e, cores), CostModel::gcd_n2());
+                    let (df, _) = session.read((0..256u64).collect::<Vec<_>>(), 8.0);
+                    let (lazy, _) = df.map(&session, spin);
+                    let (out, _) = lazy.collect(&session, 8.0);
+                    black_box(out)
+                })
+            },
+        );
+    }
+
+    g.bench_function("session_startup_4x4", |b| {
+        b.iter(|| black_box(Session::new(ClusterSpec::new(4, 4), CostModel::gcd_n2())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmark behind Table III's communication layer: ring
+//! all-reduce latency across rank counts and buffer sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use seaice_distrib::ProcessGroup;
+use std::hint::black_box;
+
+fn run_allreduce(ranks: usize, len: usize) -> f32 {
+    let group = ProcessGroup::new(ranks);
+    let handles: Vec<_> = group
+        .into_iter()
+        .map(|rank| {
+            std::thread::spawn(move || {
+                let mut buf = vec![rank.rank() as f32 + 1.0; len];
+                rank.all_reduce_mean(&mut buf);
+                buf[0]
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).sum()
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_allreduce");
+    g.sample_size(10);
+    for ranks in [2usize, 4, 8] {
+        for len in [1024usize, 65_536] {
+            g.throughput(Throughput::Bytes((len * 4) as u64));
+            g.bench_with_input(
+                BenchmarkId::new(format!("ranks{ranks}"), len),
+                &(ranks, len),
+                |b, &(ranks, len)| b.iter(|| black_box(run_allreduce(ranks, len))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ring);
+criterion_main!(benches);

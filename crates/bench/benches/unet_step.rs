@@ -1,0 +1,51 @@
+//! Criterion benchmark of the U-Net training primitives: forward,
+//! forward+backward+Adam, and inference at CPU-scale geometry.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seaice_nn::init::uniform;
+use seaice_nn::loss::softmax_cross_entropy;
+use seaice_nn::optim::{Adam, Optimizer};
+use seaice_unet::{UNet, UNetConfig};
+use std::hint::black_box;
+
+fn bench_unet(c: &mut Criterion) {
+    let cfg = UNetConfig {
+        depth: 2,
+        base_filters: 8,
+        dropout: 0.1,
+        seed: 1,
+        ..UNetConfig::paper()
+    };
+    let x = uniform(&[4, 3, 32, 32], 0.0, 1.0, 2);
+    let targets: Vec<u8> = (0..4 * 32 * 32).map(|i| (i % 3) as u8).collect();
+
+    let mut g = c.benchmark_group("unet_32px_batch4");
+    g.sample_size(10);
+
+    g.bench_function("forward_eval", |b| {
+        let mut net = UNet::new(cfg);
+        b.iter(|| black_box(net.forward(&x, false)))
+    });
+
+    g.bench_function("train_step", |b| {
+        let mut net = UNet::new(cfg);
+        let mut adam = Adam::new(1e-3);
+        b.iter(|| {
+            net.zero_grads();
+            let logits = net.forward(&x, true);
+            let lo = softmax_cross_entropy(&logits, &targets);
+            net.backward(&lo.grad);
+            adam.step(&mut net.params_mut());
+            black_box(lo.loss)
+        })
+    });
+
+    g.bench_function("predict", |b| {
+        let mut net = UNet::new(cfg);
+        b.iter(|| black_box(net.predict(&x)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_unet);
+criterion_main!(benches);

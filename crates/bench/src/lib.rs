@@ -1,0 +1,44 @@
+//! # seaice-bench
+//!
+//! The experiment harness: one module per table/figure of the paper,
+//! shared by the `reproduce` binary and the Criterion benches.
+//!
+//! ## How timing works here
+//!
+//! The paper's numbers come from hardware this session does not have (a
+//! 4-core i5, a 4-node Dataproc cluster, an 8-GPU DGX A100). Every
+//! experiment therefore reports two kinds of numbers, clearly labelled:
+//!
+//! * **measured** — real wall-clock on this host (meaningful for absolute
+//!   per-task costs; parallel speedup is bounded by the host's cores);
+//! * **simulated** — the discrete-event clock of `seaice-mapreduce` /
+//!   the calibrated performance models of `seaice-distrib`, which combine
+//!   per-task costs measured on this host with the published hardware
+//!   characteristics. The *shapes* (speedup curves, crossovers, who wins)
+//!   come from the models; see DESIGN.md §1 for the substitution
+//!   rationale.
+//!
+//! Accuracy experiments (Tables IV–V, Figs. 11, 13, 14) involve no
+//! hardware substitution: they run the real pipeline end to end at a
+//! reduced scale and report real numbers.
+
+pub mod ablation;
+pub mod night;
+pub mod scale;
+pub mod sweep;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table45;
+pub mod workloads;
+
+/// Formats a seconds value compactly.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.1}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.3}")
+    }
+}

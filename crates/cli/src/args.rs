@@ -1,0 +1,180 @@
+//! A small, dependency-free argument parser: `--key value` pairs and
+//! `--flag` booleans after a subcommand.
+
+use std::collections::HashMap;
+
+/// Argument-parsing failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--key` with no value where one was required.
+    MissingValue(String),
+    /// A required option was absent.
+    Required(String),
+    /// A value failed to parse.
+    Invalid(String, String),
+    /// An option that is not recognized by the subcommand.
+    Unknown(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing subcommand"),
+            ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgError::Required(k) => write!(f, "required option --{k} missing"),
+            ArgError::Invalid(k, v) => write!(f, "invalid value '{v}' for --{k}"),
+            ArgError::Unknown(k) => write!(f, "unknown option --{k}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed command line: the subcommand plus its options.
+#[derive(Clone, Debug, Default)]
+pub struct Parsed {
+    /// The subcommand name.
+    pub command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+    allowed: Vec<&'static str>,
+}
+
+impl Parsed {
+    /// Parses raw arguments (without the program name). `flag_names`
+    /// lists boolean options that take no value; everything else starting
+    /// with `--` expects a value.
+    pub fn parse(args: &[String], flag_names: &[&str]) -> Result<Parsed, ArgError> {
+        let mut it = args.iter();
+        let command = it.next().ok_or(ArgError::MissingCommand)?.clone();
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(ArgError::Unknown(a.clone()));
+            };
+            if flag_names.contains(&key) {
+                flags.push(key.to_string());
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(key.to_string()))?;
+                options.insert(key.to_string(), value.clone());
+            }
+        }
+        Ok(Parsed {
+            command,
+            options,
+            flags,
+            allowed: Vec::new(),
+        })
+    }
+
+    /// Declares the full option set of the subcommand; any option or flag
+    /// outside it is an error. Call before reading values.
+    pub fn expect_options(&mut self, allowed: &[&'static str]) -> Result<(), ArgError> {
+        self.allowed = allowed.to_vec();
+        for k in self.options.keys().chain(self.flags.iter()) {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ArgError::Unknown(k.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// A required string option.
+    pub fn required(&self, key: &str) -> Result<String, ArgError> {
+        self.options
+            .get(key)
+            .cloned()
+            .ok_or_else(|| ArgError::Required(key.to_string()))
+    }
+
+    /// An optional string option.
+    pub fn optional(&self, key: &str) -> Option<String> {
+        self.options.get(key).cloned()
+    }
+
+    /// An optional parsed value with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::Invalid(key.to_string(), v.clone())),
+        }
+    }
+
+    /// True when the boolean flag was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let p = Parsed::parse(&args("label --in a.ppm --out b.ppm --no-filter"), &["no-filter"])
+            .unwrap();
+        assert_eq!(p.command, "label");
+        assert_eq!(p.required("in").unwrap(), "a.ppm");
+        assert_eq!(p.optional("out").unwrap(), "b.ppm");
+        assert!(p.flag("no-filter"));
+        assert!(!p.flag("parallel"));
+    }
+
+    #[test]
+    fn missing_command_errors() {
+        assert_eq!(
+            Parsed::parse(&[], &[]).unwrap_err(),
+            ArgError::MissingCommand
+        );
+    }
+
+    #[test]
+    fn missing_value_errors() {
+        let e = Parsed::parse(&args("synth --side"), &[]).unwrap_err();
+        assert_eq!(e, ArgError::MissingValue("side".into()));
+    }
+
+    #[test]
+    fn required_and_defaults() {
+        let p = Parsed::parse(&args("synth --side 128"), &[]).unwrap();
+        assert_eq!(p.get_or("side", 512usize).unwrap(), 128);
+        assert_eq!(p.get_or("seed", 7u64).unwrap(), 7);
+        assert_eq!(p.required("out").unwrap_err(), ArgError::Required("out".into()));
+    }
+
+    #[test]
+    fn invalid_numeric_value_errors() {
+        let p = Parsed::parse(&args("synth --side twelve"), &[]).unwrap();
+        assert!(matches!(
+            p.get_or("side", 0usize).unwrap_err(),
+            ArgError::Invalid(_, _)
+        ));
+    }
+
+    #[test]
+    fn unknown_option_rejected_by_expect() {
+        let mut p = Parsed::parse(&args("synth --bogus 1"), &[]).unwrap();
+        assert_eq!(
+            p.expect_options(&["side", "seed"]).unwrap_err(),
+            ArgError::Unknown("bogus".into())
+        );
+    }
+
+    #[test]
+    fn positional_arguments_are_rejected() {
+        let e = Parsed::parse(&args("synth stray"), &[]).unwrap_err();
+        assert_eq!(e, ArgError::Unknown("stray".into()));
+    }
+}

@@ -1,0 +1,26 @@
+//! The `seaice` command-line entry point.
+
+use seaice_cli::commands::{run, USAGE};
+use seaice_cli::Parsed;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" || args[0] == "help" {
+        println!("{USAGE}");
+        return;
+    }
+    let parsed = match Parsed::parse(&args, &["no-filter", "parallel"]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    match run(parsed) {
+        Ok(msg) => println!("{msg}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

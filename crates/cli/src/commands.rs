@@ -1,0 +1,436 @@
+//! Subcommand implementations. Each returns a human-readable summary on
+//! success; all I/O goes through PPM images and JSON checkpoints.
+
+use crate::args::{ArgError, Parsed};
+use seaice_core::adapters::{tile_to_sample, InputVariant, LabelSource};
+use seaice_core::analysis::{detect_leads, ice_concentration, LeadConfig};
+use seaice_core::{classify_scene_parallel, WorkflowConfig};
+use seaice_imgproc::buffer::Image;
+use seaice_imgproc::io::{read_ppm, write_ppm};
+use seaice_label::autolabel::{auto_label, AutoLabelConfig};
+use seaice_label::calibrate::calibrate;
+use seaice_label::cloudshadow::{CloudShadowFilter, FilterConfig};
+use seaice_label::ranges::ClassRanges;
+use seaice_label::segment::{color_to_classes, segment_to_color};
+use seaice_nn::dataloader::DataLoader;
+use seaice_s2::clouds::{self, CloudConfig};
+use seaice_s2::dataset::Dataset;
+use seaice_s2::synth::{generate, SceneConfig};
+use seaice_unet::{checkpoint, train, UNet};
+
+/// Top-level error type for command execution.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments.
+    Args(ArgError),
+    /// File or serialization problem.
+    Io(std::io::Error),
+    /// Anything else (validation, shape mismatches surfaced politely).
+    Msg(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Msg(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage: seaice <synth|filter|label|calibrate|train|classify|analyze> [options]
+  synth     --out scene.ppm [--truth truth.ppm] [--side 512] [--seed 7] [--clouds 0.3] [--illumination 1.0]
+  filter    --in scene.ppm --out filtered.ppm
+  label     --in scene.ppm --out labels.ppm [--no-filter] [--cuts WATER_HI,THICK_LO]
+  calibrate --image scene.ppm --labels labels.ppm
+  train     --model model.json [--scenes 6] [--scene-size 256] [--tile 32] [--epochs 12] [--labels auto|manual] [--seed 2019]
+  classify  --model model.json --in scene.ppm --out pred.ppm [--tile 32] [--no-filter] [--parallel]
+  analyze   --labels labels.ppm";
+
+/// Dispatches a parsed command.
+pub fn run(mut p: Parsed) -> Result<String, CliError> {
+    match p.command.as_str() {
+        "synth" => synth(&mut p),
+        "filter" => filter(&mut p),
+        "label" => label(&mut p),
+        "calibrate" => run_calibrate(&mut p),
+        "train" => run_train(&mut p),
+        "classify" => classify(&mut p),
+        "analyze" => analyze(&mut p),
+        other => Err(CliError::Msg(format!(
+            "unknown command '{other}'\n{USAGE}"
+        ))),
+    }
+}
+
+fn ranges_from(p: &Parsed) -> Result<ClassRanges, CliError> {
+    match p.optional("cuts") {
+        None => Ok(ClassRanges::paper()),
+        Some(cuts) => {
+            let parts: Vec<_> = cuts.split(',').collect();
+            let parse = |s: &str| {
+                s.trim()
+                    .parse::<u8>()
+                    .map_err(|_| CliError::Args(ArgError::Invalid("cuts".into(), cuts.clone())))
+            };
+            if parts.len() != 2 {
+                return Err(CliError::Args(ArgError::Invalid("cuts".into(), cuts)));
+            }
+            Ok(ClassRanges::from_value_cuts(parse(parts[0])?, parse(parts[1])?))
+        }
+    }
+}
+
+fn synth(p: &mut Parsed) -> Result<String, CliError> {
+    p.expect_options(&["out", "truth", "side", "seed", "clouds", "illumination"])?;
+    let out = p.required("out")?;
+    let side = p.get_or("side", 512usize)?;
+    let seed = p.get_or("seed", 7u64)?;
+    let coverage = p.get_or("clouds", 0.0f64)?;
+    let illumination = p.get_or("illumination", 1.0f32)?;
+
+    let scene = generate(
+        &SceneConfig {
+            illumination,
+            ..SceneConfig::tiny(side)
+        },
+        seed,
+    );
+    let rgb = if coverage > 0.0 {
+        let layer = clouds::generate(
+            &CloudConfig {
+                coverage,
+                ..CloudConfig::tiny(side)
+            },
+            seed ^ 0xC10D,
+            side,
+            side,
+        );
+        layer.apply(&scene.rgb)
+    } else {
+        scene.rgb.clone()
+    };
+    write_ppm(&out, &rgb)?;
+    let mut msg = format!("wrote {side}x{side} scene to {out}");
+    if let Some(truth_path) = p.optional("truth") {
+        write_ppm(&truth_path, &segment_to_color(&scene.truth))?;
+        msg.push_str(&format!(", truth labels to {truth_path}"));
+    }
+    Ok(msg)
+}
+
+fn filter(p: &mut Parsed) -> Result<String, CliError> {
+    p.expect_options(&["in", "out"])?;
+    let input = read_ppm(p.required("in")?)?;
+    let out_path = p.required("out")?;
+    let side = input.width().min(input.height());
+    let result = CloudShadowFilter::new(FilterConfig::for_tile(side)).apply(&input);
+    write_ppm(&out_path, &result.filtered)?;
+    Ok(format!(
+        "filtered {}x{} image -> {} (cloud {:.1}%, shadow {:.1}%)",
+        input.width(),
+        input.height(),
+        out_path,
+        result.cloud_mask.nonzero_fraction() * 100.0,
+        result.shadow_mask.nonzero_fraction() * 100.0
+    ))
+}
+
+fn label(p: &mut Parsed) -> Result<String, CliError> {
+    p.expect_options(&["in", "out", "no-filter", "cuts"])?;
+    let input = read_ppm(p.required("in")?)?;
+    let out_path = p.required("out")?;
+    let side = input.width().min(input.height());
+    let cfg = AutoLabelConfig {
+        ranges: ranges_from(p)?,
+        filter: if p.flag("no-filter") {
+            None
+        } else {
+            Some(FilterConfig::for_tile(side))
+        },
+    };
+    let result = auto_label(&input, &cfg);
+    write_ppm(&out_path, &result.color_label)?;
+    let conc = ice_concentration(&result.class_mask);
+    Ok(format!(
+        "labeled {} -> {}: {:.1}% thick ice, {:.1}% thin ice, {:.1}% open water",
+        p.required("in")?,
+        out_path,
+        conc.thick_ice * 100.0,
+        conc.thin_ice * 100.0,
+        conc.open_water * 100.0
+    ))
+}
+
+fn run_calibrate(p: &mut Parsed) -> Result<String, CliError> {
+    p.expect_options(&["image", "labels"])?;
+    let image = read_ppm(p.required("image")?)?;
+    let labels = read_ppm(p.required("labels")?)?;
+    if image.dimensions() != labels.dimensions() {
+        return Err(CliError::Msg(
+            "image and labels must have the same size".into(),
+        ));
+    }
+    let mask = color_to_classes(&labels);
+    let cal = calibrate(&[(&image, &mask)]);
+    let (water_hi, thick_lo) = cal.ranges.value_cuts();
+    Ok(format!(
+        "calibrated on {} pixels: water V<={water_hi}, thick V>={thick_lo} (agreement {:.2}%)\nuse: seaice label --cuts {water_hi},{thick_lo} ...",
+        cal.pixels,
+        cal.agreement * 100.0
+    ))
+}
+
+fn run_train(p: &mut Parsed) -> Result<String, CliError> {
+    p.expect_options(&[
+        "model",
+        "scenes",
+        "scene-size",
+        "tile",
+        "epochs",
+        "labels",
+        "seed",
+    ])?;
+    let model_path = p.required("model")?;
+    let scenes = p.get_or("scenes", 6usize)?;
+    let scene_size = p.get_or("scene-size", 256usize)?;
+    let tile = p.get_or("tile", 32usize)?;
+    let epochs = p.get_or("epochs", 12usize)?;
+    let labels = match p.optional("labels").as_deref() {
+        None | Some("auto") => LabelSource::Auto,
+        Some("manual") => LabelSource::Manual,
+        Some(v) => {
+            return Err(CliError::Args(ArgError::Invalid(
+                "labels".into(),
+                v.to_string(),
+            )))
+        }
+    };
+    let seed = p.get_or("seed", 2019u64)?;
+
+    let mut cfg = WorkflowConfig::scaled(scenes, scene_size, tile, epochs);
+    cfg.dataset.seed = seed;
+    cfg.unet.assert_input_side(tile);
+    let dataset = Dataset::build(cfg.dataset.clone());
+    let samples: Vec<_> = dataset
+        .train
+        .iter()
+        .map(|t| tile_to_sample(t, InputVariant::Filtered, labels, &cfg.label))
+        .collect();
+    let loader = DataLoader::new(samples, 8, Some(seed));
+    let mut model = UNet::new(cfg.unet);
+    let t0 = std::time::Instant::now();
+    let report = train(&mut model, &loader, &cfg.train);
+    checkpoint::save(&mut model, &model_path)?;
+    Ok(format!(
+        "trained U-Net ({} labels) on {} tiles for {epochs} epochs in {:.1}s (loss {:.3} -> {:.3}); saved {}",
+        if labels == LabelSource::Auto { "auto" } else { "manual" },
+        dataset.train.len(),
+        t0.elapsed().as_secs_f64(),
+        report.epoch_losses.first().copied().unwrap_or(f32::NAN),
+        report.epoch_losses.last().copied().unwrap_or(f32::NAN),
+        model_path
+    ))
+}
+
+fn classify(p: &mut Parsed) -> Result<String, CliError> {
+    p.expect_options(&["model", "in", "out", "tile", "no-filter", "parallel"])?;
+    let model_path = p.required("model")?;
+    let input = read_ppm(p.required("in")?)?;
+    let out_path = p.required("out")?;
+    let tile = p.get_or("tile", 32usize)?;
+    let filter = !p.flag("no-filter");
+
+    let result = if p.flag("parallel") {
+        let bytes = std::fs::read(&model_path)?;
+        let ckpt: checkpoint::Checkpoint =
+            serde_json::from_slice(&bytes).map_err(std::io::Error::other)?;
+        classify_scene_parallel(&ckpt, &input, tile, filter)
+    } else {
+        let mut model = checkpoint::load(&model_path)?;
+        seaice_core::classify_scene(&mut model, &input, tile, filter)
+    };
+    write_ppm(&out_path, &result.color)?;
+    Ok(format!(
+        "classified {}x{} scene -> {}: {:.1}% thick ice, {:.1}% thin ice, {:.1}% open water",
+        input.width(),
+        input.height(),
+        out_path,
+        result.fractions.0 * 100.0,
+        result.fractions.1 * 100.0,
+        result.fractions.2 * 100.0
+    ))
+}
+
+fn analyze(p: &mut Parsed) -> Result<String, CliError> {
+    p.expect_options(&["labels"])?;
+    let labels = read_ppm(p.required("labels")?)?;
+    let mask = color_to_classes(&labels);
+    let conc = ice_concentration(&mask);
+    let leads = detect_leads(&mask, &LeadConfig::default());
+    let mut s = format!(
+        "ice concentration: {:.1}% total ice ({:.1}% thick, {:.1}% thin), {:.1}% open water\n",
+        conc.total_ice * 100.0,
+        conc.thick_ice * 100.0,
+        conc.thin_ice * 100.0,
+        conc.open_water * 100.0
+    );
+    s.push_str(&format!(
+        "leads: {} detected ({} non-lead water bodies), mean width {:.1} px, total area {} px",
+        leads.leads.len(),
+        leads.non_lead_water_components,
+        leads.mean_width(),
+        leads.total_lead_area()
+    ));
+    for (i, l) in leads.leads.iter().take(5).enumerate() {
+        s.push_str(&format!(
+            "\n  lead {}: length {} px, width {:.1} px, centroid ({:.0}, {:.0})",
+            i + 1,
+            l.length,
+            l.mean_width,
+            l.centroid.0,
+            l.centroid.1
+        ));
+    }
+    Ok(s)
+}
+
+/// An `Image<u8>` convenience used by tests.
+pub fn image_side(img: &Image<u8>) -> usize {
+    img.width().min(img.height())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("seaice-cli-{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    fn parse(line: &str) -> Parsed {
+        let args: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        Parsed::parse(&args, &["no-filter", "parallel"]).unwrap()
+    }
+
+    #[test]
+    fn synth_filter_label_analyze_pipeline() {
+        let scene = tmp("scene.ppm");
+        let truth = tmp("truth.ppm");
+        let filtered = tmp("filtered.ppm");
+        let labels = tmp("labels.ppm");
+
+        let msg = run(parse(&format!(
+            "synth --out {scene} --truth {truth} --side 96 --seed 3 --clouds 0.3"
+        )))
+        .unwrap();
+        assert!(msg.contains("96x96"));
+
+        let msg = run(parse(&format!("filter --in {scene} --out {filtered}"))).unwrap();
+        assert!(msg.contains("filtered"));
+
+        let msg = run(parse(&format!("label --in {scene} --out {labels}"))).unwrap();
+        assert!(msg.contains("thick ice"));
+
+        let msg = run(parse(&format!("analyze --labels {labels}"))).unwrap();
+        assert!(msg.contains("ice concentration"));
+
+        let msg = run(parse(&format!(
+            "calibrate --image {scene} --labels {truth}"
+        )))
+        .unwrap();
+        assert!(msg.contains("seaice label --cuts"));
+
+        for f in [scene, truth, filtered, labels] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn train_and_classify_roundtrip() {
+        let scene = tmp("c-scene.ppm");
+        let pred = tmp("c-pred.ppm");
+        let pred_par = tmp("c-pred-par.ppm");
+        let model = tmp("c-model.json");
+
+        run(parse(&format!("synth --out {scene} --side 64 --seed 5"))).unwrap();
+        let msg = run(parse(&format!(
+            "train --model {model} --scenes 2 --scene-size 64 --tile 32 --epochs 2 --labels manual"
+        )))
+        .unwrap();
+        assert!(msg.contains("saved"));
+
+        let msg = run(parse(&format!(
+            "classify --model {model} --in {scene} --out {pred} --tile 32"
+        )))
+        .unwrap();
+        assert!(msg.contains("classified"));
+
+        // Parallel classification writes identical output.
+        run(parse(&format!(
+            "classify --model {model} --in {scene} --out {pred_par} --tile 32 --parallel"
+        )))
+        .unwrap();
+        let a = read_ppm(&pred).unwrap();
+        let b = read_ppm(&pred_par).unwrap();
+        assert_eq!(a, b);
+
+        for f in [scene, pred, pred_par, model] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn unknown_command_reports_usage() {
+        let err = run(parse("frobnicate")).unwrap_err();
+        assert!(err.to_string().contains("usage"));
+    }
+
+    #[test]
+    fn label_with_custom_cuts() {
+        let scene = tmp("cuts-scene.ppm");
+        let labels = tmp("cuts-labels.ppm");
+        run(parse(&format!(
+            "synth --out {scene} --side 64 --seed 9 --illumination 0.45"
+        )))
+        .unwrap();
+        // Night cuts from the analytic rescale: water<=14, thick>=92.
+        let msg = run(parse(&format!(
+            "label --in {scene} --out {labels} --no-filter --cuts 14,92"
+        )))
+        .unwrap();
+        assert!(msg.contains("thick ice"));
+        for f in [scene, labels] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn size_mismatch_is_a_polite_error() {
+        let a = tmp("mm-a.ppm");
+        let b = tmp("mm-b.ppm");
+        run(parse(&format!("synth --out {a} --side 32 --seed 1"))).unwrap();
+        run(parse(&format!("synth --out {b} --side 64 --seed 1"))).unwrap();
+        let err = run(parse(&format!("calibrate --image {a} --labels {b}"))).unwrap_err();
+        assert!(err.to_string().contains("same size"));
+        for f in [a, b] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # seaice-cli
+//!
+//! The `seaice` command-line tool: the whole workflow — scene synthesis,
+//! cloud/shadow filtering, auto-labeling, threshold calibration, U-Net
+//! training, scene classification, and sea-ice analysis — driven from the
+//! shell over PPM images and JSON checkpoints.
+//!
+//! ```text
+//! seaice synth     --out scene.ppm [--truth truth.ppm] [--side 512] [--seed 7]
+//!                  [--clouds 0.3] [--illumination 1.0]
+//! seaice filter    --in scene.ppm --out filtered.ppm
+//! seaice label     --in scene.ppm --out labels.ppm [--no-filter]
+//!                  [--cuts WATER_HI,THICK_LO]
+//! seaice calibrate --image scene.ppm --labels labels.ppm
+//! seaice train     --model model.json [--scenes 6] [--scene-size 256]
+//!                  [--tile 32] [--epochs 12] [--labels auto|manual]
+//! seaice classify  --model model.json --in scene.ppm --out pred.ppm
+//!                  [--tile 32] [--no-filter] [--parallel]
+//! seaice analyze   --labels labels.ppm
+//! ```
+//!
+//! Label images use the paper's color code: red = thick ice, blue = thin
+//! ice, green = open water.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Parsed};

@@ -1,0 +1,311 @@
+//! Process group and collectives: ring all-reduce, broadcast, barrier.
+//!
+//! Ranks are threads; each holds a channel to its ring successor. The
+//! all-reduce is the bandwidth-optimal ring algorithm the paper cites
+//! (Patarasuk & Yuan 2009): the buffer is split into `N` chunks,
+//! `N − 1` reduce-scatter steps leave each rank with one fully reduced
+//! chunk, and `N − 1` all-gather steps circulate the reduced chunks —
+//! every rank sends `2 (N−1)/N · B` bytes total regardless of `N`.
+
+use crossbeam::channel::{self, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+
+/// One rank's endpoint in the group.
+pub struct Rank {
+    rank: usize,
+    size: usize,
+    to_next: Sender<Vec<f32>>,
+    from_prev: Receiver<Vec<f32>>,
+    barrier: Arc<Barrier>,
+}
+
+/// A communicator over `n` ranks. Hand each [`Rank`] to its own thread.
+pub struct ProcessGroup;
+
+impl ProcessGroup {
+    /// Builds the ring endpoints for `n` ranks.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Vec<Rank> {
+        assert!(n > 0, "process group needs at least one rank");
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            // rank r sends into channel r, rank (r+1) % n receives from it.
+            let (tx, rx) = channel::bounded::<Vec<f32>>(2);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let barrier = Arc::new(Barrier::new(n));
+        let mut ranks: Vec<Rank> = Vec::with_capacity(n);
+        // Receiver for rank r is channel (r - 1 + n) % n.
+        let mut receivers: Vec<Option<Receiver<Vec<f32>>>> =
+            receivers.into_iter().map(Some).collect();
+        for (r, to_next) in senders.into_iter().enumerate() {
+            let prev = (r + n - 1) % n;
+            let from_prev = receivers[prev].take().expect("receiver used twice");
+            ranks.push(Rank {
+                rank: r,
+                size: n,
+                to_next,
+                from_prev,
+                barrier: barrier.clone(),
+            });
+        }
+        ranks
+    }
+}
+
+/// Chunk boundaries: `n` near-equal contiguous ranges covering `len`.
+fn chunk_bounds(len: usize, n: usize, i: usize) -> (usize, usize) {
+    let base = len / n;
+    let rem = len % n;
+    let start = i * base + i.min(rem);
+    let extra = usize::from(i < rem);
+    (start, start + base + extra)
+}
+
+impl Rank {
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Group size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Blocks until every rank reaches the barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// In-place ring all-reduce (sum). All ranks must call concurrently
+    /// with equal-length buffers.
+    ///
+    /// # Panics
+    /// Panics if a neighbour disconnects mid-collective (a peer rank
+    /// panicked).
+    pub fn all_reduce_sum(&self, buf: &mut [f32]) {
+        let n = self.size;
+        if n == 1 {
+            return;
+        }
+        let len = buf.len();
+
+        // Phase 1: reduce-scatter. At step s, send chunk (r − s) and
+        // accumulate incoming chunk (r − s − 1).
+        for s in 0..n - 1 {
+            let send_idx = (self.rank + n - s) % n;
+            let recv_idx = (self.rank + n - s - 1) % n;
+            let (ss, se) = chunk_bounds(len, n, send_idx);
+            self.to_next
+                .send(buf[ss..se].to_vec())
+                .expect("ring successor disconnected");
+            let incoming = self
+                .from_prev
+                .recv()
+                .expect("ring predecessor disconnected");
+            let (rs, re) = chunk_bounds(len, n, recv_idx);
+            debug_assert_eq!(incoming.len(), re - rs);
+            for (dst, src) in buf[rs..re].iter_mut().zip(&incoming) {
+                *dst += src;
+            }
+        }
+
+        // Phase 2: all-gather. Rank r now owns the reduced chunk (r + 1).
+        for s in 0..n - 1 {
+            let send_idx = (self.rank + 1 + n - s) % n;
+            let recv_idx = (self.rank + n - s) % n;
+            let (ss, se) = chunk_bounds(len, n, send_idx);
+            self.to_next
+                .send(buf[ss..se].to_vec())
+                .expect("ring successor disconnected");
+            let incoming = self
+                .from_prev
+                .recv()
+                .expect("ring predecessor disconnected");
+            let (rs, re) = chunk_bounds(len, n, recv_idx);
+            debug_assert_eq!(incoming.len(), re - rs);
+            buf[rs..re].copy_from_slice(&incoming);
+        }
+    }
+
+    /// In-place average all-reduce (`sum / size`) — what gradient
+    /// synchronization uses.
+    pub fn all_reduce_mean(&self, buf: &mut [f32]) {
+        self.all_reduce_sum(buf);
+        let inv = 1.0 / self.size as f32;
+        for v in buf.iter_mut() {
+            *v *= inv;
+        }
+    }
+
+    /// Broadcast from `root`: after the call every rank's buffer equals
+    /// the root's (ring pipeline; `hvd.BroadcastGlobalVariables` analog).
+    pub fn broadcast(&self, buf: &mut [f32], root: usize) {
+        let n = self.size;
+        if n == 1 {
+            return;
+        }
+        // Pass the buffer around the ring starting at root; every rank
+        // except the root overwrites, and the rank before the root stops
+        // the circulation.
+        let is_last = (self.rank + 1) % n == root;
+        if self.rank == root {
+            self.to_next
+                .send(buf.to_vec())
+                .expect("ring successor disconnected");
+        } else {
+            let incoming = self
+                .from_prev
+                .recv()
+                .expect("ring predecessor disconnected");
+            buf.copy_from_slice(&incoming);
+            if !is_last {
+                self.to_next
+                    .send(incoming)
+                    .expect("ring successor disconnected");
+            }
+        }
+        self.barrier();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `f` on every rank of an `n`-group, returning per-rank results.
+    fn run_group<T: Send + 'static>(
+        n: usize,
+        f: impl Fn(Rank) -> T + Send + Sync + Clone + 'static,
+    ) -> Vec<T> {
+        let ranks = ProcessGroup::new(n);
+        let handles: Vec<_> = ranks
+            .into_iter()
+            .map(|r| {
+                let f = f.clone();
+                std::thread::spawn(move || f(r))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        for n in [1usize, 2, 3, 4, 8] {
+            let out = run_group(n, move |rank| {
+                // Rank r contributes r+1 at position i → sum = n(n+1)/2.
+                let mut buf = vec![(rank.rank() + 1) as f32; 10];
+                rank.all_reduce_sum(&mut buf);
+                buf
+            });
+            let expected = (n * (n + 1) / 2) as f32;
+            for buf in out {
+                assert!(buf.iter().all(|&v| (v - expected).abs() < 1e-5), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_handles_non_divisible_lengths() {
+        // Buffer length 7 over 4 ranks exercises uneven chunks.
+        let out = run_group(4, |rank| {
+            let mut buf: Vec<f32> = (0..7).map(|i| (i * (rank.rank() + 1)) as f32).collect();
+            rank.all_reduce_sum(&mut buf);
+            buf
+        });
+        // Sum over ranks of i*(r+1) = i * 10.
+        for buf in out {
+            for (i, v) in buf.iter().enumerate() {
+                assert!((v - (i as f64 * 10.0) as f32).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_mean_averages() {
+        let out = run_group(4, |rank| {
+            let mut buf = vec![rank.rank() as f32; 5];
+            rank.all_reduce_mean(&mut buf);
+            buf
+        });
+        for buf in out {
+            assert!(buf.iter().all(|&v| (v - 1.5).abs() < 1e-6));
+        }
+    }
+
+    #[test]
+    fn allreduce_empty_buffer_is_fine() {
+        let out = run_group(3, |rank| {
+            let mut buf: Vec<f32> = Vec::new();
+            rank.all_reduce_sum(&mut buf);
+            buf.len()
+        });
+        assert_eq!(out, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn broadcast_copies_root_to_all() {
+        for root in 0..3 {
+            let out = run_group(3, move |rank| {
+                let mut buf = vec![rank.rank() as f32 * 100.0; 4];
+                rank.broadcast(&mut buf, root);
+                buf
+            });
+            for buf in out {
+                assert!(buf.iter().all(|&v| (v - root as f32 * 100.0).abs() < 1e-6));
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_stay_consistent() {
+        let out = run_group(4, |rank| {
+            let mut acc = 0f32;
+            for round in 0..10 {
+                let mut buf = vec![(rank.rank() + round) as f32; 3];
+                rank.all_reduce_sum(&mut buf);
+                acc += buf[0];
+            }
+            acc
+        });
+        // Each round sums (0+1+2+3) + 4*round = 6 + 4*round.
+        let expected: f32 = (0..10).map(|r| 6.0 + 4.0 * r as f32).sum();
+        for v in out {
+            assert!((v - expected).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn chunk_bounds_cover_exactly() {
+        for len in [0usize, 1, 7, 16, 100] {
+            for n in [1usize, 2, 3, 4, 8] {
+                let mut covered = 0usize;
+                let mut prev_end = 0usize;
+                for i in 0..n {
+                    let (s, e) = chunk_bounds(len, n, i);
+                    assert_eq!(s, prev_end, "chunks must be contiguous");
+                    assert!(e >= s);
+                    covered += e - s;
+                    prev_end = e;
+                }
+                assert_eq!(covered, len, "chunks must cover the buffer");
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_collectives_are_noops() {
+        let out = run_group(1, |rank| {
+            let mut buf = vec![3.5f32; 4];
+            rank.all_reduce_sum(&mut buf);
+            rank.broadcast(&mut buf, 0);
+            buf
+        });
+        assert!(out[0].iter().all(|&v| v == 3.5));
+    }
+}

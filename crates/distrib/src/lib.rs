@@ -1,0 +1,48 @@
+//! # seaice-distrib
+//!
+//! Synchronous data-parallel distributed training — the Horovod + MPI
+//! replacement for the paper's 8-GPU DGX A100 experiments (§III-C,
+//! Table III, Fig. 12).
+//!
+//! * [`group`] — a process group of rank threads with the collective
+//!   operations Horovod builds on: bandwidth-optimal **ring all-reduce**
+//!   (Patarasuk–Yuan reduce-scatter + all-gather, the algorithm the paper
+//!   cites), rank-0 broadcast, and barrier;
+//! * [`optimizer`] — `DistributedOptimizer`, which averages gradients
+//!   across ranks via all-reduce before stepping the wrapped optimizer
+//!   (the `hvd.DistributedOptimizer(opt)` analog);
+//! * [`trainer`] — the synchronous data-parallel U-Net training loop:
+//!   shard the data, replicate the model, broadcast initial weights from
+//!   rank 0, all-reduce gradients every step;
+//! * [`perfmodel`] — a DGX A100 timing model calibrated against
+//!   Table III, used to regenerate the paper's timing numbers (ranks here
+//!   are host threads, not A100s; the *semantics* are real — distributed
+//!   training is verified equivalent to single-process large-batch
+//!   training — while the *timing* comes from the model).
+//!
+//! ```
+//! use seaice_distrib::ProcessGroup;
+//!
+//! // Four ranks sum their buffers with the bandwidth-optimal ring.
+//! let handles: Vec<_> = ProcessGroup::new(4)
+//!     .into_iter()
+//!     .map(|rank| std::thread::spawn(move || {
+//!         let mut grad = vec![rank.rank() as f32; 8];
+//!         rank.all_reduce_mean(&mut grad);
+//!         grad[0]
+//!     }))
+//!     .collect();
+//! for h in handles {
+//!     assert_eq!(h.join().unwrap(), 1.5); // mean of 0,1,2,3
+//! }
+//! ```
+
+pub mod group;
+pub mod optimizer;
+pub mod perfmodel;
+pub mod trainer;
+
+pub use group::{ProcessGroup, Rank};
+pub use optimizer::DistributedOptimizer;
+pub use perfmodel::DgxA100Model;
+pub use trainer::{train_distributed, DistTrainConfig, DistTrainReport};

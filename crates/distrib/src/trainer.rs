@@ -1,0 +1,311 @@
+//! Synchronous data-parallel U-Net training (Fig. 8's "with Horovod"
+//! pseudo-code): shard the data, replicate the model per rank, broadcast
+//! rank 0's initial weights, and all-reduce-average gradients every step.
+
+use crate::group::ProcessGroup;
+use crate::optimizer::DistributedOptimizer;
+use crate::perfmodel::DgxA100Model;
+use seaice_nn::dataloader::{DataLoader, Sample};
+use seaice_nn::loss::softmax_cross_entropy;
+use seaice_nn::optim::{Adam, Optimizer};
+use seaice_unet::checkpoint;
+use seaice_unet::{UNet, UNetConfig};
+use serde::{Deserialize, Serialize};
+
+/// Distributed training configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DistTrainConfig {
+    /// Data-parallel width (the paper sweeps 1, 2, 4, 6, 8 GPUs).
+    pub ranks: usize,
+    /// Epochs (paper: 50).
+    pub epochs: usize,
+    /// Mini-batch size per rank (paper: 32 per GPU).
+    pub batch_size_per_rank: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Per-epoch shuffling seed (`None` keeps deterministic order, which
+    /// the single-process-equivalence tests rely on).
+    pub shuffle_seed: Option<u64>,
+}
+
+/// Results of a distributed run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DistTrainReport {
+    /// Rank-0 mean loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Measured host wall-clock seconds for the whole run.
+    pub measured_secs: f64,
+    /// Simulated DGX seconds for the whole run (perf model).
+    pub simulated_secs: f64,
+    /// Simulated throughput (images/s).
+    pub simulated_images_per_sec: f64,
+    /// Number of ranks used.
+    pub ranks: usize,
+    /// Samples per rank after equalizing shards.
+    pub samples_per_rank: usize,
+}
+
+/// Shards `samples` round-robin across `ranks`, truncating so every rank
+/// gets the same count (synchronous SGD requires equal step counts).
+fn shard(samples: &[Sample], ranks: usize) -> Vec<Vec<Sample>> {
+    let per_rank = samples.len() / ranks;
+    let mut shards = vec![Vec::with_capacity(per_rank); ranks];
+    for (i, s) in samples.iter().take(per_rank * ranks).enumerate() {
+        shards[i % ranks].push(s.clone());
+    }
+    shards
+}
+
+/// Trains a U-Net with `cfg.ranks` synchronous data-parallel replicas and
+/// returns rank 0's model plus the run report.
+///
+/// # Panics
+/// Panics if there are fewer samples than ranks, or any rank panics.
+pub fn train_distributed(
+    unet_cfg: UNetConfig,
+    samples: Vec<Sample>,
+    cfg: DistTrainConfig,
+    perf: &DgxA100Model,
+) -> (UNet, DistTrainReport) {
+    assert!(cfg.ranks > 0, "need at least one rank");
+    assert!(
+        samples.len() >= cfg.ranks,
+        "fewer samples ({}) than ranks ({})",
+        samples.len(),
+        cfg.ranks
+    );
+    let t0 = std::time::Instant::now();
+    let shards = shard(&samples, cfg.ranks);
+    let samples_per_rank = shards[0].len();
+    let ranks = ProcessGroup::new(cfg.ranks);
+
+    let handles: Vec<_> = ranks
+        .into_iter()
+        .zip(shards)
+        .map(|(rank, shard)| {
+            std::thread::spawn(move || {
+                let mut model = UNet::new(unet_cfg);
+                // Broadcast initial weights from rank 0 (the
+                // `BroadcastGlobalVariablesCallback(0)` step). With a
+                // shared seed this is a no-op, but it guarantees identical
+                // replicas even if per-rank init ever diverges.
+                {
+                    let mut params = model.params_mut();
+                    let total: usize = params.iter().map(|p| p.value.len()).sum();
+                    let mut fused = Vec::with_capacity(total);
+                    for p in params.iter() {
+                        fused.extend_from_slice(p.value.as_slice());
+                    }
+                    rank.broadcast(&mut fused, 0);
+                    let mut off = 0;
+                    for p in params.iter_mut() {
+                        let len = p.value.len();
+                        p.value
+                            .as_mut_slice()
+                            .copy_from_slice(&fused[off..off + len]);
+                        off += len;
+                    }
+                }
+
+                let loader = DataLoader::new(
+                    shard,
+                    cfg.batch_size_per_rank,
+                    cfg.shuffle_seed.map(|s| s ^ rank.rank() as u64),
+                );
+                let adam = Adam::new(cfg.learning_rate);
+                let mut opt = DistributedOptimizer::new(adam, &rank);
+                let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+                for epoch in 0..cfg.epochs {
+                    let mut loss_sum = 0f64;
+                    let mut batches = 0usize;
+                    for batch in loader.epoch(epoch as u64) {
+                        model.zero_grads();
+                        let logits = model.forward(&batch.images, true);
+                        let lo = softmax_cross_entropy(&logits, &batch.targets);
+                        model.backward(&lo.grad);
+                        opt.step(&mut model.params_mut());
+                        loss_sum += lo.loss as f64;
+                        batches += 1;
+                    }
+                    epoch_losses.push((loss_sum / batches.max(1) as f64) as f32);
+                }
+                let snapshot = if rank.rank() == 0 {
+                    Some(checkpoint::snapshot(&mut model))
+                } else {
+                    None
+                };
+                (rank.rank(), epoch_losses, snapshot)
+            })
+        })
+        .collect();
+
+    let mut rank0_losses = Vec::new();
+    let mut rank0_model = None;
+    for h in handles {
+        let (r, losses, snap) = h.join().expect("a rank panicked");
+        if r == 0 {
+            rank0_losses = losses;
+            rank0_model = snap;
+        }
+    }
+    let model = checkpoint::restore(&rank0_model.expect("rank 0 snapshot missing"));
+
+    let report = DistTrainReport {
+        epoch_losses: rank0_losses,
+        measured_secs: t0.elapsed().as_secs_f64(),
+        simulated_secs: perf.total_time(cfg.ranks, cfg.epochs),
+        simulated_images_per_sec: perf.images_per_sec(cfg.ranks),
+        ranks: cfg.ranks,
+        samples_per_rank,
+    };
+    (model, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seaice_unet::train::{train, TrainConfig};
+
+    fn toy_samples(n: usize, side: usize) -> Vec<Sample> {
+        (0..n)
+            .map(|i| {
+                let class = (i % 3) as u8;
+                let level = [0.9f32, 0.5, 0.05][class as usize];
+                Sample {
+                    image: vec![level; 3 * side * side],
+                    mask: vec![class; side * side],
+                    channels: 3,
+                    height: side,
+                    width: side,
+                }
+            })
+            .collect()
+    }
+
+    fn tiny_cfg() -> UNetConfig {
+        UNetConfig {
+            depth: 1,
+            base_filters: 4,
+            dropout: 0.0,
+            seed: 11,
+            ..UNetConfig::paper()
+        }
+    }
+
+    #[test]
+    fn distributed_equals_single_process_large_batch() {
+        // 2 ranks × batch 2 must equal 1 process × batch 4: round-robin
+        // shards make the union of per-rank step-k batches exactly the
+        // single-process step-k batch, and averaged gradients match.
+        let samples = toy_samples(8, 8);
+        let dist_cfg = DistTrainConfig {
+            ranks: 2,
+            epochs: 2,
+            batch_size_per_rank: 2,
+            learning_rate: 1e-3,
+            shuffle_seed: None,
+        };
+        let (mut dist_model, _) = train_distributed(
+            tiny_cfg(),
+            samples.clone(),
+            dist_cfg,
+            &DgxA100Model::dgx_a100(),
+        );
+
+        let mut single = UNet::new(tiny_cfg());
+        let loader = DataLoader::new(samples, 4, None);
+        train(
+            &mut single,
+            &loader,
+            &TrainConfig {
+                epochs: 2,
+                learning_rate: 1e-3,
+                log_every: 0,
+            },
+        );
+
+        let x = seaice_nn::init::uniform(&[1, 3, 8, 8], 0.0, 1.0, 5);
+        let yd = dist_model.forward(&x, false);
+        let ys = single.forward(&x, false);
+        let max_diff = yd
+            .as_slice()
+            .iter()
+            .zip(ys.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0f32, f32::max);
+        assert!(
+            max_diff < 1e-3,
+            "distributed and single-process outputs diverged by {max_diff}"
+        );
+    }
+
+    #[test]
+    fn distributed_training_is_deterministic() {
+        let run = || {
+            let (_, report) = train_distributed(
+                tiny_cfg(),
+                toy_samples(8, 8),
+                DistTrainConfig {
+                    ranks: 4,
+                    epochs: 2,
+                    batch_size_per_rank: 1,
+                    learning_rate: 1e-3,
+                    shuffle_seed: Some(3),
+                },
+                &DgxA100Model::dgx_a100(),
+            );
+            report.epoch_losses
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn distributed_training_learns() {
+        let (mut model, report) = train_distributed(
+            tiny_cfg(),
+            toy_samples(12, 8),
+            DistTrainConfig {
+                ranks: 2,
+                epochs: 15,
+                batch_size_per_rank: 2,
+                learning_rate: 5e-3,
+                shuffle_seed: Some(1),
+            },
+            &DgxA100Model::dgx_a100(),
+        );
+        assert!(report.epoch_losses.last().unwrap() < &report.epoch_losses[0]);
+        // Predict on a bright (thick-ice-like) input.
+        let x = seaice_nn::Tensor::full(&[1, 3, 8, 8], 0.9);
+        let preds = model.predict(&x);
+        let thick = preds.iter().filter(|&&c| c == 0).count();
+        assert!(thick > 48, "bright input should classify mostly thick, got {thick}/64");
+    }
+
+    #[test]
+    fn shards_are_equal_sized_and_cover_prefix() {
+        let samples = toy_samples(10, 8);
+        let shards = shard(&samples, 3);
+        assert_eq!(shards.len(), 3);
+        assert!(shards.iter().all(|s| s.len() == 3));
+    }
+
+    #[test]
+    fn report_carries_simulated_dgx_times() {
+        let (_, report) = train_distributed(
+            tiny_cfg(),
+            toy_samples(8, 8),
+            DistTrainConfig {
+                ranks: 8,
+                epochs: 1,
+                batch_size_per_rank: 1,
+                learning_rate: 1e-3,
+                shuffle_seed: None,
+            },
+            &DgxA100Model::dgx_a100(),
+        );
+        let expected = DgxA100Model::dgx_a100().total_time(8, 1);
+        assert!((report.simulated_secs - expected).abs() < 1e-9);
+        assert_eq!(report.ranks, 8);
+        assert_eq!(report.samples_per_rank, 1);
+    }
+}

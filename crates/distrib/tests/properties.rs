@@ -1,0 +1,85 @@
+//! Property-based tests for the collectives: the ring all-reduce must
+//! equal the sequential reduction for any group size and buffer length.
+
+use proptest::prelude::*;
+use seaice_distrib::ProcessGroup;
+
+fn run_group<T: Send + 'static>(
+    n: usize,
+    f: impl Fn(seaice_distrib::Rank) -> T + Send + Sync + Clone + 'static,
+) -> Vec<T> {
+    let ranks = ProcessGroup::new(n);
+    let handles: Vec<_> = ranks
+        .into_iter()
+        .map(|r| {
+            let f = f.clone();
+            std::thread::spawn(move || f(r))
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allreduce_equals_sequential_sum(
+        ranks in 1usize..6,
+        len in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        // Rank r's buffer element i is a deterministic function of (r, i).
+        let out = run_group(ranks, move |rank| {
+            let r = rank.rank();
+            let mut buf: Vec<f32> = (0..len)
+                .map(|i| ((r * 31 + i * 7 + seed as usize) % 97) as f32 / 9.0)
+                .collect();
+            rank.all_reduce_sum(&mut buf);
+            buf
+        });
+        // Sequential reference.
+        let expected: Vec<f32> = (0..len)
+            .map(|i| {
+                (0..ranks)
+                    .map(|r| ((r * 31 + i * 7 + seed as usize) % 97) as f32 / 9.0)
+                    .sum()
+            })
+            .collect();
+        for buf in out {
+            for (a, e) in buf.iter().zip(&expected) {
+                prop_assert!((a - e).abs() < 1e-3, "{a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_mean_is_permutation_invariant(
+        ranks in 2usize..5,
+        len in 1usize..16,
+    ) {
+        // Every rank ends with the same buffer.
+        let out = run_group(ranks, move |rank| {
+            let mut buf: Vec<f32> = (0..len)
+                .map(|i| (rank.rank() as f32 + 1.0) * (i as f32 + 0.5))
+                .collect();
+            rank.all_reduce_mean(&mut buf);
+            buf
+        });
+        for buf in &out[1..] {
+            prop_assert_eq!(buf, &out[0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_any_root(ranks in 1usize..5, root_pick in 0usize..5) {
+        let root = root_pick % ranks;
+        let out = run_group(ranks, move |rank| {
+            let mut buf = vec![rank.rank() as f32; 6];
+            rank.broadcast(&mut buf, root);
+            buf
+        });
+        for buf in out {
+            prop_assert!(buf.iter().all(|&v| v == root as f32));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Image resampling: nearest-neighbour and bilinear. Used when moving
+//! between scene resolution and model input resolution.
+
+use crate::buffer::Image;
+
+/// Nearest-neighbour resize to `(new_w, new_h)`.
+///
+/// # Panics
+/// Panics if the source or target has a zero dimension.
+pub fn resize_nearest(src: &Image<u8>, new_w: usize, new_h: usize) -> Image<u8> {
+    let (w, h) = src.dimensions();
+    assert!(w > 0 && h > 0 && new_w > 0 && new_h > 0, "zero-size resize");
+    let c = src.channels();
+    let mut out = Image::<u8>::new(new_w, new_h, c);
+    for y in 0..new_h {
+        let sy = (y * h) / new_h;
+        for x in 0..new_w {
+            let sx = (x * w) / new_w;
+            out.put_pixel(x, y, src.pixel(sx, sy));
+        }
+    }
+    out
+}
+
+/// Bilinear resize to `(new_w, new_h)` with half-pixel-centred sampling
+/// (matches OpenCV's `INTER_LINEAR` grid alignment).
+///
+/// # Panics
+/// Panics if the source or target has a zero dimension.
+pub fn resize_bilinear(src: &Image<u8>, new_w: usize, new_h: usize) -> Image<u8> {
+    let (w, h) = src.dimensions();
+    assert!(w > 0 && h > 0 && new_w > 0 && new_h > 0, "zero-size resize");
+    let c = src.channels();
+    let mut out = Image::<u8>::new(new_w, new_h, c);
+    let sx_ratio = w as f32 / new_w as f32;
+    let sy_ratio = h as f32 / new_h as f32;
+    for y in 0..new_h {
+        let fy = ((y as f32 + 0.5) * sy_ratio - 0.5).clamp(0.0, (h - 1) as f32);
+        let y0 = fy.floor() as usize;
+        let y1 = (y0 + 1).min(h - 1);
+        let wy = fy - y0 as f32;
+        for x in 0..new_w {
+            let fx = ((x as f32 + 0.5) * sx_ratio - 0.5).clamp(0.0, (w - 1) as f32);
+            let x0 = fx.floor() as usize;
+            let x1 = (x0 + 1).min(w - 1);
+            let wx = fx - x0 as f32;
+            for ch in 0..c {
+                let p00 = src.pixel(x0, y0)[ch] as f32;
+                let p10 = src.pixel(x1, y0)[ch] as f32;
+                let p01 = src.pixel(x0, y1)[ch] as f32;
+                let p11 = src.pixel(x1, y1)[ch] as f32;
+                let top = p00 + (p10 - p00) * wx;
+                let bot = p01 + (p11 - p01) * wx;
+                out.pixel_mut(x, y)[ch] = (top + (bot - top) * wy).round() as u8;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_identity() {
+        let img = Image::from_fn(4, 4, 1, |x, y| vec![(y * 4 + x) as u8]);
+        assert_eq!(resize_nearest(&img, 4, 4), img);
+    }
+
+    #[test]
+    fn nearest_upscale_replicates() {
+        let img = Image::from_vec(2, 1, 1, vec![10u8, 20]);
+        let out = resize_nearest(&img, 4, 1);
+        assert_eq!(out.as_slice(), &[10, 10, 20, 20]);
+    }
+
+    #[test]
+    fn nearest_downscale_samples() {
+        let img = Image::from_vec(4, 1, 1, vec![1u8, 2, 3, 4]);
+        let out = resize_nearest(&img, 2, 1);
+        assert_eq!(out.as_slice(), &[1, 3]);
+    }
+
+    #[test]
+    fn bilinear_identity() {
+        let img = Image::from_fn(4, 4, 3, |x, y| vec![(y * 4 + x) as u8, 0, 255]);
+        assert_eq!(resize_bilinear(&img, 4, 4), img);
+    }
+
+    #[test]
+    fn bilinear_constant_is_preserved() {
+        let mut img = Image::<u8>::new(3, 3, 1);
+        img.fill(&[99]);
+        let out = resize_bilinear(&img, 7, 5);
+        assert!(out.as_slice().iter().all(|&v| v == 99));
+    }
+
+    #[test]
+    fn bilinear_2x_interpolates_midpoints() {
+        let img = Image::from_vec(2, 1, 1, vec![0u8, 100]);
+        let out = resize_bilinear(&img, 4, 1);
+        // Half-pixel centers: samples at src x = -0.25, 0.25, 0.75, 1.25.
+        assert_eq!(out.get(0, 0), 0);
+        assert_eq!(out.get(1, 0), 25);
+        assert_eq!(out.get(2, 0), 75);
+        assert_eq!(out.get(3, 0), 100);
+    }
+}

@@ -1,0 +1,201 @@
+//! Global thresholding: binary, truncated, to-zero, and Otsu's automatic
+//! threshold selection — the `cv::threshold` family the paper's
+//! cloud/shadow filter composes.
+
+use crate::buffer::Image;
+use crate::histogram::histogram_u8;
+
+/// Thresholding rule applied per sample, mirroring OpenCV's
+/// `THRESH_BINARY`, `THRESH_BINARY_INV`, `THRESH_TRUNC`, `THRESH_TOZERO`,
+/// and `THRESH_TOZERO_INV`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThresholdType {
+    /// `v > t ? max : 0`
+    Binary,
+    /// `v > t ? 0 : max`
+    BinaryInv,
+    /// `v > t ? t : v` — "truncated" thresholding.
+    Trunc,
+    /// `v > t ? v : 0`
+    ToZero,
+    /// `v > t ? 0 : v`
+    ToZeroInv,
+}
+
+/// Applies a global threshold `t` to a single-channel 8-bit image.
+///
+/// `max_value` plays the role of OpenCV's `maxval` for the binary modes.
+///
+/// # Panics
+/// Panics if `src` is not single-channel.
+pub fn threshold(src: &Image<u8>, t: u8, max_value: u8, ty: ThresholdType) -> Image<u8> {
+    assert_eq!(src.channels(), 1, "threshold expects a single-channel image");
+    src.map(|v| apply_threshold(v, t, max_value, ty))
+}
+
+#[inline]
+fn apply_threshold(v: u8, t: u8, max_value: u8, ty: ThresholdType) -> u8 {
+    match ty {
+        ThresholdType::Binary => {
+            if v > t {
+                max_value
+            } else {
+                0
+            }
+        }
+        ThresholdType::BinaryInv => {
+            if v > t {
+                0
+            } else {
+                max_value
+            }
+        }
+        ThresholdType::Trunc => {
+            if v > t {
+                t
+            } else {
+                v
+            }
+        }
+        ThresholdType::ToZero => {
+            if v > t {
+                v
+            } else {
+                0
+            }
+        }
+        ThresholdType::ToZeroInv => {
+            if v > t {
+                0
+            } else {
+                v
+            }
+        }
+    }
+}
+
+/// Computes Otsu's optimal global threshold for a single-channel 8-bit
+/// image by maximizing between-class variance over the 256-bin histogram.
+///
+/// Returns the threshold level; pixels `> t` belong to the bright class
+/// when used with [`ThresholdType::Binary`]. For a constant image the
+/// threshold equals that constant value.
+///
+/// # Panics
+/// Panics if `src` is not single-channel or is empty.
+pub fn otsu_threshold(src: &Image<u8>) -> u8 {
+    assert_eq!(src.channels(), 1, "otsu expects a single-channel image");
+    let hist = histogram_u8(src);
+    let total: u64 = hist.iter().sum();
+    assert!(total > 0, "otsu on an empty image");
+
+    let sum_all: f64 = hist
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| i as f64 * c as f64)
+        .sum();
+
+    let mut w_bg = 0f64; // background weight (count)
+    let mut sum_bg = 0f64;
+    let mut best_t = 0u8;
+    let mut best_var = -1f64;
+
+    for t in 0..256usize {
+        w_bg += hist[t] as f64;
+        if w_bg == 0.0 {
+            continue;
+        }
+        let w_fg = total as f64 - w_bg;
+        if w_fg == 0.0 {
+            break;
+        }
+        sum_bg += t as f64 * hist[t] as f64;
+        let mean_bg = sum_bg / w_bg;
+        let mean_fg = (sum_all - sum_bg) / w_fg;
+        let between = w_bg * w_fg * (mean_bg - mean_fg).powi(2);
+        if between > best_var {
+            best_var = between;
+            best_t = t as u8;
+        }
+    }
+    if best_var < 0.0 {
+        // Degenerate (constant) histogram: every pixel has the same value;
+        // return that value so `> t` marks nothing as foreground.
+        best_t = hist
+            .iter()
+            .position(|&c| c > 0)
+            .expect("nonempty histogram") as u8;
+    }
+    best_t
+}
+
+/// Convenience: Otsu threshold selection followed by binary thresholding,
+/// like `cv::threshold(..., THRESH_BINARY | THRESH_OTSU)`.
+pub fn otsu_binary(src: &Image<u8>, max_value: u8) -> (u8, Image<u8>) {
+    let t = otsu_threshold(src);
+    (t, threshold(src, t, max_value, ThresholdType::Binary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(vals: &[u8]) -> Image<u8> {
+        Image::from_vec(vals.len(), 1, 1, vals.to_vec())
+    }
+
+    #[test]
+    fn binary_threshold() {
+        let out = threshold(&img(&[0, 100, 101, 255]), 100, 255, ThresholdType::Binary);
+        assert_eq!(out.as_slice(), &[0, 0, 255, 255]);
+    }
+
+    #[test]
+    fn binary_inv_threshold() {
+        let out = threshold(&img(&[0, 100, 101, 255]), 100, 200, ThresholdType::BinaryInv);
+        assert_eq!(out.as_slice(), &[200, 200, 0, 0]);
+    }
+
+    #[test]
+    fn trunc_threshold_caps_values() {
+        let out = threshold(&img(&[0, 99, 150, 255]), 100, 255, ThresholdType::Trunc);
+        assert_eq!(out.as_slice(), &[0, 99, 100, 100]);
+    }
+
+    #[test]
+    fn tozero_thresholds() {
+        let out = threshold(&img(&[0, 99, 150, 255]), 100, 255, ThresholdType::ToZero);
+        assert_eq!(out.as_slice(), &[0, 0, 150, 255]);
+        let out = threshold(&img(&[0, 99, 150, 255]), 100, 255, ThresholdType::ToZeroInv);
+        assert_eq!(out.as_slice(), &[0, 99, 0, 0]);
+    }
+
+    #[test]
+    fn otsu_separates_bimodal_histogram() {
+        // Two well-separated clusters around 40 and 200.
+        let mut vals = vec![];
+        vals.extend(std::iter::repeat(38u8).take(50));
+        vals.extend(std::iter::repeat(42u8).take(50));
+        vals.extend(std::iter::repeat(198u8).take(50));
+        vals.extend(std::iter::repeat(202u8).take(50));
+        let t = otsu_threshold(&img(&vals));
+        assert!(
+            (42..198).contains(&t),
+            "otsu threshold {t} should split the two modes"
+        );
+    }
+
+    #[test]
+    fn otsu_constant_image() {
+        let t = otsu_threshold(&img(&[77; 10]));
+        assert_eq!(t, 77);
+    }
+
+    #[test]
+    fn otsu_binary_splits_classes() {
+        let vals: Vec<u8> = (0..100).map(|i| if i < 60 { 20 } else { 230 }).collect();
+        let (t, out) = otsu_binary(&img(&vals), 255);
+        assert!((20..230).contains(&t));
+        assert_eq!(out.as_slice().iter().filter(|&&v| v == 255).count(), 40);
+    }
+}

@@ -1,0 +1,499 @@
+//! Thin-cloud and cloud-shadow filtering (§III-A "Filtering Out the Thin
+//! Clouds and Shadows").
+//!
+//! The paper composes OpenCV primitives — RGB→HSV conversion, noise
+//! filtering, bit-wise operations, absolute difference, Otsu / truncated /
+//! binary thresholding, and min-max normalization — into a filter tuned by
+//! trial and error on Ross Sea imagery. This module implements a filter
+//! with the same building blocks and the same physical model:
+//!
+//! * **thin cloud** is additive haze toward white:
+//!   `I' = I·(1 − a) + 255·a` with a smooth opacity field `a`;
+//! * **shadow** is smooth multiplicative darkening: `I' = I·m`, `m ≤ 1`.
+//!
+//! **Haze estimation.** Sea-ice surface classes have stable chroma ratios
+//! (open water and thin ice are distinctly blue-tinted; haze drags every
+//! channel toward white and therefore *changes the ratios*). For a class
+//! hypothesis with red/blue ratio `ρ`, the haze opacity follows in closed
+//! form from two channels: `a = (R − ρB) / (255(1 − ρ))`; the green
+//! channel then validates the hypothesis (predicted vs observed absolute
+//! difference). Per-pixel estimates are confidence-weighted and smoothed
+//! with a large box filter (haze fields are smooth), then inverted. Bright
+//! thick ice is chromatically degenerate with haze — white looks like
+//! cloud — so it yields no confident estimate and borrows the field from
+//! its surroundings, exactly like the paper's trial-and-error thresholds
+//! implicitly do.
+//!
+//! **Shadow correction.** After dehazing, shadowed thick ice is the
+//! remaining failure mode (the paper's Fig. 13 shows thick ice read as
+//! thin ice under shadow): pixels with *thick-ice chroma* (near-zero
+//! saturation) but mid-range V must be darkened bright ice. Their implied
+//! gain `m = V / V_thick` is pooled over a smoothed mask and inverted.
+//!
+//! The filter is intentionally conservative: clean pixels pass through
+//! (beyond the mild median pre-filter), haze opacity is capped at what
+//! *thin* cloud can reach, and corrections fade smoothly at mask borders.
+
+use rayon::prelude::*;
+use seaice_imgproc::buffer::Image;
+use seaice_imgproc::color::rgb_to_hsv;
+use seaice_imgproc::filter::{box_blur_f32, median_filter};
+use seaice_imgproc::ops::{absdiff, min_max_normalize};
+use seaice_imgproc::threshold::{otsu_binary, threshold, ThresholdType};
+use serde::{Deserialize, Serialize};
+
+/// Chroma hypotheses `(ρ = R/B, γ = G/B)` for the two blue-tinted classes
+/// that make haze identifiable.
+const HYPOTHESES: [(f32, f32); 2] = [(0.45, 0.70), (0.82, 0.92)];
+
+/// Tuning parameters of the cloud/shadow filter.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FilterConfig {
+    /// Median pre-filter radius ("noise filtering" stage); 0 disables.
+    pub denoise_radius: usize,
+    /// Box radius used to smooth the haze and shadow-gain fields. Should
+    /// be large enough to bridge chroma-degenerate (bright ice) patches
+    /// but smaller than the cloud structures themselves.
+    pub smooth_radius: usize,
+    /// Maximum opacity a *thin* cloud can plausibly reach; hypothesis
+    /// solutions above this are rejected as degenerate (white surface).
+    pub haze_cap: f32,
+    /// Green-channel consistency tolerance (8-bit levels) for accepting a
+    /// per-pixel haze estimate.
+    pub consistency_tol: f32,
+    /// Saturation ceiling identifying thick-ice chroma in the shadow pass.
+    pub shadow_sat_max: u8,
+    /// V window (inclusive) in which shadowed thick ice is searched.
+    pub shadow_v: (u8, u8),
+    /// Reference V of healthy thick ice, used to derive the shadow gain.
+    pub thick_target_v: f32,
+    /// Minimum haze opacity that is actually corrected (hysteresis against
+    /// amplifying estimation noise on clean scenes).
+    pub min_haze: f32,
+    /// Ablation switch: run the shadow-correction pass (step 5).
+    pub shadow_pass: bool,
+    /// Ablation switch: let confident pixels keep their own closed-form
+    /// haze estimate instead of always taking the pooled field.
+    pub confidence_blend: bool,
+    /// Ablation switch: exclude shadow-plausible (near-achromatic mid-V)
+    /// pixels from the haze evidence pool.
+    pub shadow_exclusion: bool,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        Self {
+            denoise_radius: 1,
+            smooth_radius: 32,
+            haze_cap: 0.62,
+            consistency_tol: 6.0,
+            shadow_sat_max: 14,
+            shadow_v: (60, 204),
+            thick_target_v: 230.0,
+            min_haze: 0.04,
+            shadow_pass: true,
+            confidence_blend: true,
+            shadow_exclusion: true,
+        }
+    }
+}
+
+impl FilterConfig {
+    /// Scales the smoothing radius to the image size (`side / 8`), which
+    /// keeps the field smoothing proportionate for tiles vs full scenes.
+    pub fn for_tile(side: usize) -> Self {
+        Self {
+            smooth_radius: (side / 8).max(4),
+            ..Self::default()
+        }
+    }
+}
+
+/// Filter results: the corrected image plus diagnostic fields and masks.
+#[derive(Clone, Debug)]
+pub struct FilterOutput {
+    /// The cloud/shadow-corrected RGB image.
+    pub filtered: Image<u8>,
+    /// Binary (0/255) thin-cloud mask from Otsu thresholding of the
+    /// normalized haze field.
+    pub cloud_mask: Image<u8>,
+    /// Binary (0/255) shadow mask (smoothed candidate coverage).
+    pub shadow_mask: Image<u8>,
+    /// Smoothed haze-opacity field in `[0, 1]`.
+    pub haze: Image<f32>,
+    /// Smoothed shadow gain field in `(0, 1]` (1 = unshadowed).
+    pub shadow_gain: Image<f32>,
+    /// Per-pixel absolute change `|filtered − original|` (max over
+    /// channels), for inspection.
+    pub residual: Image<u8>,
+}
+
+/// The thin-cloud and shadow filter.
+#[derive(Clone, Debug, Default)]
+pub struct CloudShadowFilter {
+    config: FilterConfig,
+}
+
+impl CloudShadowFilter {
+    /// Creates a filter with the given tuning.
+    pub fn new(config: FilterConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FilterConfig {
+        &self.config
+    }
+
+    /// Runs the filter on an RGB image.
+    ///
+    /// # Panics
+    /// Panics if `rgb` is not 3-channel.
+    pub fn apply(&self, rgb: &Image<u8>) -> FilterOutput {
+        assert_eq!(rgb.channels(), 3, "filter expects an RGB image");
+        let cfg = &self.config;
+        let (w, h) = rgb.dimensions();
+
+        // 1. Noise filtering.
+        let denoised = median_filter(rgb, cfg.denoise_radius);
+
+        // 2. Per-pixel haze estimation with chroma hypotheses.
+        //
+        // Shadowed thick ice is *pixelwise indistinguishable* from hazy
+        // water (multiplicatively darkened white has the same RGB as
+        // white-haze over dark water), so pixels that are plausibly
+        // shadowed bright ice — near-achromatic at mid V — are excluded
+        // from the haze evidence pool; the smooth haze field bridges over
+        // them from unambiguous neighbours.
+        let hsv_obs = rgb_to_hsv(&denoised);
+        let mut a_weighted = Image::<f32>::new(w, h, 1);
+        let mut weight = Image::<f32>::new(w, h, 1);
+        a_weighted
+            .as_mut_slice()
+            .par_chunks_exact_mut(w.max(1))
+            .zip(weight.as_mut_slice().par_chunks_exact_mut(w.max(1)))
+            .enumerate()
+            .for_each(|(y, (a_row, w_row))| {
+                for x in 0..w {
+                    let sv = hsv_obs.pixel(x, y);
+                    if cfg.shadow_exclusion
+                        && sv[1] <= cfg.shadow_sat_max
+                        && (cfg.shadow_v.0..=cfg.shadow_v.1).contains(&sv[2])
+                    {
+                        continue; // plausibly shadowed bright ice
+                    }
+                    let px = denoised.pixel(x, y);
+                    let (r, g, b) = (px[0] as f32, px[1] as f32, px[2] as f32);
+                    let mut best: Option<(f32, f32)> = None; // (a, err)
+                    for &(rho, gamma) in &HYPOTHESES {
+                        // 8-bit rounding can push an exact zero-haze pixel
+                        // slightly negative; clamp instead of rejecting so
+                        // the correct hypothesis still competes.
+                        let a = ((r - rho * b) / (255.0 * (1.0 - rho))).max(0.0);
+                        if a > cfg.haze_cap {
+                            continue;
+                        }
+                        let g_pred = gamma * (b - 255.0 * a) + 255.0 * a;
+                        let err = (g_pred - g).abs();
+                        if best.map_or(true, |(_, e)| err < e) {
+                            best = Some((a, err));
+                        }
+                    }
+                    if let Some((a, err)) = best {
+                        if err <= cfg.consistency_tol {
+                            let conf = 1.0 - err / cfg.consistency_tol;
+                            a_row[x] = a * conf;
+                            w_row[x] = conf;
+                        }
+                    }
+                }
+            });
+
+        // 3. Smooth the field (haze varies slowly) via normalized
+        //    convolution, so confident pixels fill in degenerate ones.
+        let blur_a = box_blur_f32(&a_weighted, cfg.smooth_radius);
+        let blur_w = box_blur_f32(&weight, cfg.smooth_radius);
+        let mut haze = Image::<f32>::new(w, h, 1);
+        for (i, hz) in haze.as_mut_slice().iter_mut().enumerate() {
+            // Pooled estimate over the window (bridges degenerate pixels).
+            let pooled = if blur_w.as_slice()[i] > 0.02 {
+                (blur_a.as_slice()[i] / blur_w.as_slice()[i]).clamp(0.0, cfg.haze_cap)
+            } else {
+                0.0
+            };
+            // Confident pixels keep their own (closed-form, exact)
+            // estimate; the pooled field only fills in the rest. Without
+            // this, box smoothing dilutes cloud interiors with clear
+            // surroundings and the haze is systematically under-corrected.
+            let own_w = if cfg.confidence_blend {
+                weight.as_slice()[i].clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let own = if own_w > 0.0 {
+                a_weighted.as_slice()[i] / own_w
+            } else {
+                0.0
+            };
+            *hz = own_w * own + (1.0 - own_w) * pooled;
+        }
+
+        // 4. Invert the haze where it is significant.
+        let mut dehazed = denoised.clone();
+        dehazed
+            .as_mut_slice()
+            .par_chunks_exact_mut(w.max(1) * 3)
+            .enumerate()
+            .for_each(|(y, row)| {
+                for x in 0..w {
+                    let a = haze.get(x, y);
+                    if a < cfg.min_haze {
+                        continue;
+                    }
+                    let inv = 1.0 / (1.0 - a);
+                    for c in row[x * 3..x * 3 + 3].iter_mut() {
+                        *c = ((*c as f32 - 255.0 * a) * inv).round().clamp(0.0, 255.0) as u8;
+                    }
+                }
+            });
+
+        // 5. Shadow pass on the dehazed image: thick-ice chroma at
+        //    mid-range V implies multiplicative darkening.
+        let hsv = rgb_to_hsv(&dehazed);
+        let mut gain_weighted = Image::<f32>::new(w, h, 1);
+        let mut gain_weight = Image::<f32>::new(w, h, 1);
+        let shadow_rows = if cfg.shadow_pass { h } else { 0 };
+        for y in 0..shadow_rows {
+            for x in 0..w {
+                let p = hsv.pixel(x, y);
+                let (s, v) = (p[1], p[2]);
+                if s <= cfg.shadow_sat_max && (cfg.shadow_v.0..=cfg.shadow_v.1).contains(&v) {
+                    // Truncated threshold on the implied gain: never above 1.
+                    let m = (v as f32 / cfg.thick_target_v).min(1.0);
+                    gain_weighted.set(x, y, m);
+                    gain_weight.set(x, y, 1.0);
+                }
+            }
+        }
+        let blur_g = box_blur_f32(&gain_weighted, cfg.smooth_radius);
+        let blur_gw = box_blur_f32(&gain_weight, cfg.smooth_radius);
+        let mut shadow_gain = Image::<f32>::new(w, h, 1);
+        for (i, sg) in shadow_gain.as_mut_slice().iter_mut().enumerate() {
+            let bw = blur_gw.as_slice()[i];
+            let pooled = if bw > 0.05 {
+                let m = (blur_g.as_slice()[i] / bw).clamp(0.25, 1.0);
+                // Fade the pooled correction with mask density so borders
+                // stay smooth: m_eff = 1 + (m - 1) * density.
+                let density = (bw * 2.0).min(1.0);
+                1.0 + (m - 1.0) * density
+            } else {
+                1.0
+            };
+            // Flagged pixels use their own implied gain (maps their V to
+            // the thick-ice reference exactly); others take the pooled,
+            // density-faded field.
+            *sg = if gain_weight.as_slice()[i] > 0.0 {
+                gain_weighted.as_slice()[i].clamp(0.25, 1.0)
+            } else {
+                pooled
+            };
+        }
+
+        let mut filtered = dehazed;
+        filtered
+            .as_mut_slice()
+            .par_chunks_exact_mut(w.max(1) * 3)
+            .enumerate()
+            .for_each(|(y, row)| {
+                for x in 0..w {
+                    let m = shadow_gain.get(x, y);
+                    if m >= 0.999 {
+                        continue;
+                    }
+                    let inv = 1.0 / m;
+                    for c in row[x * 3..x * 3 + 3].iter_mut() {
+                        *c = (*c as f32 * inv).round().clamp(0.0, 255.0) as u8;
+                    }
+                }
+            });
+
+        // 6. Diagnostic masks. The haze field is normalized to 8 bits and
+        //    Otsu-thresholded (adaptive split) when contamination exists.
+        let haze_u8 = haze.map(|a| (a * 255.0).round().clamp(0.0, 255.0) as u8);
+        let mean_haze = haze.mean();
+        let cloud_mask = if mean_haze > cfg.min_haze {
+            let normalized = min_max_normalize(&haze_u8, 0, 255);
+            let (_, mask) = otsu_binary(&normalized, 255);
+            mask
+        } else {
+            Image::<u8>::new(w, h, 1)
+        };
+        let shadow_u8 =
+            shadow_gain.map(|m| ((1.0 - m) * 255.0).round().clamp(0.0, 255.0) as u8);
+        let shadow_mask = threshold(&shadow_u8, 12, 255, ThresholdType::Binary);
+
+        // 7. Change map (per-channel absolute difference, max-reduced).
+        let diff = absdiff(&filtered, rgb);
+        let mut residual = Image::<u8>::new(w, h, 1);
+        for (d, px) in residual
+            .as_mut_slice()
+            .iter_mut()
+            .zip(diff.as_slice().chunks_exact(3))
+        {
+            *d = px.iter().copied().max().unwrap_or(0);
+        }
+
+        FilterOutput {
+            filtered,
+            cloud_mask,
+            shadow_mask,
+            haze,
+            shadow_gain,
+            residual,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranges::{ClassRanges, IceClass};
+    use crate::segment::segment_classes;
+    use seaice_s2::clouds::{self, CloudConfig};
+    use seaice_s2::synth::{generate, SceneConfig};
+
+    fn scene_and_layer(side: usize, coverage: f64, seed: u64) -> (Image<u8>, Image<u8>, Image<u8>) {
+        let scene = generate(&SceneConfig::tiny(side), seed);
+        let layer = clouds::generate(
+            &CloudConfig {
+                coverage,
+                ..CloudConfig::tiny(side)
+            },
+            seed,
+            side,
+            side,
+        );
+        let cloudy = layer.apply(&scene.rgb);
+        (scene.rgb, cloudy, scene.truth)
+    }
+
+    fn label_accuracy(mask: &Image<u8>, truth: &Image<u8>) -> f64 {
+        let correct = mask
+            .as_slice()
+            .iter()
+            .zip(truth.as_slice())
+            .filter(|(a, b)| a == b)
+            .count();
+        correct as f64 / truth.as_slice().len() as f64
+    }
+
+    #[test]
+    fn clean_image_passes_through_nearly_unchanged() {
+        let (clean, _, _) = scene_and_layer(96, 0.0, 3);
+        let out = CloudShadowFilter::new(FilterConfig::for_tile(96)).apply(&clean);
+        // Allow the median pre-filter to touch isolated pixels; the mean
+        // residual must stay tiny.
+        let mean_residual: f64 = out
+            .residual
+            .as_slice()
+            .iter()
+            .map(|&v| v as f64)
+            .sum::<f64>()
+            / out.residual.as_slice().len() as f64;
+        assert!(mean_residual < 4.0, "mean residual {mean_residual}");
+        assert_eq!(out.cloud_mask.nonzero_fraction(), 0.0);
+    }
+
+    #[test]
+    fn filter_recovers_autolabel_accuracy_on_contaminated_scene() {
+        let (_, cloudy, truth) = scene_and_layer(128, 0.35, 7);
+        let ranges = ClassRanges::paper();
+        let acc_before = label_accuracy(&segment_classes(&cloudy, &ranges), &truth);
+        let out = CloudShadowFilter::new(FilterConfig::for_tile(128)).apply(&cloudy);
+        let acc_after = label_accuracy(&segment_classes(&out.filtered, &ranges), &truth);
+        assert!(
+            acc_after > acc_before + 0.05,
+            "filter must improve labels: before {acc_before:.3}, after {acc_after:.3}"
+        );
+        assert!(acc_after > 0.9, "filtered accuracy too low: {acc_after:.3}");
+    }
+
+    #[test]
+    fn haze_field_matches_contamination_location() {
+        let (_, cloudy, _) = scene_and_layer(128, 0.3, 11);
+        let out = CloudShadowFilter::new(FilterConfig::for_tile(128)).apply(&cloudy);
+        assert!(out.haze.mean() > 0.01, "haze must be detected");
+        assert!(out.cloud_mask.nonzero_fraction() > 0.02);
+    }
+
+    #[test]
+    fn dehazing_restores_water_values() {
+        // Uniform water tile with strong synthetic haze applied manually.
+        let mut water = Image::<u8>::new(64, 64, 3);
+        for (_, _, _px) in water.pixels() {}
+        for y in 0..64 {
+            for x in 0..64 {
+                // water rendering: v = 16, r = 0.45 v, g = 0.7 v
+                water.put_pixel(x, y, &[7, 11, 16]);
+            }
+        }
+        let a = 0.35f32;
+        let hazy = water.map(|c| (c as f32 * (1.0 - a) + 255.0 * a).round() as u8);
+        let out = CloudShadowFilter::new(FilterConfig::for_tile(64)).apply(&hazy);
+        let ranges = ClassRanges::paper();
+        let mask = segment_classes(&out.filtered, &ranges);
+        let water_frac = mask
+            .as_slice()
+            .iter()
+            .filter(|&&c| c == IceClass::Water as u8)
+            .count() as f64
+            / mask.as_slice().len() as f64;
+        assert!(water_frac > 0.95, "water recovered fraction {water_frac}");
+    }
+
+    #[test]
+    fn shadow_pass_restores_thick_ice() {
+        // Uniform thick-ice tile, uniformly shadowed to V ≈ 120.
+        let mut thick = Image::<u8>::new(64, 64, 3);
+        thick.fill(&[224, 227, 230]);
+        let m = 0.52f32;
+        let shadowed = thick.map(|c| (c as f32 * m).round() as u8);
+        let out = CloudShadowFilter::new(FilterConfig::for_tile(64)).apply(&shadowed);
+        let ranges = ClassRanges::paper();
+        let mask = segment_classes(&out.filtered, &ranges);
+        let thick_frac = mask
+            .as_slice()
+            .iter()
+            .filter(|&&c| c == IceClass::Thick as u8)
+            .count() as f64
+            / mask.as_slice().len() as f64;
+        assert!(thick_frac > 0.95, "thick recovered fraction {thick_frac}");
+        assert!(out.shadow_mask.nonzero_fraction() > 0.5);
+    }
+
+    #[test]
+    fn thin_ice_is_not_mistaken_for_shadow() {
+        // Clean thin ice has the same V range a shadow produces but keeps
+        // its blue chroma; the filter must leave it alone.
+        let mut thin = Image::<u8>::new(64, 64, 3);
+        thin.fill(&[102, 115, 125]); // thin-ice rendering at v = 125
+        let out = CloudShadowFilter::new(FilterConfig::for_tile(64)).apply(&thin);
+        let ranges = ClassRanges::paper();
+        let mask = segment_classes(&out.filtered, &ranges);
+        assert!(mask
+            .as_slice()
+            .iter()
+            .all(|&c| c == IceClass::Thin as u8));
+    }
+
+    #[test]
+    fn output_shapes_match_input() {
+        let (_, cloudy, _) = scene_and_layer(48, 0.2, 5);
+        let out = CloudShadowFilter::default().apply(&cloudy);
+        assert_eq!(out.filtered.dimensions(), (48, 48));
+        assert_eq!(out.cloud_mask.dimensions(), (48, 48));
+        assert_eq!(out.shadow_mask.dimensions(), (48, 48));
+        assert_eq!(out.haze.dimensions(), (48, 48));
+        assert_eq!(out.residual.dimensions(), (48, 48));
+    }
+}

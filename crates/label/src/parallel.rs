@@ -1,0 +1,224 @@
+//! A fixed worker pool — the Rust analog of the Python `multiprocessing`
+//! pool the paper uses for its single-machine scaling experiment
+//! (Table I / Fig. 10).
+//!
+//! The pool spawns `n` OS threads fed by a crossbeam MPMC channel; each
+//! submitted job is an independent closure (the auto-label task for one
+//! image). Results carry their submission index so `map` preserves input
+//! order, like `Pool.map`.
+
+use crossbeam::channel::{self, Sender};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker pool with FIFO job dispatch.
+pub struct WorkerPool {
+    workers: Vec<JoinHandle<()>>,
+    sender: Option<Sender<Job>>,
+}
+
+impl WorkerPool {
+    /// Spawns `n` workers.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "worker pool needs at least one worker");
+        let (sender, receiver) = channel::unbounded::<Job>();
+        let workers = (0..n)
+            .map(|i| {
+                let rx = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("seaice-worker-{i}"))
+                    .spawn(move || {
+                        // Workers exit when the channel is closed and
+                        // drained. A panicking job must not kill the
+                        // worker — remaining queued jobs would never run
+                        // and `map` callers would hang; the panic is
+                        // surfaced to the caller through the missing
+                        // result instead.
+                        while let Ok(job) = rx.recv() {
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Self {
+            workers,
+            sender: Some(sender),
+        }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits one fire-and-forget job.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool is shutting down")
+            .send(Box::new(job))
+            .expect("worker channel closed");
+    }
+
+    /// Applies `f` to every item on the pool and returns results in input
+    /// order (the `Pool.map` equivalent). Blocks until all results arrive.
+    pub fn map<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send + 'static,
+        U: Send + 'static,
+        F: Fn(T) -> U + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let f = std::sync::Arc::new(f);
+        let (tx, rx) = channel::unbounded::<(usize, U)>();
+        for (i, item) in items.into_iter().enumerate() {
+            let f = f.clone();
+            let tx = tx.clone();
+            self.submit(move || {
+                let out = f(item);
+                // The receiver lives until all results arrive; a send can
+                // only fail if the caller panicked, in which case the
+                // worker result is moot.
+                let _ = tx.send((i, out));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            // A closed channel before all n results means some job
+            // panicked (its sender was dropped during unwinding); fail
+            // loudly rather than returning partial results.
+            let (i, out) = rx
+                .recv()
+                .expect("a worker job panicked; result set is incomplete");
+            slots[i] = Some(out);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("missing result slot"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Close the channel so workers drain and exit, then join them.
+        self.sender.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn map_preserves_order() {
+        let pool = WorkerPool::new(4);
+        let out = pool.map((0..100).collect(), |x: i32| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_empty_input() {
+        let pool = WorkerPool::new(2);
+        let out: Vec<i32> = pool.map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn all_workers_participate() {
+        // With enough slow jobs, more than one worker thread must run them.
+        let pool = WorkerPool::new(4);
+        let names = Arc::new(parking_lot_free_set());
+        let names2 = names.clone();
+        let _ = pool.map((0..64).collect::<Vec<i32>>(), move |_| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            names2
+                .lock()
+                .unwrap()
+                .insert(std::thread::current().name().unwrap_or("?").to_string());
+        });
+        assert!(names.lock().unwrap().len() > 1, "work never spread");
+    }
+
+    fn parking_lot_free_set() -> std::sync::Mutex<std::collections::HashSet<String>> {
+        std::sync::Mutex::new(std::collections::HashSet::new())
+    }
+
+    #[test]
+    fn submit_runs_jobs() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let c = counter.clone();
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // join workers
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    fn pool_survives_panicking_jobs() {
+        // A job that panics must not take the worker down: later jobs
+        // still execute on the same pool.
+        let pool = WorkerPool::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..6 {
+            let done = done.clone();
+            pool.submit(move || {
+                if i == 2 {
+                    panic!("injected failure");
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Healthy jobs all run despite the poisoned one.
+        let healthy = pool.map((0..8).collect::<Vec<i32>>(), |x| x + 1);
+        assert_eq!(healthy.len(), 8);
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn map_fails_loudly_when_a_job_panics() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map((0..4).collect::<Vec<i32>>(), |x| {
+                if x == 1 {
+                    panic!("injected");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err(), "map must not return partial results");
+        // The pool itself remains usable afterwards.
+        let ok = pool.map(vec![10, 20], |x| x * 2);
+        assert_eq!(ok, vec![20, 40]);
+    }
+
+    #[test]
+    fn pool_size_reported() {
+        assert_eq!(WorkerPool::new(3).size(), 3);
+    }
+}

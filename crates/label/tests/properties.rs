@@ -1,0 +1,100 @@
+//! Property-based tests for segmentation and filtering invariants.
+
+use proptest::prelude::*;
+use seaice_imgproc::buffer::Image;
+use seaice_label::cloudshadow::{CloudShadowFilter, FilterConfig};
+use seaice_label::ranges::{ClassRanges, IceClass};
+use seaice_label::segment::{class_masks, color_to_classes, segment_classes, segment_to_color};
+
+fn arb_rgb(max_side: usize) -> impl Strategy<Value = Image<u8>> {
+    (2..=max_side, 2..=max_side).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(any::<u8>(), w * h * 3)
+            .prop_map(move |data| Image::from_vec(w, h, 3, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_pixel_gets_exactly_one_class(img in arb_rgb(12)) {
+        let ranges = ClassRanges::paper();
+        let mask = segment_classes(&img, &ranges);
+        prop_assert!(mask.as_slice().iter().all(|&c| c < 3));
+        // The per-class binary masks partition the image.
+        let [thick, thin, water] = class_masks(&img, &ranges);
+        for i in 0..mask.as_slice().len() {
+            let hits = [&thick, &thin, &water]
+                .iter()
+                .filter(|m| m.as_slice()[i] == 255)
+                .count();
+            prop_assert_eq!(hits, 1, "pixel {} in {} masks", i, hits);
+        }
+    }
+
+    #[test]
+    fn segmentation_depends_only_on_value_for_paper_ranges(
+        v: u8, h1 in 0u8..180, s1: u8, h2 in 0u8..180, s2: u8,
+    ) {
+        // The paper's ranges span all hue/saturation, so two HSV pixels
+        // with equal V always classify identically.
+        let ranges = ClassRanges::paper();
+        let a = ranges.classify(&[h1, s1, v]);
+        let b = ranges.classify(&[h2, s2, v]);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn color_roundtrip_preserves_classes(img in arb_rgb(10)) {
+        let mask = segment_classes(&img, &ClassRanges::paper());
+        let color = segment_to_color(&mask);
+        prop_assert_eq!(color_to_classes(&color), mask);
+    }
+
+    #[test]
+    fn filter_output_is_well_formed(img in arb_rgb(10)) {
+        // Arbitrary (even nonsensical) images must not break the filter:
+        // output shapes match, fields are bounded, masks are binary.
+        let out = CloudShadowFilter::new(FilterConfig {
+            smooth_radius: 2,
+            ..FilterConfig::default()
+        })
+        .apply(&img);
+        prop_assert_eq!(out.filtered.dimensions(), img.dimensions());
+        prop_assert!(out.haze.as_slice().iter().all(|&a| (0.0..=0.63).contains(&a)));
+        prop_assert!(out
+            .shadow_gain
+            .as_slice()
+            .iter()
+            .all(|&m| (0.25..=1.0 + 1e-6).contains(&m)));
+        prop_assert!(out.cloud_mask.as_slice().iter().all(|&v| v == 0 || v == 255));
+        prop_assert!(out.shadow_mask.as_slice().iter().all(|&v| v == 0 || v == 255));
+    }
+
+    #[test]
+    fn filter_is_deterministic(img in arb_rgb(8)) {
+        let f = CloudShadowFilter::new(FilterConfig {
+            smooth_radius: 2,
+            ..FilterConfig::default()
+        });
+        prop_assert_eq!(f.apply(&img).filtered, f.apply(&img).filtered);
+    }
+
+    #[test]
+    fn calibration_cuts_are_ordered(cut_a in 0u8..=200, gap in 2u8..=50) {
+        let water_hi = cut_a;
+        let thick_lo = cut_a.saturating_add(gap).max(cut_a + 2);
+        let r = ClassRanges::from_value_cuts(water_hi, thick_lo);
+        let (w, t) = r.value_cuts();
+        prop_assert_eq!(w, water_hi);
+        prop_assert_eq!(t, thick_lo);
+        // Partition property for arbitrary cuts.
+        for v in 0..=255u8 {
+            let hits = IceClass::ALL
+                .into_iter()
+                .filter(|c| r.range(*c).contains(&[0, 0, v]))
+                .count();
+            prop_assert_eq!(hits, 1);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Virtual cluster topology and the worker threads that execute tasks.
+//!
+//! A [`ClusterSpec`] mirrors the paper's Dataproc layout: `executors`
+//! nodes with `cores_per_executor` cores each (their Table II sweeps the
+//! {1,2,4} × {1,2,4} grid). The [`Cluster`] owns one OS thread per slot —
+//! on a large host those run truly in parallel; on a small host they
+//! time-slice, which is why timing comes from the simulated clock rather
+//! than wall time.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Cluster topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of executor nodes.
+    pub executors: usize,
+    /// Cores per executor node.
+    pub cores_per_executor: usize,
+}
+
+impl ClusterSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(executors: usize, cores_per_executor: usize) -> Self {
+        assert!(executors > 0 && cores_per_executor > 0, "empty cluster");
+        Self {
+            executors,
+            cores_per_executor,
+        }
+    }
+
+    /// Total task slots (executors × cores).
+    pub fn total_slots(&self) -> usize {
+        self.executors * self.cores_per_executor
+    }
+
+    /// The paper's largest configuration: 4 executors × 4 cores.
+    pub fn paper_max() -> Self {
+        Self::new(4, 4)
+    }
+
+    /// Slot identifier `(executor, core)` for a flat slot index.
+    pub fn slot(&self, index: usize) -> (usize, usize) {
+        (
+            index / self.cores_per_executor,
+            index % self.cores_per_executor,
+        )
+    }
+}
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A running virtual cluster: one worker thread per slot, fed by a shared
+/// work queue (matching Spark's dynamic task dispatch within a stage).
+pub struct Cluster {
+    spec: ClusterSpec,
+    sender: Option<channel::Sender<Task>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Cluster {
+    /// Starts worker threads for every slot.
+    pub fn start(spec: ClusterSpec) -> Self {
+        let (sender, receiver) = channel::unbounded::<Task>();
+        let workers = (0..spec.total_slots())
+            .map(|i| {
+                let rx = receiver.clone();
+                let (e, c) = spec.slot(i);
+                std::thread::Builder::new()
+                    .name(format!("executor-{e}-core-{c}"))
+                    .spawn(move || {
+                        // A panicking task must not kill the executor:
+                        // the queue keeps draining and the panic surfaces
+                        // to the driver through the missing completion.
+                        while let Ok(task) = rx.recv() {
+                            let _ =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                        }
+                    })
+                    .expect("failed to spawn executor thread")
+            })
+            .collect();
+        Self {
+            spec,
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// The cluster's topology.
+    pub fn spec(&self) -> ClusterSpec {
+        self.spec
+    }
+
+    /// Runs `f` over every item on the cluster's slots, returning results
+    /// in input order together with each task's measured compute seconds.
+    pub fn run_tasks<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<(U, f64)>
+    where
+        T: Send + 'static,
+        U: Send + 'static,
+        F: Fn(T) -> U + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let f = Arc::new(f);
+        let results: Arc<Mutex<Vec<Option<(U, f64)>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        let (done_tx, done_rx) = channel::bounded::<()>(n);
+        for (i, item) in items.into_iter().enumerate() {
+            let f = f.clone();
+            let results = results.clone();
+            let done = done_tx.clone();
+            self.sender
+                .as_ref()
+                .expect("cluster is shut down")
+                .send(Box::new(move || {
+                    let t0 = std::time::Instant::now();
+                    let out = f(item);
+                    let secs = t0.elapsed().as_secs_f64();
+                    results.lock()[i] = Some((out, secs));
+                    let _ = done.send(());
+                }))
+                .expect("executor channel closed");
+        }
+        drop(done_tx);
+        for _ in 0..n {
+            done_rx
+                .recv()
+                .expect("a task panicked on an executor; job results are incomplete");
+        }
+        // A worker may still hold its Arc clone for an instant after
+        // signalling completion (the closure drops after the send), so
+        // move the results out from under the mutex rather than
+        // unwrapping the Arc.
+        let collected = std::mem::take(&mut *results.lock());
+        collected
+            .into_iter()
+            .map(|s| s.expect("missing task result"))
+            .collect()
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.sender.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_slots() {
+        let s = ClusterSpec::new(4, 4);
+        assert_eq!(s.total_slots(), 16);
+        assert_eq!(s.slot(0), (0, 0));
+        assert_eq!(s.slot(5), (1, 1));
+        assert_eq!(s.slot(15), (3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cluster")]
+    fn zero_spec_panics() {
+        ClusterSpec::new(0, 4);
+    }
+
+    #[test]
+    fn run_tasks_preserves_order() {
+        let cluster = Cluster::start(ClusterSpec::new(2, 2));
+        let out = cluster.run_tasks((0..50).collect(), |x: i64| x * 3);
+        let values: Vec<i64> = out.iter().map(|(v, _)| *v).collect();
+        assert_eq!(values, (0..50).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_tasks_measures_nonnegative_costs() {
+        let cluster = Cluster::start(ClusterSpec::new(1, 2));
+        let out = cluster.run_tasks(vec![1u8, 2, 3], |x| x);
+        assert!(out.iter().all(|(_, secs)| *secs >= 0.0));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let cluster = Cluster::start(ClusterSpec::new(1, 1));
+        let out: Vec<(u8, f64)> = cluster.run_tasks(Vec::<u8>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn executors_survive_panicking_tasks() {
+        let cluster = Cluster::start(ClusterSpec::new(1, 2));
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cluster.run_tasks(vec![0u8, 1, 2], |x| {
+                if x == 1 {
+                    panic!("injected failure");
+                }
+                x
+            })
+        }));
+        assert!(poisoned.is_err(), "driver must fail loudly");
+        // The same cluster still executes follow-up jobs.
+        let ok = cluster.run_tasks(vec![5u8, 6], |x| x * 2);
+        assert_eq!(ok.iter().map(|(v, _)| *v).collect::<Vec<_>>(), vec![10, 12]);
+    }
+
+    #[test]
+    fn workers_are_named_after_slots() {
+        let cluster = Cluster::start(ClusterSpec::new(2, 1));
+        let out = cluster.run_tasks(vec![(); 8], |_| {
+            std::thread::current().name().unwrap_or("?").to_string()
+        });
+        for (name, _) in &out {
+            assert!(name.starts_with("executor-"), "bad worker name {name}");
+        }
+    }
+}

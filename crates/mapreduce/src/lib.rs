@@ -1,0 +1,47 @@
+//! # seaice-mapreduce
+//!
+//! A miniature map-reduce engine standing in for PySpark on the paper's
+//! 4-node Google Cloud Dataproc cluster (Table II).
+//!
+//! The engine reproduces the PySpark execution model the paper relies on:
+//!
+//! * data is **loaded** into a partitioned, distributed collection
+//!   ([`dataset::DataFrame`]), partitions spread round-robin over
+//!   `(executor, core)` slots;
+//! * **map** registers a user-defined function lazily (PySpark
+//!   transformations are lazy, which is why the paper's "Map Time" column
+//!   is ~0.3 s regardless of scale);
+//! * **reduce / collect** actually executes every task and gathers results
+//!   on the driver — where the real time goes (390 s → 24 s in Table II).
+//!
+//! Execution is real (tasks run on worker threads), but this session's
+//! host cannot reproduce cluster *timing* (no second machine, and the
+//! paper's numbers come from 4 × Intel N2 nodes). Timing therefore comes
+//! from a **discrete-event simulated clock** ([`simsched`]): each task's
+//! compute cost (measured on the host or supplied by the workload) is
+//! list-scheduled onto the virtual cluster's slots, and the
+//! [`costmodel::CostModel`] adds the cluster-only effects — distributed
+//! object-store load bandwidth with per-core stream contention, task
+//! scheduling overhead, and driver collect bandwidth — calibrated against
+//! the paper's Table II (see `CostModel::gcd_n2`).
+//!
+//! ```
+//! use seaice_mapreduce::{ClusterSpec, CostModel, Session};
+//!
+//! let session = Session::new(ClusterSpec::new(2, 2), CostModel::gcd_n2());
+//! let (df, load) = session.read((0..100i64).collect(), 8.0);
+//! let (lazy, _) = df.map(&session, |x| x * x);          // lazy, like PySpark
+//! let (sum, reduce) = lazy.reduce(&session, |a, b| a + b); // executes here
+//! assert_eq!(sum, Some((0..100i64).map(|x| x * x).sum()));
+//! assert!(load.simulated_secs > 0.0 && reduce.tasks == 100);
+//! ```
+
+pub mod cluster;
+pub mod costmodel;
+pub mod dataset;
+pub mod simsched;
+
+pub use cluster::{Cluster, ClusterSpec};
+pub use costmodel::CostModel;
+pub use dataset::{DataFrame, JobReport, LazyFrame, Session, StageReport};
+pub use simsched::{makespan, makespan_detailed};

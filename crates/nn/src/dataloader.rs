@@ -1,0 +1,302 @@
+//! Mini-batch assembly with shuffling and flip augmentation (the paper
+//! "organized the data into batches for the U-Net models using
+//! dataloader" and relies on U-Net-style augmentation).
+
+use crate::tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One training sample: CHW image data plus a per-pixel class mask.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Image values, `channels · height · width` long, typically in
+    /// `[0, 1]`.
+    pub image: Vec<f32>,
+    /// Per-pixel class indices, `height · width` long.
+    pub mask: Vec<u8>,
+    /// Channel count.
+    pub channels: usize,
+    /// Spatial height.
+    pub height: usize,
+    /// Spatial width.
+    pub width: usize,
+}
+
+impl Sample {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics if lengths don't match the dimensions.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.image.len(),
+            self.channels * self.height * self.width,
+            "image length mismatch"
+        );
+        assert_eq!(self.mask.len(), self.height * self.width, "mask length mismatch");
+    }
+
+    /// Horizontal mirror of the sample.
+    pub fn flip_horizontal(&self) -> Sample {
+        let (c, h, w) = (self.channels, self.height, self.width);
+        let mut image = vec![0f32; self.image.len()];
+        let mut mask = vec![0u8; self.mask.len()];
+        for ch in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    image[(ch * h + y) * w + x] = self.image[(ch * h + y) * w + (w - 1 - x)];
+                }
+            }
+        }
+        for y in 0..h {
+            for x in 0..w {
+                mask[y * w + x] = self.mask[y * w + (w - 1 - x)];
+            }
+        }
+        Sample {
+            image,
+            mask,
+            channels: c,
+            height: h,
+            width: w,
+        }
+    }
+
+    /// Vertical mirror of the sample.
+    pub fn flip_vertical(&self) -> Sample {
+        let (c, h, w) = (self.channels, self.height, self.width);
+        let mut image = vec![0f32; self.image.len()];
+        let mut mask = vec![0u8; self.mask.len()];
+        for ch in 0..c {
+            for y in 0..h {
+                let sy = h - 1 - y;
+                image[(ch * h + y) * w..(ch * h + y) * w + w]
+                    .copy_from_slice(&self.image[(ch * h + sy) * w..(ch * h + sy) * w + w]);
+            }
+        }
+        for y in 0..h {
+            let sy = h - 1 - y;
+            mask[y * w..y * w + w].copy_from_slice(&self.mask[sy * w..sy * w + w]);
+        }
+        Sample {
+            image,
+            mask,
+            channels: c,
+            height: h,
+            width: w,
+        }
+    }
+}
+
+/// A batch ready for the network.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    /// Images, `[n, c, h, w]`.
+    pub images: Tensor,
+    /// Flattened per-pixel targets, `n · h · w` long.
+    pub targets: Vec<u8>,
+}
+
+impl Batch {
+    /// Number of items in the batch.
+    pub fn len(&self) -> usize {
+        self.images.shape()[0]
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Assembles shuffled mini-batches from samples.
+pub struct DataLoader {
+    samples: Vec<Sample>,
+    batch_size: usize,
+    shuffle_seed: Option<u64>,
+}
+
+impl DataLoader {
+    /// Creates a loader. `shuffle_seed: Some(s)` reshuffles every epoch
+    /// deterministically; `None` keeps input order.
+    ///
+    /// # Panics
+    /// Panics if `batch_size == 0`, samples are inconsistent, or sample
+    /// shapes differ.
+    pub fn new(samples: Vec<Sample>, batch_size: usize, shuffle_seed: Option<u64>) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        assert!(!samples.is_empty(), "no samples");
+        let (c, h, w) = (samples[0].channels, samples[0].height, samples[0].width);
+        for s in &samples {
+            s.validate();
+            assert_eq!(
+                (s.channels, s.height, s.width),
+                (c, h, w),
+                "all samples must share a shape"
+            );
+        }
+        Self {
+            samples,
+            batch_size,
+            shuffle_seed,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the loader holds no samples (cannot occur post-`new`).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of batches per epoch (last partial batch included).
+    pub fn batches_per_epoch(&self) -> usize {
+        self.samples.len().div_ceil(self.batch_size)
+    }
+
+    /// Produces the batches of one epoch. The epoch index feeds the
+    /// shuffle seed so successive epochs reorder differently but
+    /// reproducibly.
+    pub fn epoch(&self, epoch: u64) -> Vec<Batch> {
+        let mut order: Vec<usize> = (0..self.samples.len()).collect();
+        if let Some(seed) = self.shuffle_seed {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ epoch.wrapping_mul(0x9E37_79B9));
+            order.shuffle(&mut rng);
+        }
+        let (c, h, w) = (
+            self.samples[0].channels,
+            self.samples[0].height,
+            self.samples[0].width,
+        );
+        order
+            .chunks(self.batch_size)
+            .map(|chunk| {
+                let n = chunk.len();
+                let mut images = Tensor::zeros(&[n, c, h, w]);
+                let mut targets = Vec::with_capacity(n * h * w);
+                let item = c * h * w;
+                for (bi, &si) in chunk.iter().enumerate() {
+                    let s = &self.samples[si];
+                    images.as_mut_slice()[bi * item..(bi + 1) * item]
+                        .copy_from_slice(&s.image);
+                    targets.extend_from_slice(&s.mask);
+                }
+                Batch { images, targets }
+            })
+            .collect()
+    }
+
+    /// Returns a new loader whose sample set is augmented with horizontal
+    /// and vertical flips (3× the data).
+    pub fn with_flip_augmentation(self) -> Self {
+        let mut samples = Vec::with_capacity(self.samples.len() * 3);
+        for s in &self.samples {
+            samples.push(s.flip_horizontal());
+            samples.push(s.flip_vertical());
+        }
+        samples.extend(self.samples);
+        Self { samples, ..self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(tag: f32) -> Sample {
+        Sample {
+            image: (0..12).map(|i| tag + i as f32).collect(),
+            mask: (0..4).map(|i| (i % 3) as u8).collect(),
+            channels: 3,
+            height: 2,
+            width: 2,
+        }
+    }
+
+    #[test]
+    fn batches_cover_all_samples() {
+        let dl = DataLoader::new((0..10).map(|i| sample(i as f32)).collect(), 3, None);
+        assert_eq!(dl.batches_per_epoch(), 4);
+        let batches = dl.epoch(0);
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(batches[3].len(), 1); // trailing partial batch
+    }
+
+    #[test]
+    fn unshuffled_order_is_stable() {
+        let dl = DataLoader::new((0..4).map(|i| sample(i as f32 * 100.0)).collect(), 2, None);
+        let batches = dl.epoch(0);
+        assert_eq!(batches[0].images.as_slice()[0], 0.0);
+        assert_eq!(batches[1].images.as_slice()[0], 200.0);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_epoch() {
+        let dl = DataLoader::new((0..16).map(|i| sample(i as f32)).collect(), 4, Some(42));
+        let a = dl.epoch(0);
+        let b = dl.epoch(0);
+        assert_eq!(a[0].images, b[0].images);
+        let c = dl.epoch(1);
+        assert_ne!(a[0].images, c[0].images, "epochs reshuffle");
+    }
+
+    #[test]
+    fn targets_align_with_images() {
+        let dl = DataLoader::new(vec![sample(0.0), sample(50.0)], 2, None);
+        let batch = &dl.epoch(0)[0];
+        assert_eq!(batch.targets.len(), 2 * 4);
+        assert_eq!(&batch.targets[..4], &[0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn horizontal_flip_mirrors_columns() {
+        let s = Sample {
+            image: vec![1.0, 2.0, 3.0, 4.0],
+            mask: vec![0, 1, 2, 0],
+            channels: 1,
+            height: 2,
+            width: 2,
+        };
+        let f = s.flip_horizontal();
+        assert_eq!(f.image, vec![2.0, 1.0, 4.0, 3.0]);
+        assert_eq!(f.mask, vec![1, 0, 0, 2]);
+        // Double flip is identity.
+        assert_eq!(f.flip_horizontal().image, s.image);
+    }
+
+    #[test]
+    fn vertical_flip_mirrors_rows() {
+        let s = Sample {
+            image: vec![1.0, 2.0, 3.0, 4.0],
+            mask: vec![0, 1, 2, 0],
+            channels: 1,
+            height: 2,
+            width: 2,
+        };
+        let f = s.flip_vertical();
+        assert_eq!(f.image, vec![3.0, 4.0, 1.0, 2.0]);
+        assert_eq!(f.mask, vec![2, 0, 0, 1]);
+    }
+
+    #[test]
+    fn augmentation_triples_the_data() {
+        let dl = DataLoader::new(vec![sample(0.0), sample(1.0)], 2, None);
+        let aug = dl.with_flip_augmentation();
+        assert_eq!(aug.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a shape")]
+    fn mixed_shapes_panic() {
+        let mut odd = sample(0.0);
+        odd.height = 1;
+        odd.image.truncate(6);
+        odd.mask.truncate(2);
+        let _ = DataLoader::new(vec![sample(0.0), odd], 2, None);
+    }
+}

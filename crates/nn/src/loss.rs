@@ -1,0 +1,187 @@
+//! Fused per-pixel softmax + categorical cross-entropy — the paper's
+//! multi-class segmentation loss.
+
+use crate::tensor::Tensor;
+
+/// Result of the loss computation: scalar loss plus the logits gradient.
+#[derive(Clone, Debug)]
+pub struct LossOutput {
+    /// Mean cross-entropy over all pixels.
+    pub loss: f32,
+    /// Gradient w.r.t. the logits, `[n, classes, h, w]`, already divided
+    /// by the pixel count (mean reduction).
+    pub grad: Tensor,
+    /// Per-pixel argmax class predictions, `n*h*w` long (row-major per
+    /// batch item).
+    pub predictions: Vec<u8>,
+}
+
+/// Computes softmax cross-entropy between `logits` `[n, k, h, w]` and
+/// per-pixel integer targets `targets` (`n*h*w` long, values `< k`).
+///
+/// The gradient of mean CE w.r.t. logits is `(softmax − onehot) / count`,
+/// computed in one pass with the max-subtraction trick for stability.
+///
+/// # Panics
+/// Panics on shape mismatch or out-of-range targets.
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[u8]) -> LossOutput {
+    let (n, k, h, w) = logits.nchw();
+    let pixels = n * h * w;
+    assert_eq!(targets.len(), pixels, "target count mismatch");
+    assert!(k > 0 && k <= 255, "class count out of range");
+
+    let mut grad = Tensor::zeros(logits.shape());
+    let mut predictions = vec![0u8; pixels];
+    let mut loss_sum = 0f64;
+    let data = logits.as_slice();
+    let gdata = grad.as_mut_slice();
+    let plane = h * w;
+
+    let mut probs = vec![0f32; k];
+    for b in 0..n {
+        for p in 0..plane {
+            let t = targets[b * plane + p] as usize;
+            assert!(t < k, "target class {t} out of range (k = {k})");
+            // Gather the k logits of this pixel (stride `plane` apart).
+            let base = b * k * plane + p;
+            let mut max_v = f32::NEG_INFINITY;
+            for c in 0..k {
+                max_v = max_v.max(data[base + c * plane]);
+            }
+            let mut sum = 0f32;
+            let mut argmax = 0usize;
+            let mut best = f32::NEG_INFINITY;
+            for c in 0..k {
+                let v = data[base + c * plane];
+                let e = (v - max_v).exp();
+                probs[c] = e;
+                sum += e;
+                if v > best {
+                    best = v;
+                    argmax = c;
+                }
+            }
+            let inv = 1.0 / sum;
+            for c in 0..k {
+                probs[c] *= inv;
+            }
+            loss_sum += -(probs[t].max(1e-12) as f64).ln();
+            predictions[b * plane + p] = argmax as u8;
+            let scale = 1.0 / pixels as f32;
+            for c in 0..k {
+                let indicator = if c == t { 1.0 } else { 0.0 };
+                gdata[base + c * plane] = (probs[c] - indicator) * scale;
+            }
+        }
+    }
+
+    LossOutput {
+        loss: (loss_sum / pixels as f64) as f32,
+        grad,
+        predictions,
+    }
+}
+
+/// Pixel accuracy of predictions vs targets.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn pixel_accuracy(predictions: &[u8], targets: &[u8]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    assert!(!targets.is_empty(), "empty targets");
+    let correct = predictions
+        .iter()
+        .zip(targets)
+        .filter(|(a, b)| a == b)
+        .count();
+    correct as f64 / targets.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros(&[1, 3, 2, 2]);
+        let targets = vec![0u8, 1, 2, 0];
+        let out = softmax_cross_entropy(&logits, &targets);
+        assert!((out.loss - (3f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_logits_give_small_loss() {
+        let mut logits = Tensor::zeros(&[1, 3, 1, 1]);
+        logits.as_mut_slice()[1] = 20.0; // class 1 hugely favored
+        let out = softmax_cross_entropy(&logits, &[1]);
+        assert!(out.loss < 1e-4, "loss {}", out.loss);
+        assert_eq!(out.predictions, vec![1]);
+    }
+
+    #[test]
+    fn confident_wrong_logits_give_large_loss() {
+        let mut logits = Tensor::zeros(&[1, 3, 1, 1]);
+        logits.as_mut_slice()[1] = 20.0;
+        let out = softmax_cross_entropy(&logits, &[0]);
+        assert!(out.loss > 10.0);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_pixel() {
+        // softmax − onehot sums to 0 across classes.
+        let logits = crate::init::uniform(&[2, 3, 2, 2], -2.0, 2.0, 5);
+        let targets = vec![0u8, 1, 2, 0, 1, 2, 0, 1];
+        let out = softmax_cross_entropy(&logits, &targets);
+        let (n, k, h, w) = logits.nchw();
+        let plane = h * w;
+        for b in 0..n {
+            for p in 0..plane {
+                let base = b * k * plane + p;
+                let s: f32 = (0..k).map(|c| out.grad.as_slice()[base + c * plane]).sum();
+                assert!(s.abs() < 1e-6, "per-pixel gradient sum {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = crate::init::uniform(&[1, 3, 2, 2], -1.0, 1.0, 9);
+        let targets = vec![2u8, 0, 1, 1];
+        let out = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let lp = softmax_cross_entropy(&plus, &targets).loss;
+            let lm = softmax_cross_entropy(&minus, &targets).loss;
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = out.grad.as_slice()[i];
+            assert!(
+                (fd - an).abs() < 1e-3,
+                "grad[{i}]: fd {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn stability_under_large_logits() {
+        let logits = Tensor::from_vec(&[1, 2, 1, 1], vec![1000.0, 999.0]);
+        let out = softmax_cross_entropy(&logits, &[0]);
+        assert!(out.loss.is_finite());
+        assert!(out.grad.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(pixel_accuracy(&[0, 1, 2, 2], &[0, 1, 1, 2]), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "target class")]
+    fn out_of_range_target_panics() {
+        let logits = Tensor::zeros(&[1, 2, 1, 1]);
+        let _ = softmax_cross_entropy(&logits, &[5]);
+    }
+}

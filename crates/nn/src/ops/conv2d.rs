@@ -1,0 +1,244 @@
+//! 2-D convolution via im2col + matmul, with full backward pass.
+
+use crate::ops::im2col::{col2im, im2col};
+use crate::ops::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Static geometry of a convolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Conv2dShape {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Kernel height and width (square kernels use the same value).
+    pub kernel: usize,
+    /// Stride in both axes.
+    pub stride: usize,
+    /// Symmetric zero padding ("same" for 3×3 stride-1 uses 1).
+    pub pad: usize,
+}
+
+impl Conv2dShape {
+    /// Output spatial size for an input of `h × w`.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h + 2 * self.pad - self.kernel) / self.stride + 1,
+            (w + 2 * self.pad - self.kernel) / self.stride + 1,
+        )
+    }
+}
+
+/// Forward convolution.
+///
+/// * `input` — `[n, in_c, h, w]`
+/// * `weight` — `[out_c, in_c · k · k]` (pre-flattened filter bank)
+/// * `bias` — `[out_c]`
+///
+/// Returns `[n, out_c, oh, ow]`.
+///
+/// # Panics
+/// Panics on any shape inconsistency.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, shape: &Conv2dShape) -> Tensor {
+    let (n, c, h, w) = input.nchw();
+    assert_eq!(c, shape.in_channels, "input channel mismatch");
+    assert_eq!(
+        weight.shape(),
+        &[
+            shape.out_channels,
+            shape.in_channels * shape.kernel * shape.kernel
+        ],
+        "weight shape mismatch"
+    );
+    assert_eq!(bias.shape(), &[shape.out_channels], "bias shape mismatch");
+    let (oh, ow) = shape.output_hw(h, w);
+    let mut out = Tensor::zeros(&[n, shape.out_channels, oh, ow]);
+    let item_len = shape.out_channels * oh * ow;
+
+    // Parallelize across the batch; each item lowers to one matmul.
+    out.as_mut_slice()
+        .par_chunks_exact_mut(item_len)
+        .enumerate()
+        .for_each(|(b, out_item)| {
+            let x = Tensor::from_vec(&[c, h, w], input.batch_item(b).to_vec());
+            let cols = im2col(&x, shape.kernel, shape.kernel, shape.stride, shape.pad);
+            let y = matmul(weight, &cols); // [out_c, oh*ow]
+            for oc in 0..shape.out_channels {
+                let bias_v = bias.as_slice()[oc];
+                let src = &y.as_slice()[oc * oh * ow..(oc + 1) * oh * ow];
+                let dst = &mut out_item[oc * oh * ow..(oc + 1) * oh * ow];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = s + bias_v;
+                }
+            }
+        });
+    out
+}
+
+/// Backward convolution: gradients w.r.t. input, weight, and bias.
+///
+/// * `grad_out` — `[n, out_c, oh, ow]`
+///
+/// Returns `(grad_input, grad_weight, grad_bias)` with the same shapes as
+/// the corresponding forward arguments.
+///
+/// # Panics
+/// Panics on any shape inconsistency.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    shape: &Conv2dShape,
+) -> (Tensor, Tensor, Tensor) {
+    let (n, c, h, w) = input.nchw();
+    let (gn, goc, oh, ow) = grad_out.nchw();
+    assert_eq!(n, gn, "batch mismatch");
+    assert_eq!(goc, shape.out_channels, "grad channel mismatch");
+    assert_eq!((oh, ow), shape.output_hw(h, w), "grad spatial mismatch");
+
+    // Per-batch partials, reduced afterwards (no shared mutable state).
+    let partials: Vec<(Tensor, Tensor, Tensor)> = (0..n)
+        .into_par_iter()
+        .map(|b| {
+            let x = Tensor::from_vec(&[c, h, w], input.batch_item(b).to_vec());
+            let cols = im2col(&x, shape.kernel, shape.kernel, shape.stride, shape.pad);
+            let gy = Tensor::from_vec(
+                &[shape.out_channels, oh * ow],
+                grad_out.batch_item(b).to_vec(),
+            );
+            // dW = gy · colsᵀ ; dcols = Wᵀ · gy ; db = row sums of gy.
+            let dw = matmul_a_bt(&gy, &cols);
+            let dcols = matmul_at_b(weight, &gy);
+            let dx = col2im(
+                &dcols,
+                c,
+                h,
+                w,
+                shape.kernel,
+                shape.kernel,
+                shape.stride,
+                shape.pad,
+            );
+            let mut db = Tensor::zeros(&[shape.out_channels]);
+            for oc in 0..shape.out_channels {
+                db.as_mut_slice()[oc] =
+                    gy.as_slice()[oc * oh * ow..(oc + 1) * oh * ow].iter().sum();
+            }
+            (dx, dw, db)
+        })
+        .collect();
+
+    let mut grad_input = Tensor::zeros(&[n, c, h, w]);
+    let mut grad_weight = Tensor::zeros(weight.shape());
+    let mut grad_bias = Tensor::zeros(&[shape.out_channels]);
+    let item_len = c * h * w;
+    for (b, (dx, dw, db)) in partials.into_iter().enumerate() {
+        grad_input.as_mut_slice()[b * item_len..(b + 1) * item_len]
+            .copy_from_slice(dx.as_slice());
+        grad_weight.add_assign(&dw);
+        grad_bias.add_assign(&db);
+    }
+    (grad_input, grad_weight, grad_bias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::uniform;
+
+    fn shape_3x3_same(in_c: usize, out_c: usize) -> Conv2dShape {
+        Conv2dShape {
+            in_channels: in_c,
+            out_channels: out_c,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        }
+    }
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        // A 1x1 kernel with weight 1, bias 0 is the identity.
+        let shape = Conv2dShape {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+        };
+        let input = uniform(&[2, 1, 4, 4], -1.0, 1.0, 1);
+        let weight = Tensor::full(&[1, 1], 1.0);
+        let bias = Tensor::zeros(&[1]);
+        let out = conv2d(&input, &weight, &bias, &shape);
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn bias_shifts_output() {
+        let shape = shape_3x3_same(1, 2);
+        let input = Tensor::zeros(&[1, 1, 4, 4]);
+        let weight = Tensor::zeros(&[2, 9]);
+        let bias = Tensor::from_vec(&[2], vec![1.5, -2.0]);
+        let out = conv2d(&input, &weight, &bias, &shape);
+        assert!(out.batch_item(0)[..16].iter().all(|&v| v == 1.5));
+        assert!(out.batch_item(0)[16..].iter().all(|&v| v == -2.0));
+    }
+
+    #[test]
+    fn box_kernel_averages_neighbourhood() {
+        let shape = shape_3x3_same(1, 1);
+        let mut input = Tensor::zeros(&[1, 1, 3, 3]);
+        *input.at4_mut(0, 0, 1, 1) = 9.0;
+        let weight = Tensor::full(&[1, 9], 1.0 / 9.0);
+        let bias = Tensor::zeros(&[1]);
+        let out = conv2d(&input, &weight, &bias, &shape);
+        // Every position's 3x3 window contains the single 9 → 1 everywhere.
+        for &v in out.as_slice() {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn output_shape_follows_geometry() {
+        let shape = Conv2dShape {
+            in_channels: 3,
+            out_channels: 8,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let input = Tensor::zeros(&[2, 3, 16, 16]);
+        let weight = Tensor::zeros(&[8, 27]);
+        let bias = Tensor::zeros(&[8]);
+        let out = conv2d(&input, &weight, &bias, &shape);
+        assert_eq!(out.shape(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn backward_shapes_match_forward_args() {
+        let shape = shape_3x3_same(2, 4);
+        let input = uniform(&[2, 2, 6, 6], -1.0, 1.0, 3);
+        let weight = uniform(&[4, 18], -0.5, 0.5, 4);
+        let bias = Tensor::zeros(&[4]);
+        let out = conv2d(&input, &weight, &bias, &shape);
+        let grad = Tensor::full(out.shape(), 1.0);
+        let (dx, dw, db) = conv2d_backward(&input, &weight, &grad, &shape);
+        assert_eq!(dx.shape(), input.shape());
+        assert_eq!(dw.shape(), weight.shape());
+        assert_eq!(db.shape(), bias.shape());
+    }
+
+    #[test]
+    fn bias_gradient_is_output_count() {
+        // With grad_out = 1 everywhere, db[oc] = n*oh*ow.
+        let shape = shape_3x3_same(1, 2);
+        let input = uniform(&[3, 1, 5, 5], -1.0, 1.0, 5);
+        let weight = uniform(&[2, 9], -0.5, 0.5, 6);
+        let grad = Tensor::full(&[3, 2, 5, 5], 1.0);
+        let (_, _, db) = conv2d_backward(&input, &weight, &grad, &shape);
+        for &v in db.as_slice() {
+            assert!((v - 75.0).abs() < 1e-3);
+        }
+    }
+}

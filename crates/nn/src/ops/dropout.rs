@@ -1,0 +1,109 @@
+//! Inverted dropout (the paper regularizes its U-Net with dropout rates
+//! of 0.1–0.3 between convolutional layers).
+
+use crate::tensor::Tensor;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Forward inverted dropout: zeroes each element with probability `p` and
+/// scales survivors by `1/(1-p)`, so the expected activation is
+/// unchanged. Returns the output and the keep mask (needed for backward).
+///
+/// `p = 0` returns the input unchanged with an all-ones mask.
+///
+/// # Panics
+/// Panics unless `0 ≤ p < 1`.
+pub fn dropout(x: &Tensor, p: f32, seed: u64) -> (Tensor, Vec<bool>) {
+    assert!((0.0..1.0).contains(&p), "dropout rate must be in [0, 1)");
+    if p == 0.0 {
+        return (x.clone(), vec![true; x.len()]);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let scale = 1.0 / (1.0 - p);
+    let mut mask = vec![false; x.len()];
+    let data = x
+        .as_slice()
+        .iter()
+        .zip(mask.iter_mut())
+        .map(|(&v, keep)| {
+            *keep = rng.random::<f32>() >= p;
+            if *keep {
+                v * scale
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    (Tensor::from_vec(x.shape(), data), mask)
+}
+
+/// Backward dropout: gradients pass only through kept elements, scaled by
+/// the same `1/(1-p)`.
+///
+/// # Panics
+/// Panics on mask/gradient length mismatch or invalid `p`.
+pub fn dropout_backward(grad_out: &Tensor, mask: &[bool], p: f32) -> Tensor {
+    assert!((0.0..1.0).contains(&p), "dropout rate must be in [0, 1)");
+    assert_eq!(grad_out.len(), mask.len(), "dropout mask length mismatch");
+    let scale = 1.0 / (1.0 - p);
+    let data = grad_out
+        .as_slice()
+        .iter()
+        .zip(mask)
+        .map(|(&g, &keep)| if keep { g * scale } else { 0.0 })
+        .collect();
+    Tensor::from_vec(grad_out.shape(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let x = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let (y, mask) = dropout(&x, 0.0, 1);
+        assert_eq!(y, x);
+        assert!(mask.iter().all(|&k| k));
+    }
+
+    #[test]
+    fn expected_value_is_preserved() {
+        let x = Tensor::full(&[10_000], 1.0);
+        let (y, _) = dropout(&x, 0.3, 42);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "dropout mean {mean}");
+    }
+
+    #[test]
+    fn dropped_fraction_tracks_rate() {
+        let x = Tensor::full(&[10_000], 1.0);
+        let (_, mask) = dropout(&x, 0.25, 7);
+        let kept = mask.iter().filter(|&&k| k).count() as f64 / mask.len() as f64;
+        assert!((kept - 0.75).abs() < 0.03, "kept fraction {kept}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let x = Tensor::full(&[100], 1.0);
+        let (a, ma) = dropout(&x, 0.5, 9);
+        let (b, mb) = dropout(&x, 0.5, 9);
+        assert_eq!(a, b);
+        assert_eq!(ma, mb);
+    }
+
+    #[test]
+    fn backward_respects_mask_and_scale() {
+        let x = Tensor::full(&[8], 1.0);
+        let (y, mask) = dropout(&x, 0.5, 3);
+        let g = Tensor::full(&[8], 1.0);
+        let gx = dropout_backward(&g, &mask, 0.5);
+        // Gradient is nonzero exactly where the forward output is nonzero.
+        for (gy, gv) in y.as_slice().iter().zip(gx.as_slice()) {
+            assert_eq!(*gy != 0.0, *gv != 0.0);
+            if *gv != 0.0 {
+                assert!((gv - 2.0).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Differentiable tensor operations. Every op has a forward and a
+//! backward implementation, verified against finite differences in the
+//! crate's `tests/gradcheck.rs`.
+
+pub mod activation;
+pub mod concat;
+pub mod conv2d;
+pub mod convtranspose;
+pub mod dropout;
+pub mod im2col;
+pub mod matmul;
+pub mod pool;
+pub mod upsample;
+
+pub use activation::{relu, relu_backward, sigmoid};
+pub use concat::{concat_channels, concat_channels_backward};
+pub use conv2d::{conv2d, conv2d_backward, Conv2dShape};
+pub use convtranspose::{conv_transpose2d, conv_transpose2d_backward, ConvTranspose2dShape};
+pub use dropout::{dropout, dropout_backward};
+pub use im2col::{col2im, im2col};
+pub use matmul::{matmul, matmul_at_b, matmul_a_bt};
+pub use pool::{maxpool2x2, maxpool2x2_backward};
+pub use upsample::{upsample2x, upsample2x_backward};

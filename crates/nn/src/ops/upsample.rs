@@ -1,0 +1,115 @@
+//! 2× nearest-neighbour upsampling (the paper's expansion-path
+//! "up-sampling of the feature map" step).
+
+use crate::tensor::Tensor;
+
+/// Forward 2× nearest-neighbour upsample: each input pixel becomes a 2×2
+/// block.
+///
+/// # Panics
+/// Panics unless the input is 4-D.
+pub fn upsample2x(input: &Tensor) -> Tensor {
+    let (n, c, h, w) = input.nchw();
+    let mut out = Tensor::zeros(&[n, c, h * 2, w * 2]);
+    let src = input.as_slice();
+    let (oh, ow) = (h * 2, w * 2);
+    let dst = out.as_mut_slice();
+    for b in 0..n {
+        for ch in 0..c {
+            let sbase = (b * c + ch) * h * w;
+            let dbase = (b * c + ch) * oh * ow;
+            for y in 0..oh {
+                let sy = y / 2;
+                for x in 0..ow {
+                    dst[dbase + y * ow + x] = src[sbase + sy * w + x / 2];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward 2× upsample: each input position accumulates the gradients of
+/// its 2×2 output block (the adjoint of replication).
+///
+/// # Panics
+/// Panics unless `grad_out` is 4-D with even spatial dimensions.
+pub fn upsample2x_backward(grad_out: &Tensor) -> Tensor {
+    let (n, c, oh, ow) = grad_out.nchw();
+    assert!(oh % 2 == 0 && ow % 2 == 0, "upsample grad must be even-sized");
+    let (h, w) = (oh / 2, ow / 2);
+    let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+    let src = grad_out.as_slice();
+    let dst = grad_in.as_mut_slice();
+    for b in 0..n {
+        for ch in 0..c {
+            let dbase = (b * c + ch) * h * w;
+            let sbase = (b * c + ch) * oh * ow;
+            for y in 0..oh {
+                for x in 0..ow {
+                    dst[dbase + (y / 2) * w + x / 2] += src[sbase + y * ow + x];
+                }
+            }
+        }
+    }
+    grad_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsample_replicates_blocks() {
+        let input = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let out = upsample2x(&input);
+        assert_eq!(out.shape(), &[1, 1, 4, 4]);
+        assert_eq!(
+            out.as_slice(),
+            &[
+                1.0, 1.0, 2.0, 2.0, //
+                1.0, 1.0, 2.0, 2.0, //
+                3.0, 3.0, 4.0, 4.0, //
+                3.0, 3.0, 4.0, 4.0,
+            ]
+        );
+    }
+
+    #[test]
+    fn backward_sums_blocks() {
+        let grad = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let gi = upsample2x_backward(&grad);
+        assert_eq!(gi.shape(), &[1, 1, 1, 1]);
+        assert_eq!(gi.as_slice(), &[10.0]);
+    }
+
+    #[test]
+    fn up_then_down_is_times_four() {
+        let input = Tensor::from_vec(&[1, 2, 2, 2], (1..=8).map(|v| v as f32).collect());
+        let down = upsample2x_backward(&upsample2x(&input));
+        for (a, b) in down.as_slice().iter().zip(input.as_slice()) {
+            assert!((a - 4.0 * b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn adjoint_property() {
+        let x = crate::init::uniform(&[1, 2, 3, 3], -1.0, 1.0, 1);
+        let up = upsample2x(&x);
+        let y = crate::init::uniform(up.shape(), -1.0, 1.0, 2);
+        let lhs: f64 = up
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(&a, &b)| (a * b) as f64)
+            .sum();
+        let back = upsample2x_backward(&y);
+        let rhs: f64 = x
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(&a, &b)| (a * b) as f64)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,244 @@
+//! Finite-difference gradient checks for every differentiable op and for
+//! a small composed network — the ground truth that the hand-written
+//! backward passes are correct.
+
+use seaice_nn::init::uniform;
+use seaice_nn::layers::{Conv2d, Layer, MaxPool2x2, Relu, Upsample2x};
+use seaice_nn::loss::softmax_cross_entropy;
+use seaice_nn::ops::conv2d::Conv2dShape;
+use seaice_nn::ops::{concat_channels, concat_channels_backward};
+use seaice_nn::Tensor;
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+/// Central finite difference of `f` w.r.t. element `i` of `x`.
+fn fd(x: &Tensor, i: usize, f: &mut dyn FnMut(&Tensor) -> f32) -> f32 {
+    let mut plus = x.clone();
+    plus.as_mut_slice()[i] += EPS;
+    let mut minus = x.clone();
+    minus.as_mut_slice()[i] -= EPS;
+    (f(&plus) - f(&minus)) / (2.0 * EPS)
+}
+
+/// Checks `analytic` against finite differences of `f` for a subset of
+/// elements (stride keeps runtime sane on bigger tensors).
+fn check_grad(
+    x: &Tensor,
+    analytic: &Tensor,
+    stride: usize,
+    f: &mut dyn FnMut(&Tensor) -> f32,
+    what: &str,
+) {
+    assert_eq!(x.shape(), analytic.shape());
+    for i in (0..x.len()).step_by(stride.max(1)) {
+        let numeric = fd(x, i, f);
+        let a = analytic.as_slice()[i];
+        assert!(
+            (numeric - a).abs() < TOL * (1.0 + numeric.abs().max(a.abs())),
+            "{what}: grad[{i}] numeric {numeric} vs analytic {a}"
+        );
+    }
+}
+
+/// Loss functional used by all checks: softmax-CE of the tensor against
+/// fixed targets, after an optional preceding computation.
+fn ce_loss(logits: &Tensor, targets: &[u8]) -> f32 {
+    softmax_cross_entropy(logits, targets).loss
+}
+
+#[test]
+fn conv2d_input_gradient() {
+    let shape = Conv2dShape {
+        in_channels: 2,
+        out_channels: 3,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let mut conv = Conv2d::new(shape, 1);
+    let x = uniform(&[1, 2, 4, 4], -1.0, 1.0, 2);
+    let targets: Vec<u8> = (0..16).map(|i| (i % 3) as u8).collect();
+
+    let y = conv.forward(&x, true);
+    let lo = softmax_cross_entropy(&y, &targets);
+    let dx = conv.backward(&lo.grad);
+
+    let mut f = |xt: &Tensor| {
+        let mut c = Conv2d::new(shape, 1); // same seed → same weights
+        let y = c.forward(xt, true);
+        ce_loss(&y, &targets)
+    };
+    check_grad(&x, &dx, 3, &mut f, "conv2d input");
+}
+
+#[test]
+fn conv2d_weight_gradient() {
+    let shape = Conv2dShape {
+        in_channels: 1,
+        out_channels: 3,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let x = uniform(&[1, 1, 4, 4], -1.0, 1.0, 3);
+    let w0 = uniform(&[3, 9], -0.5, 0.5, 4);
+    let b0 = uniform(&[3], -0.1, 0.1, 5);
+    let targets: Vec<u8> = (0..16).map(|i| (i % 3) as u8).collect();
+
+    let y = seaice_nn::ops::conv2d(&x, &w0, &b0, &shape);
+    let lo = softmax_cross_entropy(&y, &targets);
+    let (_, dw, db) = seaice_nn::ops::conv2d_backward(&x, &w0, &lo.grad, &shape);
+
+    let mut fw = |wt: &Tensor| {
+        let y = seaice_nn::ops::conv2d(&x, wt, &b0, &shape);
+        ce_loss(&y, &targets)
+    };
+    check_grad(&w0, &dw, 2, &mut fw, "conv2d weight");
+
+    let mut fb = |bt: &Tensor| {
+        let y = seaice_nn::ops::conv2d(&x, &w0, bt, &shape);
+        ce_loss(&y, &targets)
+    };
+    check_grad(&b0, &db, 1, &mut fb, "conv2d bias");
+}
+
+#[test]
+fn conv_transpose2d_gradients() {
+    use seaice_nn::ops::convtranspose::{
+        conv_transpose2d, conv_transpose2d_backward, ConvTranspose2dShape,
+    };
+    let shape = ConvTranspose2dShape::unet_upconv(2, 3);
+    let x = uniform(&[1, 2, 2, 2], -1.0, 1.0, 31);
+    let w0 = uniform(&[2, 3 * 4], -0.5, 0.5, 32);
+    let b0 = uniform(&[3], -0.1, 0.1, 33);
+    let targets: Vec<u8> = (0..16).map(|i| (i % 3) as u8).collect();
+
+    let y = conv_transpose2d(&x, &w0, &b0, &shape);
+    let lo = softmax_cross_entropy(&y, &targets);
+    let (dx, dw, db) = conv_transpose2d_backward(&x, &w0, &lo.grad, &shape);
+
+    let mut fx = |xt: &Tensor| ce_loss(&conv_transpose2d(xt, &w0, &b0, &shape), &targets);
+    check_grad(&x, &dx, 1, &mut fx, "conv_transpose2d input");
+    let mut fw = |wt: &Tensor| ce_loss(&conv_transpose2d(&x, wt, &b0, &shape), &targets);
+    check_grad(&w0, &dw, 2, &mut fw, "conv_transpose2d weight");
+    let mut fb = |bt: &Tensor| ce_loss(&conv_transpose2d(&x, &w0, bt, &shape), &targets);
+    check_grad(&b0, &db, 1, &mut fb, "conv_transpose2d bias");
+}
+
+#[test]
+fn maxpool_gradient() {
+    // Use inputs with distinct values so the argmax is FD-stable.
+    let x = Tensor::from_vec(
+        &[1, 3, 4, 4],
+        (0..48).map(|i| ((i * 37) % 101) as f32 / 10.0).collect(),
+    );
+    let targets: Vec<u8> = (0..4).map(|i| (i % 3) as u8).collect();
+    let mut pool = MaxPool2x2::default();
+    let y = pool.forward(&x, true);
+    let lo = softmax_cross_entropy(&y, &targets);
+    let dx = pool.backward(&lo.grad);
+
+    let mut f = |xt: &Tensor| {
+        let mut p = MaxPool2x2::default();
+        let y = p.forward(xt, true);
+        ce_loss(&y, &targets)
+    };
+    check_grad(&x, &dx, 1, &mut f, "maxpool");
+}
+
+#[test]
+fn relu_gradient() {
+    // Keep values away from the kink at 0 for finite-difference validity.
+    let x = uniform(&[1, 3, 2, 2], -1.0, 1.0, 7).map(|v| if v.abs() < 0.1 { v + 0.2 } else { v });
+    let targets = vec![0u8, 1, 2, 0];
+    let mut relu = Relu::default();
+    let y = relu.forward(&x, true);
+    let lo = softmax_cross_entropy(&y, &targets);
+    let dx = relu.backward(&lo.grad);
+
+    let mut f = |xt: &Tensor| {
+        let mut r = Relu::default();
+        let y = r.forward(xt, true);
+        ce_loss(&y, &targets)
+    };
+    check_grad(&x, &dx, 1, &mut f, "relu");
+}
+
+#[test]
+fn upsample_gradient() {
+    let x = uniform(&[1, 3, 2, 2], -1.0, 1.0, 8);
+    let targets: Vec<u8> = (0..16).map(|i| (i % 3) as u8).collect();
+    let mut up = Upsample2x;
+    let y = up.forward(&x, true);
+    let lo = softmax_cross_entropy(&y, &targets);
+    let dx = up.backward(&lo.grad);
+
+    let mut f = |xt: &Tensor| {
+        let mut u = Upsample2x;
+        let y = u.forward(xt, true);
+        ce_loss(&y, &targets)
+    };
+    check_grad(&x, &dx, 1, &mut f, "upsample");
+}
+
+#[test]
+fn concat_gradient() {
+    let a = uniform(&[1, 2, 2, 2], -1.0, 1.0, 9);
+    let b = uniform(&[1, 1, 2, 2], -1.0, 1.0, 10);
+    let targets = vec![0u8, 1, 2, 0];
+    let y = concat_channels(&a, &b);
+    let lo = softmax_cross_entropy(&y, &targets);
+    let (da, db) = concat_channels_backward(&lo.grad, 2, 1);
+
+    let mut fa = |at: &Tensor| ce_loss(&concat_channels(at, &b), &targets);
+    check_grad(&a, &da, 1, &mut fa, "concat lhs");
+    let mut fb = |bt: &Tensor| ce_loss(&concat_channels(&a, bt), &targets);
+    check_grad(&b, &db, 1, &mut fb, "concat rhs");
+}
+
+#[test]
+fn composed_network_gradient() {
+    // conv → relu → pool → upsample → conv: exercises caching and chained
+    // backward passes together, end to end.
+    let s1 = Conv2dShape {
+        in_channels: 1,
+        out_channels: 4,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let s2 = Conv2dShape {
+        in_channels: 4,
+        out_channels: 3,
+        kernel: 1,
+        stride: 1,
+        pad: 0,
+    };
+    let x = uniform(&[1, 1, 4, 4], -1.0, 1.0, 11);
+    let targets: Vec<u8> = (0..16).map(|i| (i % 3) as u8).collect();
+
+    let run = |xt: &Tensor| -> (f32, Tensor) {
+        let mut c1 = Conv2d::new(s1, 20);
+        let mut r = Relu::default();
+        let mut p = MaxPool2x2::default();
+        let mut u = Upsample2x;
+        let mut c2 = Conv2d::new(s2, 21);
+        let h1 = c1.forward(xt, true);
+        let h2 = r.forward(&h1, true);
+        let h3 = p.forward(&h2, true);
+        let h4 = u.forward(&h3, true);
+        let y = c2.forward(&h4, true);
+        let lo = softmax_cross_entropy(&y, &targets);
+        let g4 = c2.backward(&lo.grad);
+        let g3 = u.backward(&g4);
+        let g2 = p.backward(&g3);
+        let g1 = r.backward(&g2);
+        let dx = c1.backward(&g1);
+        (lo.loss, dx)
+    };
+
+    let (_, dx) = run(&x);
+    let mut f = |xt: &Tensor| run(xt).0;
+    check_grad(&x, &dx, 2, &mut f, "composed network");
+}

@@ -1,0 +1,36 @@
+//! Sea-ice class indices shared across the workflow.
+//!
+//! The paper classifies three surface types (following the WMO ice-chart
+//! nomenclature it cites): thick / snow-covered ice, thin / young ice, and
+//! open water. Ground-truth masks produced by [`crate::synth`] and label
+//! masks produced by `seaice-label` both use these `u8` indices; an
+//! integration test in the root crate pins the correspondence.
+
+/// Class index for thick / snow-covered ice (rendered red in label images).
+pub const THICK_ICE: u8 = 0;
+
+/// Class index for thin / young ice (rendered blue in label images).
+pub const THIN_ICE: u8 = 1;
+
+/// Class index for open water / leads (rendered green in label images).
+pub const OPEN_WATER: u8 = 2;
+
+/// Number of surface classes.
+pub const NUM_CLASSES: usize = 3;
+
+/// Human-readable class names, indexed by class id.
+pub const CLASS_NAMES: [&str; NUM_CLASSES] = ["thick ice", "thin ice", "open water"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense() {
+        assert_eq!(THICK_ICE, 0);
+        assert_eq!(THIN_ICE, 1);
+        assert_eq!(OPEN_WATER, 2);
+        assert_eq!(NUM_CLASSES, 3);
+        assert_eq!(CLASS_NAMES.len(), NUM_CLASSES);
+    }
+}

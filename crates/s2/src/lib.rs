@@ -1,0 +1,58 @@
+//! # seaice-s2
+//!
+//! A synthetic Sentinel-2 substrate: the paper collects 66 large optical
+//! scenes (RGB bands B04/B03/B02 at 10 m) of the Antarctic Ross Sea from
+//! Google Earth Engine and splits them into 4224 tiles of 256×256 pixels.
+//! Real S2 granules and GEE are not available here, so this crate generates
+//! *procedural polar scenes* whose per-class HSV statistics match the
+//! thresholds the paper's auto-labeler encodes:
+//!
+//! * thick / snow-covered ice — bright, near-achromatic (`V ≥ 205`),
+//! * thin / young ice — mid grey-blue (`31 ≤ V ≤ 204`),
+//! * open water / leads — dark (`V ≤ 30`),
+//!
+//! plus a thin-cloud and cloud-shadow overlay. Because the generator knows
+//! the true class of every pixel, exact ground truth ("manual labels") comes
+//! for free, which is exactly the role manual labels play in the paper's
+//! evaluation.
+//!
+//! The crate exposes:
+//!
+//! * [`noise`] — deterministic value-noise / fBm fields,
+//! * [`synth`] — the scene generator (ice field, floes, leads, rendering),
+//! * [`clouds`] — thin-cloud and shadow overlays with known alpha masks,
+//! * [`geo`] — spatial/temporal extents and scene metadata,
+//! * [`catalog`] — a Google-Earth-Engine-like query interface,
+//! * [`tiler`] — scene → 256×256 tile splitting with per-tile cloud stats,
+//! * [`dataset`] — train/validation splits and manual-label emulation.
+
+//! ```
+//! use seaice_s2::catalog::{Catalog, CatalogQuery};
+//! use seaice_s2::synth::SceneConfig;
+//!
+//! let catalog = Catalog::new(2019).with_scene_config(SceneConfig::tiny(64));
+//! let scenes = catalog.query(&CatalogQuery { limit: 3, ..CatalogQuery::paper() });
+//! assert_eq!(scenes.len(), 3);
+//! let (scene, clouds) = catalog.generate(&scenes[0]);
+//! let degraded = clouds.apply(&scene.rgb);
+//! assert_eq!(degraded.dimensions(), scene.truth.dimensions());
+//! ```
+
+pub mod catalog;
+pub mod classes;
+pub mod clouds;
+pub mod dataset;
+pub mod geo;
+pub mod manifest;
+pub mod noise;
+pub mod synth;
+pub mod tiler;
+
+pub use catalog::{Catalog, CatalogQuery};
+pub use classes::{CLASS_NAMES, NUM_CLASSES, OPEN_WATER, THICK_ICE, THIN_ICE};
+pub use clouds::{CloudConfig, CloudLayer};
+pub use dataset::{Dataset, DatasetConfig, SplitKind};
+pub use geo::{GeoExtent, SceneId, SceneMeta, TimeRange};
+pub use manifest::Manifest;
+pub use synth::{Scene, SceneConfig};
+pub use tiler::{stitch_tiles, tile_scene, Tile};

@@ -1,0 +1,221 @@
+//! Scene → tile splitting and tile → scene stitching.
+//!
+//! The paper splits its 66 large scenes (2048×2048 px) into 4224 tiles of
+//! 256×256 px for labeling and model training, and the inference workflow
+//! (Fig. 9) re-assembles per-tile predictions into a full-scene map.
+
+use crate::geo::SceneId;
+use seaice_imgproc::buffer::Image;
+
+/// One model-sized tile cut from a scene, with its provenance and the true
+/// cloud/shadow contamination statistics used by the Table V buckets.
+#[derive(Clone, Debug)]
+pub struct Tile {
+    /// Scene the tile came from.
+    pub scene_id: SceneId,
+    /// Tile-grid column offset in pixels within the scene.
+    pub x0: usize,
+    /// Tile-grid row offset in pixels within the scene.
+    pub y0: usize,
+    /// The "as-acquired" RGB pixels (degraded by cloud/shadow if the
+    /// acquisition was cloudy).
+    pub rgb: Image<u8>,
+    /// Pristine RGB pixels before the cloud overlay, when retained.
+    pub clean_rgb: Option<Image<u8>>,
+    /// Ground-truth class mask (the manual-label stand-in).
+    pub truth: Image<u8>,
+    /// Fraction of tile pixels visibly affected by cloud or shadow.
+    pub cloud_fraction: f64,
+}
+
+impl Tile {
+    /// Tile side length (tiles are square).
+    pub fn size(&self) -> usize {
+        self.rgb.width()
+    }
+
+    /// True when the tile belongs to the paper's "more than about 10%
+    /// cloud and shadow cover" bucket (Table V).
+    pub fn is_cloudy(&self) -> bool {
+        self.cloud_fraction > 0.10
+    }
+}
+
+/// Splits a scene into non-overlapping `tile_size`² tiles (partial edge
+/// tiles are dropped, as the paper's 2048/256 grid divides evenly).
+///
+/// `contamination` is the per-pixel cloud/shadow density from the cloud
+/// layer; pass `None` for a clear acquisition.
+///
+/// # Panics
+/// Panics if shapes mismatch or `tile_size == 0`.
+pub fn tile_scene(
+    scene_id: SceneId,
+    rgb: &Image<u8>,
+    clean_rgb: Option<&Image<u8>>,
+    truth: &Image<u8>,
+    contamination: Option<&Image<f32>>,
+    tile_size: usize,
+) -> Vec<Tile> {
+    assert!(tile_size > 0, "tile size must be positive");
+    assert_eq!(rgb.dimensions(), truth.dimensions(), "rgb/truth size mismatch");
+    if let Some(c) = contamination {
+        assert_eq!(rgb.dimensions(), c.dimensions(), "contamination size mismatch");
+    }
+    if let Some(c) = clean_rgb {
+        assert_eq!(rgb.dimensions(), c.dimensions(), "clean rgb size mismatch");
+    }
+
+    let (w, h) = rgb.dimensions();
+    let cols = w / tile_size;
+    let rows = h / tile_size;
+    let mut out = Vec::with_capacity(cols * rows);
+    for ty in 0..rows {
+        for tx in 0..cols {
+            let (x0, y0) = (tx * tile_size, ty * tile_size);
+            let cloud_fraction = contamination
+                .map(|c| {
+                    let patch = c.crop(x0, y0, tile_size, tile_size);
+                    let n = patch.as_slice().len().max(1);
+                    patch.as_slice().iter().filter(|&&v| v > 0.05).count() as f64 / n as f64
+                })
+                .unwrap_or(0.0);
+            out.push(Tile {
+                scene_id,
+                x0,
+                y0,
+                rgb: rgb.crop(x0, y0, tile_size, tile_size),
+                clean_rgb: clean_rgb.map(|c| c.crop(x0, y0, tile_size, tile_size)),
+                truth: truth.crop(x0, y0, tile_size, tile_size),
+                cloud_fraction,
+            });
+        }
+    }
+    out
+}
+
+/// Re-assembles per-tile images into a scene-sized canvas (Fig. 9's
+/// prediction stitching). Tiles outside the canvas are rejected.
+///
+/// # Panics
+/// Panics if a tile does not fit inside `(width, height)` or channel
+/// counts disagree.
+pub fn stitch_tiles(
+    tiles: &[(usize, usize, Image<u8>)],
+    width: usize,
+    height: usize,
+    channels: usize,
+) -> Image<u8> {
+    let mut canvas = Image::<u8>::new(width, height, channels);
+    for (x0, y0, img) in tiles {
+        canvas.paste(img, *x0, *y0);
+    }
+    canvas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clouds::{self, CloudConfig};
+    use crate::synth::{generate, SceneConfig};
+
+    fn make_scene(side: usize) -> crate::synth::Scene {
+        generate(&SceneConfig::tiny(side), 17)
+    }
+
+    #[test]
+    fn tiling_covers_scene_exactly() {
+        let scene = make_scene(64);
+        let tiles = tile_scene(SceneId(1), &scene.rgb, None, &scene.truth, None, 16);
+        assert_eq!(tiles.len(), 16);
+        // Re-stitching the tiles reproduces the scene bit-for-bit.
+        let pieces: Vec<_> = tiles.iter().map(|t| (t.x0, t.y0, t.rgb.clone())).collect();
+        let stitched = stitch_tiles(&pieces, 64, 64, 3);
+        assert_eq!(stitched, scene.rgb);
+    }
+
+    #[test]
+    fn truth_tiles_align_with_rgb_tiles() {
+        let scene = make_scene(32);
+        let tiles = tile_scene(SceneId(2), &scene.rgb, None, &scene.truth, None, 16);
+        for t in &tiles {
+            assert_eq!(t.truth.get(0, 0), scene.truth.get(t.x0, t.y0));
+            assert_eq!(t.rgb.pixel(5, 7), scene.rgb.pixel(t.x0 + 5, t.y0 + 7));
+        }
+    }
+
+    #[test]
+    fn partial_edges_are_dropped() {
+        let scene = make_scene(40);
+        let tiles = tile_scene(SceneId(3), &scene.rgb, None, &scene.truth, None, 16);
+        assert_eq!(tiles.len(), 4); // 40/16 = 2 per axis
+    }
+
+    #[test]
+    fn paper_grid_yields_64_tiles_per_scene() {
+        // 2048 / 256 = 8 per axis → 64 tiles; 66 scenes → 4224 tiles.
+        let cols = 2048 / 256;
+        assert_eq!(cols * cols, 64);
+        assert_eq!(64 * 66, 4224);
+    }
+
+    #[test]
+    fn cloud_fraction_reflects_contamination() {
+        let scene = make_scene(64);
+        let layer = clouds::generate(
+            &CloudConfig {
+                coverage: 0.5,
+                ..CloudConfig::tiny(64)
+            },
+            3,
+            64,
+            64,
+        );
+        let contamination = layer.contamination();
+        let tiles = tile_scene(
+            SceneId(4),
+            &scene.rgb,
+            None,
+            &scene.truth,
+            Some(&contamination),
+            16,
+        );
+        let mean: f64 =
+            tiles.iter().map(|t| t.cloud_fraction).sum::<f64>() / tiles.len() as f64;
+        assert!(mean > 0.0, "contaminated scene must have cloudy tiles");
+        assert!(tiles.iter().all(|t| (0.0..=1.0).contains(&t.cloud_fraction)));
+        // The scene-level coverage must equal the tile-average coverage.
+        assert!((mean - layer.coverage_fraction()).abs() < 0.02);
+    }
+
+    #[test]
+    fn clean_rgb_is_preserved_when_requested() {
+        let scene = make_scene(32);
+        let layer = clouds::generate(&CloudConfig::tiny(32), 5, 32, 32);
+        let cloudy = layer.apply(&scene.rgb);
+        let tiles = tile_scene(
+            SceneId(5),
+            &cloudy,
+            Some(&scene.rgb),
+            &scene.truth,
+            None,
+            16,
+        );
+        for t in &tiles {
+            let clean = t.clean_rgb.as_ref().expect("clean kept");
+            assert_eq!(clean.pixel(3, 3), scene.rgb.pixel(t.x0 + 3, t.y0 + 3));
+        }
+    }
+
+    #[test]
+    fn is_cloudy_uses_ten_percent_bucket() {
+        let scene = make_scene(16);
+        let mut t = tile_scene(SceneId(6), &scene.rgb, None, &scene.truth, None, 16)
+            .pop()
+            .unwrap();
+        t.cloud_fraction = 0.05;
+        assert!(!t.is_cloudy());
+        t.cloud_fraction = 0.15;
+        assert!(t.is_cloudy());
+    }
+}

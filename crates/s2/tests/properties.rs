@@ -1,0 +1,80 @@
+//! Property-based tests for the synthetic Sentinel-2 substrate.
+
+use proptest::prelude::*;
+use seaice_s2::clouds::{self, CloudConfig};
+use seaice_s2::geo::{GeoExtent, SceneId};
+use seaice_s2::synth::{class_fractions, generate, SceneConfig};
+use seaice_s2::tiler::{stitch_tiles, tile_scene};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn scenes_are_deterministic_and_class_valid(seed: u64, side in 8usize..48) {
+        let cfg = SceneConfig::tiny(side);
+        let a = generate(&cfg, seed);
+        let b = generate(&cfg, seed);
+        prop_assert_eq!(&a.rgb, &b.rgb);
+        prop_assert!(a.truth.as_slice().iter().all(|&c| c < 3));
+        let (t, n, w) = class_fractions(&a.truth);
+        prop_assert!((t + n + w - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn illumination_darkens_monotonically(seed: u64) {
+        let bright = generate(&SceneConfig { illumination: 1.0, ..SceneConfig::tiny(24) }, seed);
+        let dark = generate(&SceneConfig { illumination: 0.5, ..SceneConfig::tiny(24) }, seed);
+        // Same truth, darker pixels.
+        prop_assert_eq!(&bright.truth, &dark.truth);
+        for (b, d) in bright.rgb.as_slice().iter().zip(dark.rgb.as_slice()) {
+            prop_assert!(d <= b, "darker scene must be dimmer everywhere");
+        }
+    }
+
+    #[test]
+    fn tiling_roundtrip_is_exact(seed: u64, tiles_per_axis in 1usize..4) {
+        let tile = 8usize;
+        let side = tile * tiles_per_axis;
+        let scene = generate(&SceneConfig::tiny(side), seed);
+        let ts = tile_scene(SceneId(1), &scene.rgb, None, &scene.truth, None, tile);
+        prop_assert_eq!(ts.len(), tiles_per_axis * tiles_per_axis);
+        let rgb_pieces: Vec<_> = ts.iter().map(|t| (t.x0, t.y0, t.rgb.clone())).collect();
+        prop_assert_eq!(stitch_tiles(&rgb_pieces, side, side, 3), scene.rgb);
+        let truth_pieces: Vec<_> = ts.iter().map(|t| (t.x0, t.y0, t.truth.clone())).collect();
+        prop_assert_eq!(stitch_tiles(&truth_pieces, side, side, 1), scene.truth);
+    }
+
+    #[test]
+    fn cloud_layer_brightens_dark_darkens_bright(seed: u64, coverage in 0.1f64..0.6) {
+        let side = 32;
+        let layer = clouds::generate(
+            &CloudConfig { coverage, ..CloudConfig::tiny(side) },
+            seed,
+            side,
+            side,
+        );
+        // Black input can only brighten; white can only darken.
+        let black = seaice_imgproc::buffer::Image::<u8>::new(side, side, 3);
+        let out = layer.apply(&black);
+        prop_assert!(out.as_slice().iter().all(|&v| v >= 0));
+        let mut white = seaice_imgproc::buffer::Image::<u8>::new(side, side, 3);
+        white.fill(&[255, 255, 255]);
+        let out = layer.apply(&white);
+        prop_assert!(out.as_slice().iter().all(|&v| v <= 255));
+        // Coverage statistic stays in range.
+        prop_assert!((0.0..=1.0).contains(&layer.coverage_fraction()));
+    }
+
+    #[test]
+    fn extent_intersection_is_symmetric(
+        a1 in -90.0f64..90.0, a2 in -90.0f64..90.0,
+        b1 in -90.0f64..90.0, b2 in -90.0f64..90.0,
+        lon1 in -180.0f64..180.0, lon2 in -180.0f64..180.0,
+        lon3 in -180.0f64..180.0, lon4 in -180.0f64..180.0,
+    ) {
+        let e1 = GeoExtent::new(a1, a2, lon1, lon2);
+        let e2 = GeoExtent::new(b1, b2, lon3, lon4);
+        prop_assert_eq!(e1.intersects(&e2), e2.intersects(&e1));
+        prop_assert!(e1.intersects(&e1), "extent intersects itself");
+    }
+}

@@ -1,0 +1,135 @@
+//! Model checkpointing: serialize the configuration plus every parameter
+//! tensor to JSON, restore into a freshly built network.
+
+use crate::config::UNetConfig;
+use crate::model::UNet;
+use seaice_nn::Tensor;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// On-disk checkpoint payload.
+#[derive(Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Architecture the weights belong to.
+    pub config: UNetConfig,
+    /// Parameter values in the model's canonical order.
+    pub params: Vec<Tensor>,
+}
+
+/// Extracts a checkpoint from a model.
+pub fn snapshot(model: &mut UNet) -> Checkpoint {
+    let config = *model.config();
+    let params = model
+        .params_mut()
+        .into_iter()
+        .map(|p| p.value.clone())
+        .collect();
+    Checkpoint { config, params }
+}
+
+/// Restores parameters into a model built from the checkpoint's config.
+///
+/// # Panics
+/// Panics if the parameter list does not match the architecture.
+pub fn restore(ckpt: &Checkpoint) -> UNet {
+    let mut model = UNet::new(ckpt.config);
+    {
+        let mut params = model.params_mut();
+        assert_eq!(
+            params.len(),
+            ckpt.params.len(),
+            "checkpoint parameter count mismatch"
+        );
+        for (p, saved) in params.iter_mut().zip(&ckpt.params) {
+            assert_eq!(
+                p.value.shape(),
+                saved.shape(),
+                "checkpoint parameter shape mismatch"
+            );
+            p.value = saved.clone();
+        }
+    }
+    model
+}
+
+/// Saves a model checkpoint as JSON.
+///
+/// # Errors
+/// I/O or serialization failures.
+pub fn save(model: &mut UNet, path: impl AsRef<Path>) -> io::Result<()> {
+    let ckpt = snapshot(model);
+    let json = serde_json::to_vec(&ckpt).map_err(io::Error::other)?;
+    std::fs::write(path, json)
+}
+
+/// Loads a model checkpoint from JSON.
+///
+/// # Errors
+/// I/O or deserialization failures.
+pub fn load(path: impl AsRef<Path>) -> io::Result<UNet> {
+    let bytes = std::fs::read(path)?;
+    let ckpt: Checkpoint = serde_json::from_slice(&bytes).map_err(io::Error::other)?;
+    Ok(restore(&ckpt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seaice_nn::init::uniform;
+
+    fn tiny() -> UNet {
+        UNet::new(UNetConfig {
+            depth: 1,
+            base_filters: 4,
+            dropout: 0.0,
+            seed: 5,
+            ..UNetConfig::paper()
+        })
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_outputs() {
+        let mut a = tiny();
+        let x = uniform(&[1, 3, 8, 8], 0.0, 1.0, 1);
+        let ya = a.forward(&x, false);
+        let ckpt = snapshot(&mut a);
+        let mut b = restore(&ckpt);
+        let yb = b.forward(&x, false);
+        assert_eq!(ya, yb);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut a = tiny();
+        let x = uniform(&[1, 3, 8, 8], 0.0, 1.0, 2);
+        let ya = a.forward(&x, false);
+        let path = std::env::temp_dir().join(format!("seaice-unet-ckpt-{}.json", std::process::id()));
+        save(&mut a, &path).unwrap();
+        let mut b = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(b.forward(&x, false), ya);
+    }
+
+    #[test]
+    fn restore_differs_from_fresh_network_after_training() {
+        use seaice_nn::loss::softmax_cross_entropy;
+        use seaice_nn::optim::{Adam, Optimizer};
+        let mut a = tiny();
+        let x = uniform(&[1, 3, 8, 8], 0.0, 1.0, 3);
+        let targets: Vec<u8> = (0..64).map(|i| (i % 3) as u8).collect();
+        let mut adam = Adam::new(1e-2);
+        for _ in 0..3 {
+            a.zero_grads();
+            let y = a.forward(&x, true);
+            let lo = softmax_cross_entropy(&y, &targets);
+            a.backward(&lo.grad);
+            adam.step(&mut a.params_mut());
+        }
+        let trained = a.forward(&x, false);
+        let restored = restore(&snapshot(&mut a)).forward(&x, false);
+        let fresh = tiny().forward(&x, false);
+        assert_eq!(trained, restored, "checkpoint must capture training");
+        assert_ne!(trained, fresh, "training must have changed the network");
+    }
+}

@@ -1,0 +1,485 @@
+//! The U-Net model: encoder/decoder assembly over `seaice-nn` layers,
+//! with explicit forward and backward passes threading the skip
+//! connections.
+
+use crate::config::{UNetConfig, UpMode};
+use seaice_nn::layers::{Conv2d, ConvTranspose2d, Dropout, Layer, MaxPool2x2, Param, Relu, Upsample2x};
+use seaice_nn::ops::conv2d::Conv2dShape;
+use seaice_nn::ops::convtranspose::ConvTranspose2dShape;
+use seaice_nn::ops::{concat_channels, concat_channels_backward};
+use seaice_nn::Tensor;
+
+/// Two 3×3 "same" convolutions with ReLUs and dropout in between — the
+/// repeated building block of both U-Net paths.
+struct DoubleConv {
+    conv1: Conv2d,
+    relu1: Relu,
+    drop: Dropout,
+    conv2: Conv2d,
+    relu2: Relu,
+}
+
+impl DoubleConv {
+    fn new(in_c: usize, out_c: usize, dropout: f32, seed: u64) -> Self {
+        let mk = |ic, s| Conv2dShape {
+            in_channels: ic,
+            out_channels: out_c,
+            kernel: 3,
+            stride: s,
+            pad: 1,
+        };
+        Self {
+            conv1: Conv2d::new(mk(in_c, 1), seed),
+            relu1: Relu::default(),
+            drop: Dropout::new(dropout, seed ^ 0xD0),
+            conv2: Conv2d::new(mk(out_c, 1), seed ^ 1),
+            relu2: Relu::default(),
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let h = self.conv1.forward(x, train);
+        let h = self.relu1.forward(&h, train);
+        let h = self.drop.forward(&h, train);
+        let h = self.conv2.forward(&h, train);
+        self.relu2.forward(&h, train)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let g = self.relu2.backward(grad);
+        let g = self.conv2.backward(&g);
+        let g = self.drop.backward(&g);
+        let g = self.relu1.backward(&g);
+        self.conv1.backward(&g)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.conv1.params_mut();
+        ps.extend(self.conv2.params_mut());
+        ps
+    }
+}
+
+/// The resolution-doubling front of a decoder step: either nearest
+/// upsample + 3×3 convolution, or a true 2×2 stride-2 transposed
+/// convolution (the paper's "up-convolution").
+enum Up {
+    Resize { up: Upsample2x, conv: Conv2d },
+    Transposed(ConvTranspose2d),
+}
+
+impl Up {
+    fn new(mode: UpMode, in_c: usize, out_c: usize, seed: u64) -> Self {
+        match mode {
+            UpMode::UpsampleConv => Up::Resize {
+                up: Upsample2x,
+                conv: Conv2d::new(
+                    Conv2dShape {
+                        in_channels: in_c,
+                        out_channels: out_c,
+                        kernel: 3,
+                        stride: 1,
+                        pad: 1,
+                    },
+                    seed,
+                ),
+            },
+            UpMode::Transposed => Up::Transposed(ConvTranspose2d::new(
+                ConvTranspose2dShape::unet_upconv(in_c, out_c),
+                seed,
+            )),
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        match self {
+            Up::Resize { up, conv } => {
+                let u = up.forward(x, train);
+                conv.forward(&u, train)
+            }
+            Up::Transposed(t) => t.forward(x, train),
+        }
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        match self {
+            Up::Resize { up, conv } => {
+                let g = conv.backward(grad);
+                up.backward(&g)
+            }
+            Up::Transposed(t) => t.backward(grad),
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        match self {
+            Up::Resize { conv, .. } => conv.params_mut(),
+            Up::Transposed(t) => t.params_mut(),
+        }
+    }
+}
+
+/// One decoder step: 2× up-path, skip concatenation, then a double
+/// convolution.
+struct Decoder {
+    up: Up,
+    up_relu: Relu,
+    block: DoubleConv,
+    skip_channels: usize,
+}
+
+impl Decoder {
+    fn new(
+        mode: UpMode,
+        in_c: usize,
+        skip_c: usize,
+        out_c: usize,
+        dropout: f32,
+        seed: u64,
+    ) -> Self {
+        Self {
+            up: Up::new(mode, in_c, out_c, seed),
+            up_relu: Relu::default(),
+            block: DoubleConv::new(out_c + skip_c, out_c, dropout, seed ^ 2),
+            skip_channels: skip_c,
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor, skip: &Tensor, train: bool) -> Tensor {
+        let u = self.up.forward(x, train);
+        let u = self.up_relu.forward(&u, train);
+        let cat = concat_channels(skip, &u);
+        self.block.forward(&cat, train)
+    }
+
+    /// Returns `(grad_skip, grad_input)`.
+    fn backward(&mut self, grad: &Tensor) -> (Tensor, Tensor) {
+        let g_cat = self.block.backward(grad);
+        let up_c = g_cat.shape()[1] - self.skip_channels;
+        let (g_skip, g_up) = concat_channels_backward(&g_cat, self.skip_channels, up_c);
+        let g = self.up_relu.backward(&g_up);
+        (g_skip, self.up.backward(&g))
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.up.params_mut();
+        ps.extend(self.block.params_mut());
+        ps
+    }
+}
+
+/// The full U-Net.
+pub struct UNet {
+    config: UNetConfig,
+    encoders: Vec<DoubleConv>,
+    pools: Vec<MaxPool2x2>,
+    bottleneck: DoubleConv,
+    decoders: Vec<Decoder>,
+    head: Conv2d,
+    /// Cached skip activations from the most recent forward pass.
+    skips: Vec<Tensor>,
+}
+
+impl UNet {
+    /// Builds a freshly initialized network from the configuration.
+    pub fn new(config: UNetConfig) -> Self {
+        assert!(config.depth >= 1, "U-Net needs at least one level");
+        let mut encoders = Vec::with_capacity(config.depth);
+        let mut pools = Vec::with_capacity(config.depth);
+        let mut in_c = config.in_channels;
+        for level in 0..config.depth {
+            let out_c = config.filters_at(level);
+            encoders.push(DoubleConv::new(
+                in_c,
+                out_c,
+                config.dropout,
+                config.seed.wrapping_add(level as u64 * 97),
+            ));
+            pools.push(MaxPool2x2::default());
+            in_c = out_c;
+        }
+        let bottleneck_c = config.filters_at(config.depth);
+        let bottleneck = DoubleConv::new(
+            in_c,
+            bottleneck_c,
+            config.dropout,
+            config.seed.wrapping_add(7919),
+        );
+        let mut decoders = Vec::with_capacity(config.depth);
+        let mut cur_c = bottleneck_c;
+        for level in (0..config.depth).rev() {
+            let out_c = config.filters_at(level);
+            decoders.push(Decoder::new(
+                config.up_mode,
+                cur_c,
+                out_c,
+                out_c,
+                config.dropout,
+                config.seed.wrapping_add(1000 + level as u64 * 131),
+            ));
+            cur_c = out_c;
+        }
+        let head = Conv2d::new(
+            Conv2dShape {
+                in_channels: cur_c,
+                out_channels: config.num_classes,
+                kernel: 1,
+                stride: 1,
+                pad: 0,
+            },
+            config.seed.wrapping_add(424242),
+        );
+        Self {
+            config,
+            encoders,
+            pools,
+            bottleneck,
+            decoders,
+            head,
+            skips: Vec::new(),
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &UNetConfig {
+        &self.config
+    }
+
+    /// Forward pass: `[n, in_c, s, s]` → `[n, classes, s, s]` logits.
+    ///
+    /// # Panics
+    /// Panics if the input side is not a multiple of `2^depth`.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (_, _, h, w) = x.nchw();
+        assert_eq!(h, w, "U-Net inputs are square");
+        self.config.assert_input_side(h);
+
+        self.skips.clear();
+        let mut cur = x.clone();
+        for (enc, pool) in self.encoders.iter_mut().zip(&mut self.pools) {
+            let feat = enc.forward(&cur, train);
+            cur = pool.forward(&feat, train);
+            self.skips.push(feat);
+        }
+        cur = self.bottleneck.forward(&cur, train);
+        for (i, dec) in self.decoders.iter_mut().enumerate() {
+            let skip = &self.skips[self.config.depth - 1 - i];
+            cur = dec.forward(&cur, skip, train);
+        }
+        self.head.forward(&cur, train)
+    }
+
+    /// Backward pass from the loss gradient on the logits. Accumulates
+    /// parameter gradients and returns the input gradient.
+    pub fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
+        let mut g = self.head.backward(grad_logits);
+        // Decoder gradients also feed the encoder skip branches.
+        let mut skip_grads: Vec<Option<Tensor>> = vec![None; self.config.depth];
+        for (i, dec) in self.decoders.iter_mut().enumerate().rev() {
+            let (g_skip, g_in) = dec.backward(&g);
+            skip_grads[self.config.depth - 1 - i] = Some(g_skip);
+            g = g_in;
+        }
+        g = self.bottleneck.backward(&g);
+        for level in (0..self.config.depth).rev() {
+            let mut g_feat = self.pools[level].backward(&g);
+            if let Some(gs) = &skip_grads[level] {
+                g_feat.add_assign(gs);
+            }
+            g = self.encoders[level].backward(&g_feat);
+        }
+        g
+    }
+
+    /// All trainable parameters, in a stable order (used by the optimizer
+    /// and by ring all-reduce, which relies on every rank sharing this
+    /// order).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = Vec::new();
+        for enc in &mut self.encoders {
+            ps.extend(enc.params_mut());
+        }
+        ps.extend(self.bottleneck.params_mut());
+        for dec in &mut self.decoders {
+            ps.extend(dec.params_mut());
+        }
+        ps.extend(self.head.params_mut());
+        ps
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grads(&mut self) {
+        for p in self.params_mut() {
+            p.grad.zero();
+        }
+    }
+
+    /// Total trainable scalar parameters.
+    pub fn parameter_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Per-pixel class predictions for a batch: argmax over the logits.
+    pub fn predict(&mut self, x: &Tensor) -> Vec<u8> {
+        let logits = self.forward(x, false);
+        let (n, k, h, w) = logits.nchw();
+        let plane = h * w;
+        let data = logits.as_slice();
+        let mut out = vec![0u8; n * plane];
+        for b in 0..n {
+            for p in 0..plane {
+                let base = b * k * plane + p;
+                let mut best = f32::NEG_INFINITY;
+                let mut arg = 0u8;
+                for c in 0..k {
+                    let v = data[base + c * plane];
+                    if v > best {
+                        best = v;
+                        arg = c as u8;
+                    }
+                }
+                out[b * plane + p] = arg;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seaice_nn::init::uniform;
+    use seaice_nn::loss::softmax_cross_entropy;
+
+    fn tiny_config() -> UNetConfig {
+        UNetConfig {
+            depth: 2,
+            base_filters: 4,
+            dropout: 0.0,
+            seed: 7,
+            ..UNetConfig::paper()
+        }
+    }
+
+    #[test]
+    fn forward_shape_is_input_resolution_with_class_channels() {
+        let mut net = UNet::new(tiny_config());
+        let x = uniform(&[2, 3, 16, 16], 0.0, 1.0, 1);
+        let y = net.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 3, 16, 16]);
+    }
+
+    #[test]
+    fn forward_is_deterministic_in_eval_mode() {
+        let mut net = UNet::new(tiny_config());
+        let x = uniform(&[1, 3, 16, 16], 0.0, 1.0, 2);
+        let a = net.forward(&x, false);
+        let b = net.forward(&x, false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn same_seed_same_network() {
+        let mut a = UNet::new(tiny_config());
+        let mut b = UNet::new(tiny_config());
+        let x = uniform(&[1, 3, 16, 16], 0.0, 1.0, 3);
+        assert_eq!(a.forward(&x, false), b.forward(&x, false));
+    }
+
+    #[test]
+    fn backward_produces_gradients_for_every_param() {
+        let mut net = UNet::new(tiny_config());
+        let x = uniform(&[1, 3, 16, 16], 0.0, 1.0, 4);
+        let targets: Vec<u8> = (0..256).map(|i| (i % 3) as u8).collect();
+        let y = net.forward(&x, true);
+        let lo = softmax_cross_entropy(&y, &targets);
+        let dx = net.backward(&lo.grad);
+        assert_eq!(dx.shape(), x.shape());
+        for (i, p) in net.params_mut().into_iter().enumerate() {
+            assert!(
+                p.grad.max_abs() > 0.0,
+                "parameter {i} received no gradient"
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_count_is_stable_and_positive() {
+        let mut net = UNet::new(tiny_config());
+        let n = net.parameter_count();
+        assert!(n > 1000, "suspiciously small network: {n}");
+        assert_eq!(n, net.parameter_count());
+    }
+
+    #[test]
+    fn predictions_are_valid_classes() {
+        let mut net = UNet::new(tiny_config());
+        let x = uniform(&[2, 3, 16, 16], 0.0, 1.0, 5);
+        let preds = net.predict(&x);
+        assert_eq!(preds.len(), 2 * 256);
+        assert!(preds.iter().all(|&c| c < 3));
+    }
+
+    #[test]
+    fn transposed_up_mode_trains_too() {
+        use crate::config::UpMode;
+        use seaice_nn::loss::softmax_cross_entropy;
+        use seaice_nn::optim::{Adam, Optimizer};
+        let mut net = UNet::new(UNetConfig {
+            up_mode: UpMode::Transposed,
+            ..tiny_config()
+        });
+        let x = uniform(&[1, 3, 16, 16], 0.0, 1.0, 8);
+        let y = net.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 3, 16, 16]);
+        // One training step produces gradients in every parameter and
+        // reduces the loss.
+        let targets: Vec<u8> = (0..256).map(|i| (i % 3) as u8).collect();
+        let mut adam = Adam::new(1e-2);
+        let before = softmax_cross_entropy(&net.forward(&x, true), &targets).loss;
+        for _ in 0..5 {
+            net.zero_grads();
+            let logits = net.forward(&x, true);
+            let lo = softmax_cross_entropy(&logits, &targets);
+            net.backward(&lo.grad);
+            adam.step(&mut net.params_mut());
+        }
+        let after = softmax_cross_entropy(&net.forward(&x, false), &targets).loss;
+        assert!(after < before, "transposed U-Net must train: {before} -> {after}");
+        // The two up modes are genuinely different networks.
+        let mut other = UNet::new(tiny_config());
+        assert_ne!(net.parameter_count(), other.parameter_count());
+    }
+
+    #[test]
+    fn one_adam_step_reduces_loss_on_fixed_batch() {
+        use seaice_nn::optim::{Adam, Optimizer};
+        let mut net = UNet::new(tiny_config());
+        let x = uniform(&[2, 3, 16, 16], 0.0, 1.0, 6);
+        let targets: Vec<u8> = (0..512).map(|i| (i % 3) as u8).collect();
+        let mut adam = Adam::new(1e-2);
+        let y = net.forward(&x, true);
+        let before = softmax_cross_entropy(&y, &targets).loss;
+        for _ in 0..10 {
+            net.zero_grads();
+            let y = net.forward(&x, true);
+            let lo = softmax_cross_entropy(&y, &targets);
+            net.backward(&lo.grad);
+            adam.step(&mut net.params_mut());
+        }
+        let y = net.forward(&x, false);
+        let after = softmax_cross_entropy(&y, &targets).loss;
+        assert!(
+            after < before,
+            "training must reduce loss: {before} → {after}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a positive multiple")]
+    fn wrong_input_side_panics() {
+        let mut net = UNet::new(tiny_config());
+        let x = Tensor::zeros(&[1, 3, 10, 10]);
+        let _ = net.forward(&x, false);
+    }
+}

@@ -1,0 +1,99 @@
+//! Horovod-style synchronous data-parallel training: 4 rank threads with
+//! ring all-reduce gradient averaging, verified equivalent to
+//! single-process large-batch training, plus the calibrated DGX A100
+//! projection of Table III.
+//!
+//! ```sh
+//! cargo run --release --example distributed_training
+//! ```
+
+use seaice::core::adapters::{tile_to_sample, InputVariant, LabelSource};
+use seaice::core::WorkflowConfig;
+use seaice::distrib::{train_distributed, DgxA100Model, DistTrainConfig};
+use seaice::nn::dataloader::DataLoader;
+use seaice::s2::dataset::Dataset;
+use seaice::unet::{train, TrainConfig, UNet, UNetConfig};
+
+fn main() {
+    // Shared tiny dataset.
+    let wf = WorkflowConfig::scaled(2, 128, 16, 4);
+    let dataset = Dataset::build(wf.dataset.clone());
+    let mut samples: Vec<_> = dataset
+        .train
+        .iter()
+        .map(|t| tile_to_sample(t, InputVariant::Original, LabelSource::Manual, &wf.label))
+        .collect();
+    // Exact equivalence needs the sample count to divide evenly into
+    // global batches (otherwise the distributed trainer truncates shards
+    // while the single process keeps a trailing partial batch).
+    let global_batch = 4 * 2;
+    samples.truncate(samples.len() / global_batch * global_batch);
+    println!("{} training tiles of 16x16", samples.len());
+
+    let unet = UNetConfig {
+        depth: 1,
+        base_filters: 4,
+        dropout: 0.0,
+        seed: 7,
+        ..UNetConfig::paper()
+    };
+
+    // 1. Distributed: 4 ranks × batch 2, ring all-reduce every step.
+    let ranks = 4;
+    let (mut dist_model, report) = train_distributed(
+        unet,
+        samples.clone(),
+        DistTrainConfig {
+            ranks,
+            epochs: 4,
+            batch_size_per_rank: 2,
+            learning_rate: 1e-3,
+            shuffle_seed: None,
+        },
+        &DgxA100Model::dgx_a100(),
+    );
+    println!(
+        "distributed ({} ranks): losses {:?} in {:.1}s host wall",
+        ranks, report.epoch_losses, report.measured_secs
+    );
+
+    // 2. Single process with the equivalent global batch (4 × 2 = 8).
+    let mut single = UNet::new(unet);
+    let loader = DataLoader::new(samples, ranks * 2, None);
+    let sreport = train(
+        &mut single,
+        &loader,
+        &TrainConfig {
+            epochs: 4,
+            learning_rate: 1e-3,
+            log_every: 0,
+        },
+    );
+    println!("single-process (batch 8): losses {:?}", sreport.epoch_losses);
+
+    // 3. The two models must agree (synchronous data parallelism does not
+    //    change the mathematics, only the wall clock).
+    let x = seaice::nn::init::uniform(&[1, 3, 16, 16], 0.0, 1.0, 3);
+    let max_diff = dist_model
+        .forward(&x, false)
+        .as_slice()
+        .iter()
+        .zip(single.forward(&x, false).as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0f32, f32::max);
+    println!("max output divergence distributed vs single: {max_diff:.2e}");
+    assert!(max_diff < 1e-3, "replicas must match single-process training");
+
+    // 4. Table III projection on the calibrated DGX A100 model.
+    let dgx = DgxA100Model::dgx_a100();
+    println!("\nDGX A100 projection (50 epochs, batch 32/GPU):");
+    for gpus in [1usize, 2, 4, 6, 8] {
+        println!(
+            "  {gpus} GPUs: {:>6.1}s total, {:.3}s/epoch, {:>6.0} imgs/s, speedup {:.2}x",
+            dgx.total_time(gpus, 50),
+            dgx.epoch_time(gpus),
+            dgx.images_per_sec(gpus),
+            dgx.speedup(gpus)
+        );
+    }
+}

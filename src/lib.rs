@@ -1,0 +1,32 @@
+//! # seaice
+//!
+//! Facade crate for the Rust reproduction of *"A Parallel Workflow for
+//! Polar Sea-Ice Classification using Auto-labeling of Sentinel-2 Imagery"*
+//! (IPDPS 2024 workshops).
+//!
+//! Each subsystem lives in its own crate; this facade re-exports them under
+//! stable module names so applications can depend on a single crate:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`imgproc`] | `seaice-imgproc` | image-processing substrate (OpenCV replacement) |
+//! | [`s2`] | `seaice-s2` | synthetic Sentinel-2 scenes, catalog, tiler |
+//! | [`label`] | `seaice-label` | thin-cloud/shadow filter + HSV auto-labeling |
+//! | [`metrics`] | `seaice-metrics` | accuracy / P / R / F1, confusion matrix, SSIM |
+//! | [`mapreduce`] | `seaice-mapreduce` | mini map-reduce engine (PySpark replacement) |
+//! | [`nn`] | `seaice-nn` | from-scratch deep-learning stack |
+//! | [`unet`] | `seaice-unet` | U-Net segmentation model |
+//! | [`distrib`] | `seaice-distrib` | ring all-reduce data-parallel training (Horovod replacement) |
+//! | [`core`] | `seaice-core` | the end-to-end parallel workflow |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use seaice_core as core;
+pub use seaice_distrib as distrib;
+pub use seaice_imgproc as imgproc;
+pub use seaice_label as label;
+pub use seaice_mapreduce as mapreduce;
+pub use seaice_metrics as metrics;
+pub use seaice_nn as nn;
+pub use seaice_s2 as s2;
+pub use seaice_unet as unet;

@@ -1,0 +1,144 @@
+//! Cross-crate integration tests: the whole workflow exercised through
+//! the `seaice` facade.
+
+use seaice::core::adapters::{tile_to_sample, InputVariant, LabelSource};
+use seaice::core::inference::classify_scene;
+use seaice::core::workflow::{evaluate_arm, run_workflow};
+use seaice::core::WorkflowConfig;
+use seaice::label::autolabel::{auto_label, AutoLabelConfig};
+use seaice::label::ranges::IceClass;
+use seaice::nn::dataloader::DataLoader;
+use seaice::s2::dataset::{manual_label, Dataset};
+use seaice::s2::synth::{generate, SceneConfig};
+use seaice::unet::{train, UNet};
+
+/// The class indices emitted by the scene synthesizer must agree with the
+/// labeling crate's enum — everything downstream (metrics, training
+/// targets) relies on this correspondence.
+#[test]
+fn class_indices_agree_across_crates() {
+    assert_eq!(seaice::s2::THICK_ICE, IceClass::Thick as u8);
+    assert_eq!(seaice::s2::THIN_ICE, IceClass::Thin as u8);
+    assert_eq!(seaice::s2::OPEN_WATER, IceClass::Water as u8);
+    assert_eq!(seaice::s2::NUM_CLASSES, IceClass::ALL.len());
+}
+
+/// Clean synthetic scenes are rendered inside the paper's calibrated HSV
+/// ranges, so the color segmenter recovers the exact ground truth.
+#[test]
+fn auto_labels_match_truth_on_clean_scenes() {
+    for seed in [1u64, 2, 3] {
+        let scene = generate(&SceneConfig::tiny(96), seed);
+        let out = auto_label(&scene.rgb, &AutoLabelConfig::unfiltered());
+        let correct = out
+            .class_mask
+            .as_slice()
+            .iter()
+            .zip(scene.truth.as_slice())
+            .filter(|(a, b)| a == b)
+            .count();
+        let acc = correct as f64 / (96.0 * 96.0);
+        assert!(acc > 0.999, "seed {seed}: clean-scene accuracy {acc}");
+    }
+}
+
+/// The headline qualitative claim of the paper: filtering thin clouds and
+/// shadows improves U-Net classification accuracy, for both the
+/// manually-supervised and the auto-labeled model.
+#[test]
+fn filtering_improves_both_models_end_to_end() {
+    let cfg = WorkflowConfig::scaled(4, 256, 32, 10);
+    let result = run_workflow(&cfg);
+    let acc = |l: LabelSource, v: InputVariant| {
+        result
+            .table4
+            .iter()
+            .find(|(ll, vv, _)| *ll == l && *vv == v)
+            .map(|(_, _, e)| e.report.accuracy)
+            .expect("arm present")
+    };
+    for labels in [LabelSource::Manual, LabelSource::Auto] {
+        let orig = acc(labels, InputVariant::Original);
+        let filt = acc(labels, InputVariant::Filtered);
+        assert!(
+            filt > orig,
+            "{labels:?}: filtered {filt:.3} must beat original {orig:.3}"
+        );
+        assert!(filt > 0.85, "{labels:?}: filtered accuracy {filt:.3} too low");
+    }
+    // U-Net-Auto tracks U-Net-Man closely (the auto-labeling validation
+    // argument of §IV-C-3).
+    let gap = (acc(LabelSource::Manual, InputVariant::Filtered)
+        - acc(LabelSource::Auto, InputVariant::Filtered))
+    .abs();
+    assert!(gap < 0.05, "Man/Auto filtered accuracy gap {gap:.3} too wide");
+}
+
+/// Training on auto-labels and predicting a held-out scene end to end
+/// through the facade: Fig. 2 (training path) + Fig. 9 (inference path).
+#[test]
+fn train_on_auto_labels_then_classify_fresh_scene() {
+    let cfg = WorkflowConfig::scaled(3, 128, 32, 12);
+    let dataset = Dataset::build(cfg.dataset.clone());
+    let samples: Vec<_> = dataset
+        .train
+        .iter()
+        .map(|t| tile_to_sample(t, InputVariant::Filtered, LabelSource::Auto, &cfg.label))
+        .collect();
+    let loader = DataLoader::new(samples, 8, Some(3));
+    let mut model = UNet::new(cfg.unet);
+    train(&mut model, &loader, &cfg.train);
+
+    let scene = generate(
+        &SceneConfig {
+            width: 128,
+            height: 128,
+            ..SceneConfig::tiny(128)
+        },
+        999,
+    );
+    let out = classify_scene(&mut model, &scene.rgb, 32, true);
+    let correct = out
+        .mask
+        .as_slice()
+        .iter()
+        .zip(scene.truth.as_slice())
+        .filter(|(a, b)| a == b)
+        .count();
+    let acc = correct as f64 / (128.0 * 128.0);
+    assert!(acc > 0.85, "fresh clean-scene accuracy {acc:.3}");
+}
+
+/// Degrading manual labels with boundary noise must lower, but only
+/// mildly, the measured accuracy of a perfect predictor — validating the
+/// manual-label emulation knob.
+#[test]
+fn manual_label_noise_behaves_like_human_imprecision() {
+    let scene = generate(&SceneConfig::tiny(64), 8);
+    let noisy = manual_label(&scene.truth, 0.3, 42);
+    let agree = noisy
+        .as_slice()
+        .iter()
+        .zip(scene.truth.as_slice())
+        .filter(|(a, b)| a == b)
+        .count() as f64
+        / (64.0 * 64.0);
+    assert!(agree > 0.85, "boundary noise changed too much: {agree}");
+    assert!(agree < 1.0, "noise must change something");
+}
+
+/// An untrained model scores roughly at chance; training moves it far
+/// away from that — a guard against evaluation-pipeline bugs that
+/// accidentally leak labels.
+#[test]
+fn untrained_model_scores_near_chance() {
+    let cfg = WorkflowConfig::scaled(2, 128, 32, 1);
+    let dataset = Dataset::build(cfg.dataset.clone());
+    let mut model = UNet::new(cfg.unet);
+    let eval = evaluate_arm(&mut model, &dataset.validation, InputVariant::Original, &cfg);
+    assert!(
+        eval.report.accuracy < 0.8,
+        "untrained accuracy suspiciously high: {:.3}",
+        eval.report.accuracy
+    );
+}
