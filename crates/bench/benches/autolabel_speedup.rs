@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use seaice_bench::workloads::labeling_tiles;
 use seaice_label::autolabel::{
-    auto_label, auto_label_batch_pool, auto_label_batch_rayon, AutoLabelConfig,
+    auto_label, auto_label_batch_pool, auto_label_batch_rayon, AutoLabelConfig, LabelBackend,
 };
 use seaice_label::parallel::WorkerPool;
 use std::hint::black_box;
@@ -16,18 +16,30 @@ fn bench_autolabel(c: &mut Criterion) {
 
     for side in [64usize, 128, 256] {
         let tiles = labeling_tiles(1, side, 7);
-        g.bench_with_input(BenchmarkId::new("filtered_tile", side), &side, |b, &side| {
-            let cfg = AutoLabelConfig::filtered_for_tile(side);
-            b.iter(|| black_box(auto_label(&tiles[0], &cfg)))
-        });
         g.bench_with_input(
-            BenchmarkId::new("unfiltered_tile", side),
+            BenchmarkId::new("filtered_tile", side),
             &side,
-            |b, _| {
-                let cfg = AutoLabelConfig::unfiltered();
+            |b, &side| {
+                let cfg = AutoLabelConfig::filtered_for_tile(side);
                 b.iter(|| black_box(auto_label(&tiles[0], &cfg)))
             },
         );
+        g.bench_with_input(BenchmarkId::new("unfiltered_tile", side), &side, |b, _| {
+            let cfg = AutoLabelConfig::unfiltered();
+            b.iter(|| black_box(auto_label(&tiles[0], &cfg)))
+        });
+        // Backend comparison on the unfiltered path, where segmentation
+        // dominates — this is the fused kernel's headline number.
+        for backend in [LabelBackend::Reference, LabelBackend::Fused] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("unfiltered_tile_{backend:?}"), side),
+                &side,
+                |b, _| {
+                    let cfg = AutoLabelConfig::unfiltered().with_backend(backend);
+                    b.iter(|| black_box(auto_label(&tiles[0], &cfg)))
+                },
+            );
+        }
     }
 
     // Batch dispatch overhead comparison at a fixed small workload.

@@ -6,6 +6,9 @@ use seaice_imgproc::color::{rgb_to_gray, rgb_to_hsv};
 use seaice_imgproc::filter::{box_blur_f32, gaussian_blur, median_filter};
 use seaice_imgproc::ops::{in_range, min_max_normalize};
 use seaice_imgproc::threshold::otsu_threshold;
+use seaice_label::fused::segment_classes_fused;
+use seaice_label::ranges::ClassRanges;
+use seaice_label::segment::segment_classes;
 use seaice_s2::synth::{generate, SceneConfig};
 use std::hint::black_box;
 
@@ -37,6 +40,15 @@ fn bench_kernels(c: &mut Criterion) {
     });
     g.bench_function("min_max_normalize", |b| {
         b.iter(|| black_box(min_max_normalize(&gray, 0, 255)))
+    });
+    // The fused single-pass kernel vs the reference pipeline it replaces
+    // (rgb_to_hsv + three in_range scans + fallback).
+    let ranges = ClassRanges::paper();
+    g.bench_function("segment_classes_reference", |b| {
+        b.iter(|| black_box(segment_classes(&rgb, &ranges)))
+    });
+    g.bench_function("segment_classes_fused", |b| {
+        b.iter(|| black_box(segment_classes_fused(&rgb, &ranges)))
     });
     g.finish();
 }

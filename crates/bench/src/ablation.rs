@@ -146,7 +146,9 @@ impl Ablation {
         ));
         s.push_str(&format!(
             "{:>38} | auto-label accuracy\n{:>38} | {:>8.2}%\n",
-            "variant", "(unfiltered baseline)", self.unfiltered_accuracy * 100.0
+            "variant",
+            "(unfiltered baseline)",
+            self.unfiltered_accuracy * 100.0
         ));
         for r in &self.rows {
             s.push_str(&format!("{:>38} | {:>8.2}%\n", r.name, r.accuracy * 100.0));

@@ -24,7 +24,9 @@
 
 use seaice_bench::scale::Scale;
 use seaice_bench::{table1, table2, table3, table45};
-use seaice_core::adapters::{mask_to_image, predictions_to_mask, tile_to_sample, InputVariant, LabelSource};
+use seaice_core::adapters::{
+    mask_to_image, predictions_to_mask, tile_to_sample, InputVariant, LabelSource,
+};
 use seaice_imgproc::io::write_ppm;
 use seaice_label::autolabel::{auto_label, AutoLabelConfig};
 use seaice_nn::Tensor;
@@ -127,17 +129,23 @@ fn main() {
             std::process::exit(2);
         }
     }
-    println!("[reproduce {} done in {:.1}s]", args.target, t0.elapsed().as_secs_f64());
+    println!(
+        "[reproduce {} done in {:.1}s]",
+        args.target,
+        t0.elapsed().as_secs_f64()
+    );
 }
 
 fn run_table1(scale: Scale) {
     let t = table1::run(scale);
     println!("{}", t.render());
-    println!("FIG 10 series (procs, speedup): {:?}\n", t
-        .rows
-        .iter()
-        .map(|r| (r.processes, (r.speedup * 100.0).round() / 100.0))
-        .collect::<Vec<_>>());
+    println!(
+        "FIG 10 series (procs, speedup): {:?}\n",
+        t.rows
+            .iter()
+            .map(|r| (r.processes, (r.speedup * 100.0).round() / 100.0))
+            .collect::<Vec<_>>()
+    );
 }
 
 fn run_table2(scale: Scale) {
@@ -194,7 +202,10 @@ fn print_fig13(exp: &mut table45::AccuracyExperiments) {
             LabelSource::Manual => "U-Net-Man",
             LabelSource::Auto => "U-Net-Auto",
         };
-        println!("--- {name} / {condition} (accuracy {:.2}%)", eval.report.accuracy * 100.0);
+        println!(
+            "--- {name} / {condition} (accuracy {:.2}%)",
+            eval.report.accuracy * 100.0
+        );
         println!(
             "{}",
             eval.confusion
@@ -215,8 +226,18 @@ fn write_fig14(exp: &mut table45::AccuracyExperiments, out: &Path) {
     let label_cfg = exp.cfg.label;
     // One cloudy and one clear validation tile.
     let picks: Vec<_> = {
-        let cloudy = exp.dataset.validation.iter().find(|t| t.is_cloudy()).cloned();
-        let clear = exp.dataset.validation.iter().find(|t| !t.is_cloudy()).cloned();
+        let cloudy = exp
+            .dataset
+            .validation
+            .iter()
+            .find(|t| t.is_cloudy())
+            .cloned();
+        let clear = exp
+            .dataset
+            .validation
+            .iter()
+            .find(|t| !t.is_cloudy())
+            .cloned();
         [cloudy, clear].into_iter().flatten().collect()
     };
     println!("FIG 14: qualitative panels");

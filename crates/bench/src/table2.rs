@@ -88,7 +88,11 @@ fn run_grid_point(
     });
     let (results, reduce) = lazy.collect(&session, tile_bytes / 3.0);
     assert_eq!(results.len(), tiles.len());
-    (load.simulated_secs, map.simulated_secs, reduce.simulated_secs)
+    (
+        load.simulated_secs,
+        map.simulated_secs,
+        reduce.simulated_secs,
+    )
 }
 
 /// Runs the experiment.

@@ -208,7 +208,9 @@ pub fn render_table5(rows: &[(bool, AccuracyCell)]) -> String {
             .unwrap_or(f64::NAN)
     };
     let mut s = String::new();
-    s.push_str("TABLE V: validation accuracy by cloud/shadow coverage (paper values in parentheses)\n");
+    s.push_str(
+        "TABLE V: validation accuracy by cloud/shadow coverage (paper values in parentheses)\n",
+    );
     s.push_str(&format!(
         "> ~10% cover, original images | U-Net-Man {:>6.2}% (88.74%) | U-Net-Auto {:>6.2}% (79.91%)\n",
         pick(true, LabelSource::Manual, InputVariant::Original),
@@ -364,7 +366,11 @@ mod tests {
             f.ssim_filtered,
             f.ssim_original
         );
-        assert!(f.ssim_filtered > 0.75, "filtered SSIM {:.3}", f.ssim_filtered);
+        assert!(
+            f.ssim_filtered > 0.75,
+            "filtered SSIM {:.3}",
+            f.ssim_filtered
+        );
     }
 
     #[test]
@@ -404,8 +410,8 @@ mod tests {
         for (_, _, e) in &f13 {
             // Column-normalized columns sum to 1 (or 0 for absent class).
             let norm = e.confusion.column_normalized();
-            for t in 0..3 {
-                let s: f64 = (0..3).map(|p| norm[p][t]).sum();
+            for t in 0..3usize {
+                let s: f64 = norm.iter().take(3).map(|row| row[t]).sum();
                 assert!(s < 1.0 + 1e-9);
             }
         }

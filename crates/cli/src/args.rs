@@ -123,8 +123,11 @@ mod tests {
 
     #[test]
     fn parses_command_options_and_flags() {
-        let p = Parsed::parse(&args("label --in a.ppm --out b.ppm --no-filter"), &["no-filter"])
-            .unwrap();
+        let p = Parsed::parse(
+            &args("label --in a.ppm --out b.ppm --no-filter"),
+            &["no-filter"],
+        )
+        .unwrap();
         assert_eq!(p.command, "label");
         assert_eq!(p.required("in").unwrap(), "a.ppm");
         assert_eq!(p.optional("out").unwrap(), "b.ppm");
@@ -151,7 +154,10 @@ mod tests {
         let p = Parsed::parse(&args("synth --side 128"), &[]).unwrap();
         assert_eq!(p.get_or("side", 512usize).unwrap(), 128);
         assert_eq!(p.get_or("seed", 7u64).unwrap(), 7);
-        assert_eq!(p.required("out").unwrap_err(), ArgError::Required("out".into()));
+        assert_eq!(
+            p.required("out").unwrap_err(),
+            ArgError::Required("out".into())
+        );
     }
 
     #[test]

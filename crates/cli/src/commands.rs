@@ -70,9 +70,7 @@ pub fn run(mut p: Parsed) -> Result<String, CliError> {
         "train" => run_train(&mut p),
         "classify" => classify(&mut p),
         "analyze" => analyze(&mut p),
-        other => Err(CliError::Msg(format!(
-            "unknown command '{other}'\n{USAGE}"
-        ))),
+        other => Err(CliError::Msg(format!("unknown command '{other}'\n{USAGE}"))),
     }
 }
 
@@ -89,7 +87,10 @@ fn ranges_from(p: &Parsed) -> Result<ClassRanges, CliError> {
             if parts.len() != 2 {
                 return Err(CliError::Args(ArgError::Invalid("cuts".into(), cuts)));
             }
-            Ok(ClassRanges::from_value_cuts(parse(parts[0])?, parse(parts[1])?))
+            Ok(ClassRanges::from_value_cuts(
+                parse(parts[0])?,
+                parse(parts[1])?,
+            ))
         }
     }
 }
@@ -161,6 +162,7 @@ fn label(p: &mut Parsed) -> Result<String, CliError> {
         } else {
             Some(FilterConfig::for_tile(side))
         },
+        ..AutoLabelConfig::default()
     };
     let result = auto_label(&input, &cfg);
     write_ppm(&out_path, &result.color_label)?;

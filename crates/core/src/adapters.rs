@@ -1,8 +1,8 @@
 //! Conversions between the imaging substrate (`Image<u8>`) and the
 //! neural-network substrate (`Sample` / flat predictions).
 
-use seaice_imgproc::buffer::Image;
-use seaice_label::autolabel::{auto_label, AutoLabelConfig};
+use seaice_imgproc::buffer::{Image, Scratch};
+use seaice_label::autolabel::{auto_label_class_mask, AutoLabelConfig};
 use seaice_nn::dataloader::Sample;
 use seaice_s2::tiler::Tile;
 use serde::{Deserialize, Serialize};
@@ -47,11 +47,10 @@ pub fn tile_image(tile: &Tile, variant: InputVariant, label_cfg: &AutoLabelConfi
     match variant {
         InputVariant::Original => tile.rgb.clone(),
         InputVariant::Filtered => {
-            let filter = seaice_label::cloudshadow::CloudShadowFilter::new(
-                label_cfg
-                    .filter
-                    .unwrap_or_else(|| seaice_label::cloudshadow::FilterConfig::for_tile(tile.size())),
-            );
+            let filter =
+                seaice_label::cloudshadow::CloudShadowFilter::new(label_cfg.filter.unwrap_or_else(
+                    || seaice_label::cloudshadow::FilterConfig::for_tile(tile.size()),
+                ));
             filter.apply(&tile.rgb).filtered
         }
         InputVariant::Clean => tile
@@ -69,10 +68,22 @@ pub fn tile_to_sample(
     labels: LabelSource,
     label_cfg: &AutoLabelConfig,
 ) -> Sample {
+    tile_to_sample_scratch(tile, variant, labels, label_cfg, &mut Scratch::new())
+}
+
+/// [`tile_to_sample`] with caller-owned scratch buffers, so batch drivers
+/// (one scratch per worker) label tile after tile without reallocating.
+pub fn tile_to_sample_scratch(
+    tile: &Tile,
+    variant: InputVariant,
+    labels: LabelSource,
+    label_cfg: &AutoLabelConfig,
+    scratch: &mut Scratch,
+) -> Sample {
     let img = tile_image(tile, variant, label_cfg);
     let mask = match labels {
         LabelSource::Manual => tile.truth.as_slice().to_vec(),
-        LabelSource::Auto => auto_label(&tile.rgb, label_cfg).class_mask.into_vec(),
+        LabelSource::Auto => auto_label_class_mask(&tile.rgb, label_cfg, scratch).into_vec(),
     };
     let (w, h) = img.dimensions();
     Sample {
@@ -136,7 +147,10 @@ mod tests {
         let cfg = AutoLabelConfig::unfiltered();
         let manual = tile_to_sample(&tiles[0], InputVariant::Original, LabelSource::Manual, &cfg);
         let auto = tile_to_sample(&tiles[0], InputVariant::Original, LabelSource::Auto, &cfg);
-        assert_eq!(manual.image, auto.image, "inputs identical across label sources");
+        assert_eq!(
+            manual.image, auto.image,
+            "inputs identical across label sources"
+        );
         // Both are valid class masks.
         assert!(auto.mask.iter().all(|&c| c < 3));
     }

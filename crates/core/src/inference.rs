@@ -52,7 +52,7 @@ pub fn classify_scene(
     // column when the scene is not an exact multiple.
     let anchors = |extent: usize| -> Vec<usize> {
         let mut v: Vec<usize> = (0..=extent - tile_size).step_by(tile_size).collect();
-        if (extent % tile_size) != 0 {
+        if !extent.is_multiple_of(tile_size) {
             v.push(extent - tile_size);
         }
         v
@@ -109,7 +109,7 @@ pub fn classify_scene_parallel(
 
     let anchors = |extent: usize| -> Vec<usize> {
         let mut v: Vec<usize> = (0..=extent - tile_size).step_by(tile_size).collect();
-        if (extent % tile_size) != 0 {
+        if !extent.is_multiple_of(tile_size) {
             v.push(extent - tile_size);
         }
         v

@@ -2,9 +2,10 @@
 //! train `U-Net-Man` and `U-Net-Auto`, and evaluate both on every input
 //! variant — the machinery behind Tables IV and V and Fig. 13.
 
-use crate::adapters::{tile_to_sample, InputVariant, LabelSource};
+use crate::adapters::{tile_to_sample_scratch, InputVariant, LabelSource};
 use crate::config::WorkflowConfig;
 use rayon::prelude::*;
+use seaice_imgproc::buffer::Scratch;
 use seaice_metrics::{classification_report, ClassificationReport, ConfusionMatrix};
 use seaice_nn::dataloader::DataLoader;
 use seaice_s2::dataset::Dataset;
@@ -55,7 +56,9 @@ fn training_samples(
 ) -> Vec<seaice_nn::dataloader::Sample> {
     tiles
         .par_iter()
-        .map(|t| tile_to_sample(t, InputVariant::Filtered, labels, &cfg.label))
+        .map_init(Scratch::new, |scratch, t| {
+            tile_to_sample_scratch(t, InputVariant::Filtered, labels, &cfg.label, scratch)
+        })
         .collect()
 }
 
@@ -126,7 +129,9 @@ pub fn evaluate_arm(
     assert!(!tiles.is_empty(), "no tiles to evaluate");
     let samples: Vec<_> = tiles
         .par_iter()
-        .map(|t| tile_to_sample(t, variant, LabelSource::Manual, &cfg.label))
+        .map_init(Scratch::new, |scratch, t| {
+            tile_to_sample_scratch(t, variant, LabelSource::Manual, &cfg.label, scratch)
+        })
         .collect();
     let loader = DataLoader::new(samples, 8, None);
     let eval = evaluate(model, &loader);
@@ -197,7 +202,12 @@ mod tests {
         let cfg = smoke_cfg();
         let dataset = Dataset::build(cfg.dataset.clone());
         let mut model = UNet::new(cfg.unet);
-        let eval = evaluate_arm(&mut model, &dataset.validation, InputVariant::Original, &cfg);
+        let eval = evaluate_arm(
+            &mut model,
+            &dataset.validation,
+            InputVariant::Original,
+            &cfg,
+        );
         let tile_px = cfg.dataset.tile_size * cfg.dataset.tile_size;
         assert_eq!(
             eval.confusion.total() as usize,

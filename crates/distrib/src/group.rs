@@ -27,6 +27,7 @@ impl ProcessGroup {
     ///
     /// # Panics
     /// Panics if `n == 0`.
+    #[allow(clippy::new_ret_no_self)] // `ProcessGroup` is a namespace; ranks are the product
     pub fn new(n: usize) -> Vec<Rank> {
         assert!(n > 0, "process group needs at least one rank");
         let mut senders = Vec::with_capacity(n);

@@ -65,7 +65,12 @@ impl<T: Copy + Default> Image<T> {
     }
 
     /// Builds an image by evaluating `f(x, y)` for every pixel.
-    pub fn from_fn(width: usize, height: usize, channels: usize, mut f: impl FnMut(usize, usize) -> Vec<T>) -> Self {
+    pub fn from_fn(
+        width: usize,
+        height: usize,
+        channels: usize,
+        mut f: impl FnMut(usize, usize) -> Vec<T>,
+    ) -> Self {
         let mut img = Self::new(width, height, channels);
         for y in 0..height {
             for x in 0..width {
@@ -200,7 +205,10 @@ impl<T: Copy + Default> Image<T> {
     /// # Panics
     /// Panics if the region exceeds the image bounds.
     pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> Self {
-        assert!(x0 + w <= self.width && y0 + h <= self.height, "crop out of bounds");
+        assert!(
+            x0 + w <= self.width && y0 + h <= self.height,
+            "crop out of bounds"
+        );
         let mut out = Self::new(w, h, self.channels);
         for y in 0..h {
             let src = &self.row(y0 + y)[x0 * self.channels..(x0 + w) * self.channels];
@@ -244,10 +252,10 @@ impl<T: Copy + Default> Image<T> {
     }
 
     /// Applies `f` to every sample, returning a new image of the same shape.
-    pub fn map<U: Copy + Default>(&self, f: impl Fn(T) -> U + Sync) -> Image<U>
+    pub fn map<U>(&self, f: impl Fn(T) -> U + Sync) -> Image<U>
     where
         T: Sync,
-        U: Send,
+        U: Copy + Default + Send,
     {
         Image {
             width: self.width,
@@ -288,6 +296,110 @@ impl Image<f32> {
         }
         let sum: f64 = self.data.iter().map(|&v| v as f64).sum();
         (sum / self.data.len() as f64) as f32
+    }
+}
+
+/// Ceiling on pooled buffers per sample type; recycling beyond this drops
+/// the buffer instead of growing the pool without bound.
+const MAX_POOLED: usize = 16;
+
+/// A reusable pool of tile-sized buffers.
+///
+/// Batch labeling touches thousands of equally sized tiles; allocating
+/// (and faulting in) fresh image buffers for every tile dominates the cost
+/// of the fused segmentation kernel. A `Scratch` keeps returned buffers
+/// alive so the next `take` reuses their capacity instead of hitting the
+/// allocator.
+///
+/// ## Contract
+///
+/// * `take*` returns a zero-filled buffer of exactly the requested length,
+///   reusing a pooled allocation when one with sufficient capacity exists.
+/// * `recycle*` donates a buffer back to the pool; the pool keeps at most
+///   [`MAX_POOLED`] buffers per sample type and silently drops the rest.
+/// * A `Scratch` is single-threaded by design; parallel batch drivers give
+///   each worker its own (e.g. via `map_init` or a thread-local).
+#[derive(Debug, Default)]
+pub struct Scratch {
+    u8_bufs: Vec<Vec<u8>>,
+    f32_bufs: Vec<Vec<f32>>,
+}
+
+fn pool_take<T: Copy + Default>(pool: &mut Vec<Vec<T>>, len: usize) -> Vec<T> {
+    let mut buf = match pool.iter().position(|b| b.capacity() >= len) {
+        Some(i) => pool.swap_remove(i),
+        None => Vec::with_capacity(len),
+    };
+    buf.clear();
+    buf.resize(len, T::default());
+    buf
+}
+
+fn pool_recycle<T>(pool: &mut Vec<Vec<T>>, buf: Vec<T>) {
+    if buf.capacity() > 0 && pool.len() < MAX_POOLED {
+        pool.push(buf);
+    }
+}
+
+impl Scratch {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zero-filled `u8` buffer of length `len`.
+    pub fn take(&mut self, len: usize) -> Vec<u8> {
+        pool_take(&mut self.u8_bufs, len)
+    }
+
+    /// A zero-filled `f32` buffer of length `len`.
+    pub fn take_f32(&mut self, len: usize) -> Vec<f32> {
+        pool_take(&mut self.f32_bufs, len)
+    }
+
+    /// A zeroed `u8` image backed by a pooled buffer.
+    pub fn take_image(&mut self, width: usize, height: usize, channels: usize) -> Image<u8> {
+        Image::from_vec(
+            width,
+            height,
+            channels,
+            self.take(width * height * channels),
+        )
+    }
+
+    /// A zeroed `f32` image backed by a pooled buffer.
+    pub fn take_image_f32(&mut self, width: usize, height: usize, channels: usize) -> Image<f32> {
+        Image::from_vec(
+            width,
+            height,
+            channels,
+            self.take_f32(width * height * channels),
+        )
+    }
+
+    /// Donates a `u8` buffer back to the pool.
+    pub fn recycle(&mut self, buf: Vec<u8>) {
+        pool_recycle(&mut self.u8_bufs, buf);
+    }
+
+    /// Donates an `f32` buffer back to the pool.
+    pub fn recycle_f32(&mut self, buf: Vec<f32>) {
+        pool_recycle(&mut self.f32_bufs, buf);
+    }
+
+    /// Donates a `u8` image's backing buffer back to the pool.
+    pub fn recycle_image(&mut self, img: Image<u8>) {
+        self.recycle(img.into_vec());
+    }
+
+    /// Donates an `f32` image's backing buffer back to the pool.
+    pub fn recycle_image_f32(&mut self, img: Image<f32>) {
+        self.recycle_f32(img.into_vec());
+    }
+
+    /// `(u8 buffers, f32 buffers)` currently pooled.
+    pub fn pooled(&self) -> (usize, usize) {
+        (self.u8_bufs.len(), self.f32_bufs.len())
     }
 }
 
@@ -397,5 +509,53 @@ mod tests {
         let b = Image::from_vec(2, 1, 1, vec![10u8, 20]);
         let c = zip_map(&a, &b, |x, y| x + y);
         assert_eq!(c.as_slice(), &[11, 22]);
+    }
+
+    #[test]
+    fn scratch_reuses_recycled_capacity() {
+        let mut s = Scratch::new();
+        let mut buf = s.take(256);
+        buf[0] = 7;
+        let ptr = buf.as_ptr();
+        s.recycle(buf);
+        assert_eq!(s.pooled(), (1, 0));
+        // A smaller request reuses the pooled allocation and is re-zeroed.
+        let again = s.take(64);
+        assert_eq!(again.as_ptr(), ptr);
+        assert_eq!(again.len(), 64);
+        assert!(again.iter().all(|&v| v == 0));
+        assert_eq!(s.pooled(), (0, 0));
+    }
+
+    #[test]
+    fn scratch_allocates_when_nothing_fits() {
+        let mut s = Scratch::new();
+        s.recycle(vec![0u8; 16]);
+        let big = s.take(1024);
+        assert_eq!(big.len(), 1024);
+        // The too-small buffer stays pooled for future fits.
+        assert_eq!(s.pooled(), (1, 0));
+    }
+
+    #[test]
+    fn scratch_images_roundtrip() {
+        let mut s = Scratch::new();
+        let img = s.take_image(4, 3, 3);
+        assert_eq!(img.dimensions(), (4, 3));
+        assert!(img.as_slice().iter().all(|&v| v == 0));
+        s.recycle_image(img);
+        let f = s.take_image_f32(4, 3, 1);
+        assert_eq!(f.as_slice().len(), 12);
+        s.recycle_image_f32(f);
+        assert_eq!(s.pooled(), (1, 1));
+    }
+
+    #[test]
+    fn scratch_pool_is_bounded() {
+        let mut s = Scratch::new();
+        for _ in 0..40 {
+            s.recycle(vec![0u8; 8]);
+        }
+        assert_eq!(s.pooled().0, 16);
     }
 }

@@ -40,6 +40,50 @@ pub fn rgb_pixel_to_hsv(r: u8, g: u8, b: u8) -> [u8; 3] {
     ]
 }
 
+/// Integer-only replica of [`rgb_pixel_to_hsv`], bit-identical for every
+/// 8-bit input.
+///
+/// The float reference computes `round(255·Δ/V)` and `round(h°/2)` in
+/// `f32`. Both are rationals with denominators ≤ 510, so their distance
+/// from any half-integer rounding boundary is at least `1/1020` — three
+/// orders of magnitude above the accumulated `f32` rounding error — which
+/// makes `floor((2·num + den) / (2·den))` an exact integer equivalent.
+/// The fused auto-label kernel relies on this (and
+/// `tests/fused_vs_reference.rs` proves it over the full input space).
+#[inline]
+pub fn rgb_pixel_to_hsv_int(r: u8, g: u8, b: u8) -> [u8; 3] {
+    let (ri, gi, bi) = (r as i32, g as i32, b as i32);
+    let v = ri.max(gi).max(bi);
+    let min = ri.min(gi).min(bi);
+    let delta = v - min;
+
+    // round(255·Δ/V) = floor((510·Δ + V) / (2·V)).
+    let s = if v > 0 {
+        (510 * delta + v) / (2 * v)
+    } else {
+        0
+    };
+
+    let h = if delta == 0 {
+        0
+    } else {
+        // Branch order matches the reference exactly: `v == rf` wins ties.
+        let (base, n) = if v == ri {
+            (if gi >= bi { 0 } else { 360 }, gi - bi)
+        } else if v == gi {
+            (120, bi - ri)
+        } else {
+            (240, ri - gi)
+        };
+        // h° = base + 60·n/Δ (non-negative by construction);
+        // round(h°/2) = floor((base·Δ + 60·n + Δ) / (2·Δ)).
+        let num = base * delta + 60 * n;
+        ((num + delta) / (2 * delta)).min(179)
+    };
+
+    [h as u8, s as u8, v as u8]
+}
+
 /// Converts one OpenCV-convention HSV pixel back to 8-bit RGB.
 #[inline]
 pub fn hsv_pixel_to_rgb(h: u8, s: u8, v: u8) -> [u8; 3] {
@@ -91,7 +135,7 @@ fn convert_3ch(src: &Image<u8>, f: impl Fn(u8, u8, u8) -> [u8; 3] + Sync) -> Ima
 /// # Panics
 /// Panics if `src` is not 3-channel.
 pub fn rgb_to_hsv(src: &Image<u8>) -> Image<u8> {
-    convert_3ch(src, |r, g, b| rgb_pixel_to_hsv(r, g, b))
+    convert_3ch(src, rgb_pixel_to_hsv)
 }
 
 /// Converts an OpenCV-convention HSV image back to RGB.
@@ -99,7 +143,7 @@ pub fn rgb_to_hsv(src: &Image<u8>) -> Image<u8> {
 /// # Panics
 /// Panics if `src` is not 3-channel.
 pub fn hsv_to_rgb(src: &Image<u8>) -> Image<u8> {
-    convert_3ch(src, |h, s, v| hsv_pixel_to_rgb(h, s, v))
+    convert_3ch(src, hsv_pixel_to_rgb)
 }
 
 /// Converts RGB to single-channel luma with OpenCV's BT.601 weights
@@ -196,6 +240,31 @@ mod tests {
         for &(x, y) in &[(0, 0), (63, 17), (127, 127)] {
             let p = img.pixel(x, y);
             assert_eq!(hsv.pixel(x, y), &rgb_pixel_to_hsv(p[0], p[1], p[2]));
+        }
+    }
+
+    #[test]
+    fn integer_hsv_matches_float_on_boundary_pixels() {
+        // The exhaustive proof lives in tests/fused_vs_reference.rs; spot
+        // checks here cover the branch and rounding edges.
+        for &(r, g, b) in &[
+            (255u8, 0u8, 0u8),
+            (0, 255, 0),
+            (0, 0, 255),
+            (255, 255, 255),
+            (0, 0, 0),
+            (255, 254, 255), // v == r and v == b: branch tie
+            (128, 128, 127),
+            (255, 0, 1), // near the hue wrap
+            (1, 0, 255),
+            (203, 204, 205),
+            (31, 30, 29),
+        ] {
+            assert_eq!(
+                rgb_pixel_to_hsv_int(r, g, b),
+                rgb_pixel_to_hsv(r, g, b),
+                "int/float HSV mismatch at ({r},{g},{b})"
+            );
         }
     }
 

@@ -72,7 +72,7 @@ pub fn connected_components(
 
     // Union-find over provisional labels.
     let mut parent: Vec<u32> = vec![0]; // parent[0] = background sentinel
-    fn find(parent: &mut Vec<u32>, mut x: u32) -> u32 {
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
         while parent[x as usize] != x {
             let gp = parent[parent[x as usize] as usize];
             parent[x as usize] = gp;
@@ -80,7 +80,7 @@ pub fn connected_components(
         }
         x
     }
-    fn union(parent: &mut Vec<u32>, a: u32, b: u32) {
+    fn union(parent: &mut [u32], a: u32, b: u32) {
         let (ra, rb) = (find(parent, a), find(parent, b));
         if ra != rb {
             let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
@@ -114,12 +114,7 @@ pub fn connected_components(
                     k += 1;
                 }
             }
-            let assigned = match neighbours[..k]
-                .iter()
-                .flatten()
-                .copied()
-                .min()
-            {
+            let assigned = match neighbours[..k].iter().flatten().copied().min() {
                 Some(mn) => {
                     for n in neighbours[..k].iter().flatten() {
                         union(&mut parent, mn, *n);
@@ -196,12 +191,7 @@ mod tests {
 
     #[test]
     fn two_separate_blobs() {
-        let m = mask_from(&[
-            "##..",
-            "##..",
-            "...#",
-            "...#",
-        ]);
+        let m = mask_from(&["##..", "##..", "...#", "...#"]);
         let (_, comps) = connected_components(&m, Connectivity::Four);
         assert_eq!(comps.len(), 2);
         assert_eq!(comps[0].area, 4);
@@ -211,10 +201,7 @@ mod tests {
 
     #[test]
     fn diagonal_touch_depends_on_connectivity() {
-        let m = mask_from(&[
-            "#.",
-            ".#",
-        ]);
+        let m = mask_from(&["#.", ".#"]);
         let (_, four) = connected_components(&m, Connectivity::Four);
         assert_eq!(four.len(), 2);
         let (_, eight) = connected_components(&m, Connectivity::Eight);
@@ -225,11 +212,7 @@ mod tests {
     fn u_shape_merges_via_union_find() {
         // The two arms meet at the bottom only — first pass gives them
         // different provisional labels that union-find must merge.
-        let m = mask_from(&[
-            "#.#",
-            "#.#",
-            "###",
-        ]);
+        let m = mask_from(&["#.#", "#.#", "###"]);
         let (labels, comps) = connected_components(&m, Connectivity::Four);
         assert_eq!(comps.len(), 1);
         assert_eq!(comps[0].area, 7);
@@ -257,11 +240,7 @@ mod tests {
 
     #[test]
     fn elongation_and_thickness_of_a_line() {
-        let m = mask_from(&[
-            "........",
-            "########",
-            "........",
-        ]);
+        let m = mask_from(&["........", "########", "........"]);
         let (_, comps) = connected_components(&m, Connectivity::Four);
         let c = &comps[0];
         assert_eq!(c.area, 8);
@@ -271,12 +250,15 @@ mod tests {
 
     #[test]
     fn labels_are_dense_from_one() {
-        let m = mask_from(&[
-            "#.#.#",
-        ]);
+        let m = mask_from(&["#.#.#"]);
         let (labels, comps) = connected_components(&m, Connectivity::Four);
         assert_eq!(comps.len(), 3);
-        let mut seen: Vec<u32> = labels.as_slice().iter().copied().filter(|&l| l > 0).collect();
+        let mut seen: Vec<u32> = labels
+            .as_slice()
+            .iter()
+            .copied()
+            .filter(|&l| l > 0)
+            .collect();
         seen.sort();
         seen.dedup();
         assert_eq!(seen, vec![1, 2, 3]);

@@ -175,7 +175,11 @@ pub fn median_filter(src: &Image<u8>, radius: usize) -> Image<u8> {
 /// # Panics
 /// Panics if `src` is not single-channel.
 pub fn box_blur_f32(src: &Image<f32>, radius: usize) -> Image<f32> {
-    assert_eq!(src.channels(), 1, "box_blur_f32 expects a single-channel image");
+    assert_eq!(
+        src.channels(),
+        1,
+        "box_blur_f32 expects a single-channel image"
+    );
     if radius == 0 {
         return src.clone();
     }
@@ -232,8 +236,8 @@ pub fn box_blur_f32(src: &Image<f32>, radius: usize) -> Image<f32> {
     });
     for y in 0..h {
         let row = out.row_mut(y);
-        for (x, r) in row.iter_mut().enumerate() {
-            *r = columns[x][y];
+        for (r, col) in row.iter_mut().zip(&columns) {
+            *r = col[y];
         }
     }
     out
@@ -322,7 +326,9 @@ mod tests {
 
     #[test]
     fn box_blur_f32_matches_naive_mean() {
-        let img = Image::from_fn(10, 6, 1, |x, y| vec![(x as f32 * 1.5 + y as f32 * 0.25).sin()]);
+        let img = Image::from_fn(10, 6, 1, |x, y| {
+            vec![(x as f32 * 1.5 + y as f32 * 0.25).sin()]
+        });
         let r = 2usize;
         let out = box_blur_f32(&img.map(|v| v), r);
         // Naive reference at an interior pixel.

@@ -7,7 +7,11 @@ use crate::buffer::Image;
 /// # Panics
 /// Panics if `src` is not single-channel.
 pub fn histogram_u8(src: &Image<u8>) -> [u64; 256] {
-    assert_eq!(src.channels(), 1, "histogram expects a single-channel image");
+    assert_eq!(
+        src.channels(),
+        1,
+        "histogram expects a single-channel image"
+    );
     let mut hist = [0u64; 256];
     for &v in src.as_slice() {
         hist[v as usize] += 1;

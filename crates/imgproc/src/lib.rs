@@ -27,8 +27,8 @@
 //! ```
 
 pub mod buffer;
-pub mod components;
 pub mod color;
+pub mod components;
 pub mod filter;
 pub mod histogram;
 pub mod io;
@@ -39,8 +39,8 @@ pub mod threshold;
 
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
-    pub use crate::buffer::{Gray8, GrayF32, Image, Rgb8};
-    pub use crate::color::{hsv_to_rgb, rgb_to_gray, rgb_to_hsv};
+    pub use crate::buffer::{Gray8, GrayF32, Image, Rgb8, Scratch};
+    pub use crate::color::{hsv_to_rgb, rgb_pixel_to_hsv_int, rgb_to_gray, rgb_to_hsv};
     pub use crate::filter::{box_blur, gaussian_blur, median_filter};
     pub use crate::morphology::{close, dilate, erode, open};
     pub use crate::ops::{

@@ -13,7 +13,11 @@ enum MorphOp {
 }
 
 fn morph(src: &Image<u8>, radius: usize, op: MorphOp) -> Image<u8> {
-    assert_eq!(src.channels(), 1, "morphology expects a single-channel image");
+    assert_eq!(
+        src.channels(),
+        1,
+        "morphology expects a single-channel image"
+    );
     if radius == 0 {
         return src.clone();
     }

@@ -97,7 +97,11 @@ pub fn in_range(src: &Image<u8>, lo: &[u8], hi: &[u8]) -> Image<u8> {
 /// # Panics
 /// Panics if `src` is not single-channel, is empty, or `out_lo > out_hi`.
 pub fn min_max_normalize(src: &Image<u8>, out_lo: u8, out_hi: u8) -> Image<u8> {
-    assert_eq!(src.channels(), 1, "normalize expects a single-channel image");
+    assert_eq!(
+        src.channels(),
+        1,
+        "normalize expects a single-channel image"
+    );
     assert!(!src.as_slice().is_empty(), "normalize of an empty image");
     assert!(out_lo <= out_hi, "inverted output range");
     let mn = *src.as_slice().iter().min().expect("nonempty") as f32;

@@ -29,7 +29,11 @@ pub enum ThresholdType {
 /// # Panics
 /// Panics if `src` is not single-channel.
 pub fn threshold(src: &Image<u8>, t: u8, max_value: u8, ty: ThresholdType) -> Image<u8> {
-    assert_eq!(src.channels(), 1, "threshold expects a single-channel image");
+    assert_eq!(
+        src.channels(),
+        1,
+        "threshold expects a single-channel image"
+    );
     src.map(|v| apply_threshold(v, t, max_value, ty))
 }
 
@@ -100,8 +104,8 @@ pub fn otsu_threshold(src: &Image<u8>) -> u8 {
     let mut best_t = 0u8;
     let mut best_var = -1f64;
 
-    for t in 0..256usize {
-        w_bg += hist[t] as f64;
+    for (t, &count) in hist.iter().enumerate() {
+        w_bg += count as f64;
         if w_bg == 0.0 {
             continue;
         }
@@ -109,7 +113,7 @@ pub fn otsu_threshold(src: &Image<u8>) -> u8 {
         if w_fg == 0.0 {
             break;
         }
-        sum_bg += t as f64 * hist[t] as f64;
+        sum_bg += t as f64 * count as f64;
         let mean_bg = sum_bg / w_bg;
         let mean_fg = (sum_all - sum_bg) / w_fg;
         let between = w_bg * w_fg * (mean_bg - mean_fg).powi(2);
@@ -152,7 +156,12 @@ mod tests {
 
     #[test]
     fn binary_inv_threshold() {
-        let out = threshold(&img(&[0, 100, 101, 255]), 100, 200, ThresholdType::BinaryInv);
+        let out = threshold(
+            &img(&[0, 100, 101, 255]),
+            100,
+            200,
+            ThresholdType::BinaryInv,
+        );
         assert_eq!(out.as_slice(), &[200, 200, 0, 0]);
     }
 
@@ -174,10 +183,10 @@ mod tests {
     fn otsu_separates_bimodal_histogram() {
         // Two well-separated clusters around 40 and 200.
         let mut vals = vec![];
-        vals.extend(std::iter::repeat(38u8).take(50));
-        vals.extend(std::iter::repeat(42u8).take(50));
-        vals.extend(std::iter::repeat(198u8).take(50));
-        vals.extend(std::iter::repeat(202u8).take(50));
+        vals.extend(std::iter::repeat_n(38u8, 50));
+        vals.extend(std::iter::repeat_n(42u8, 50));
+        vals.extend(std::iter::repeat_n(198u8, 50));
+        vals.extend(std::iter::repeat_n(202u8, 50));
         let t = otsu_threshold(&img(&vals));
         assert!(
             (42..198).contains(&t),

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use seaice_imgproc::buffer::Image;
-use seaice_imgproc::color::{hsv_pixel_to_rgb, rgb_pixel_to_hsv};
+use seaice_imgproc::color::{hsv_pixel_to_rgb, rgb_pixel_to_hsv, rgb_pixel_to_hsv_int};
 use seaice_imgproc::filter::{box_blur, gaussian_blur, median_filter};
 use seaice_imgproc::morphology::{dilate, erode};
 use seaice_imgproc::ops::{absdiff, in_range, min_max_normalize};
@@ -65,6 +65,33 @@ proptest! {
     }
 
     #[test]
+    fn gray_pixels_have_zero_saturation(v: u8) {
+        let [h, s, _v] = rgb_pixel_to_hsv(v, v, v);
+        prop_assert_eq!(s, 0);
+        prop_assert_eq!(h, 0);
+        prop_assert_eq!(rgb_pixel_to_hsv_int(v, v, v), [0, 0, v]);
+    }
+
+    #[test]
+    fn integer_hsv_matches_float_reference(r: u8, g: u8, b: u8) {
+        prop_assert_eq!(rgb_pixel_to_hsv_int(r, g, b), rgb_pixel_to_hsv(r, g, b));
+    }
+
+    #[test]
+    fn hsv_to_rgb_to_hsv_roundtrips_within_tolerance(
+        h in 0u8..180, s in 64u8..=255, v in 64u8..=255,
+    ) {
+        // Saturation and value floors keep the chroma large enough that
+        // RGB integer quantization cannot blow up the recovered hue.
+        let [r, g, b] = hsv_pixel_to_rgb(h, s, v);
+        let [h2, s2, v2] = rgb_pixel_to_hsv(r, g, b);
+        prop_assert_eq!(v2, v, "value must roundtrip exactly");
+        prop_assert!((s2 as i32 - s as i32).abs() <= 8, "s {} vs {}", s, s2);
+        let dh = (h2 as i32 - h as i32).abs();
+        prop_assert!(dh.min(180 - dh) <= 4, "h {} vs {}", h, h2);
+    }
+
+    #[test]
     fn hsv_value_roundtrips_exactly(r: u8, g: u8, b: u8) {
         // V = max(R,G,B) survives an HSV roundtrip exactly; chroma may be
         // quantized but max channel magnitude is preserved to ±2.
@@ -91,7 +118,7 @@ proptest! {
     #[test]
     fn trunc_threshold_never_exceeds_t(img in arb_gray(16), t: u8) {
         let out = threshold(&img, t, 255, ThresholdType::Trunc);
-        prop_assert!(out.as_slice().iter().all(|&v| v <= t.max(0)));
+        prop_assert!(out.as_slice().iter().all(|&v| v <= t));
     }
 
     #[test]

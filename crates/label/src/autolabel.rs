@@ -3,12 +3,38 @@
 //! mask and the color-coded label image used as U-Net training data.
 
 use crate::cloudshadow::{CloudShadowFilter, FilterConfig};
+use crate::fused::{segment_into, ClassLut};
 use crate::parallel::WorkerPool;
 use crate::ranges::ClassRanges;
 use crate::segment::{segment_classes, segment_to_color};
 use rayon::prelude::*;
-use seaice_imgproc::buffer::Image;
+use seaice_imgproc::buffer::{Image, Scratch};
 use serde::{Deserialize, Serialize};
+
+/// Which segmentation kernel the auto-labeler runs.
+///
+/// Both produce bit-identical masks for every RGB input (enforced by
+/// `tests/fused_vs_reference.rs`); `Fused` is the fast path and the
+/// default, `Reference` exists as the trusted baseline for differential
+/// testing and benchmarking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LabelBackend {
+    /// `f32` HSV conversion to an intermediate image, then per-pixel
+    /// range scans (the original, OpenCV-shaped path).
+    Reference,
+    /// Single-pass integer HSV + per-channel bitmask LUTs, no
+    /// intermediate images (see [`crate::fused`]).
+    Fused,
+}
+
+// Not derived: the vendored serde_derive shim can't parse `#[default]`
+// variant attributes alongside its `Serialize`/`Deserialize` derives.
+#[allow(clippy::derivable_impls)]
+impl Default for LabelBackend {
+    fn default() -> Self {
+        LabelBackend::Fused
+    }
+}
 
 /// Auto-labeling configuration.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -18,6 +44,8 @@ pub struct AutoLabelConfig {
     /// Thin-cloud/shadow filter settings; `None` labels the raw image
     /// (the paper's "original S2 images" arm).
     pub filter: Option<FilterConfig>,
+    /// Segmentation kernel selection.
+    pub backend: LabelBackend,
 }
 
 impl Default for AutoLabelConfig {
@@ -25,6 +53,7 @@ impl Default for AutoLabelConfig {
         Self {
             ranges: ClassRanges::paper(),
             filter: Some(FilterConfig::default()),
+            backend: LabelBackend::default(),
         }
     }
 }
@@ -33,17 +62,22 @@ impl AutoLabelConfig {
     /// Labels raw imagery without the cloud/shadow filter.
     pub fn unfiltered() -> Self {
         Self {
-            ranges: ClassRanges::paper(),
             filter: None,
+            ..Self::default()
         }
     }
 
     /// Labels with the filter tuned for `side`-pixel tiles.
     pub fn filtered_for_tile(side: usize) -> Self {
         Self {
-            ranges: ClassRanges::paper(),
             filter: Some(FilterConfig::for_tile(side)),
+            ..Self::default()
         }
+    }
+
+    /// The same configuration with a different segmentation backend.
+    pub fn with_backend(self, backend: LabelBackend) -> Self {
+        Self { backend, ..self }
     }
 }
 
@@ -59,14 +93,63 @@ pub struct LabelOutput {
     pub processed: Image<u8>,
 }
 
+/// Runs the configured preprocessing, reusing `scratch` buffers where the
+/// result permits it.
+fn preprocess(rgb: &Image<u8>, cfg: &AutoLabelConfig, scratch: &mut Scratch) -> Image<u8> {
+    match &cfg.filter {
+        Some(fc) => CloudShadowFilter::new(*fc).apply_keep_filtered(rgb, scratch),
+        None => {
+            let mut p = scratch.take_image(rgb.width(), rgb.height(), 3);
+            p.as_mut_slice().copy_from_slice(rgb.as_slice());
+            p
+        }
+    }
+}
+
+/// Segments `processed` into a class mask and color label with the
+/// configured backend.
+fn segment_both(
+    processed: &Image<u8>,
+    cfg: &AutoLabelConfig,
+    scratch: &mut Scratch,
+) -> (Image<u8>, Image<u8>) {
+    match cfg.backend {
+        LabelBackend::Reference => {
+            let mask = segment_classes(processed, &cfg.ranges);
+            let color = segment_to_color(&mask);
+            (mask, color)
+        }
+        LabelBackend::Fused => {
+            let (w, h) = processed.dimensions();
+            let mut mask = scratch.take_image(w, h, 1);
+            let mut color = scratch.take_image(w, h, 3);
+            segment_into(
+                processed,
+                &ClassLut::new(&cfg.ranges),
+                &mut mask,
+                Some(&mut color),
+            );
+            (mask, color)
+        }
+    }
+}
+
 /// Auto-labels one RGB image.
 pub fn auto_label(rgb: &Image<u8>, cfg: &AutoLabelConfig) -> LabelOutput {
-    let processed = match &cfg.filter {
-        Some(fc) => CloudShadowFilter::new(*fc).apply(rgb).filtered,
-        None => rgb.clone(),
-    };
-    let class_mask = segment_classes(&processed, &cfg.ranges);
-    let color_label = segment_to_color(&class_mask);
+    auto_label_scratch(rgb, cfg, &mut Scratch::new())
+}
+
+/// Auto-labels one RGB image, drawing tile-sized buffers from (and
+/// donating discarded intermediates to) a caller-owned [`Scratch`]. Batch
+/// drivers hand each worker one scratch so consecutive tiles reuse the
+/// same allocations.
+pub fn auto_label_scratch(
+    rgb: &Image<u8>,
+    cfg: &AutoLabelConfig,
+    scratch: &mut Scratch,
+) -> LabelOutput {
+    let processed = preprocess(rgb, cfg, scratch);
+    let (class_mask, color_label) = segment_both(&processed, cfg, scratch);
     LabelOutput {
         class_mask,
         color_label,
@@ -74,9 +157,37 @@ pub fn auto_label(rgb: &Image<u8>, cfg: &AutoLabelConfig) -> LabelOutput {
     }
 }
 
+/// Computes only the class mask for one RGB image — the shape consumers
+/// like U-Net training-sample construction need. The processed image and
+/// color label are never materialized for the caller, so their buffers
+/// recycle through `scratch` and consecutive tiles run allocation-free on
+/// the fused backend.
+pub fn auto_label_class_mask(
+    rgb: &Image<u8>,
+    cfg: &AutoLabelConfig,
+    scratch: &mut Scratch,
+) -> Image<u8> {
+    let processed = preprocess(rgb, cfg, scratch);
+    let mask = match cfg.backend {
+        LabelBackend::Reference => segment_classes(&processed, &cfg.ranges),
+        LabelBackend::Fused => {
+            let (w, h) = processed.dimensions();
+            let mut mask = scratch.take_image(w, h, 1);
+            segment_into(&processed, &ClassLut::new(&cfg.ranges), &mut mask, None);
+            mask
+        }
+    };
+    scratch.recycle_image(processed);
+    mask
+}
+
 /// Sequentially auto-labels a batch (the Table I baseline).
 pub fn auto_label_batch(images: &[Image<u8>], cfg: &AutoLabelConfig) -> Vec<LabelOutput> {
-    images.iter().map(|img| auto_label(img, cfg)).collect()
+    let mut scratch = Scratch::new();
+    images
+        .iter()
+        .map(|img| auto_label_scratch(img, cfg, &mut scratch))
+        .collect()
 }
 
 /// Auto-labels a batch on a fixed worker pool — the Python
@@ -86,14 +197,25 @@ pub fn auto_label_batch_pool(
     images: Vec<Image<u8>>,
     cfg: AutoLabelConfig,
 ) -> Vec<LabelOutput> {
-    pool.map(images, move |img| auto_label(&img, &cfg))
+    pool.map(images, move |img| {
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<Scratch> =
+                std::cell::RefCell::new(Scratch::new());
+        }
+        SCRATCH.with(|s| auto_label_scratch(&img, &cfg, &mut s.borrow_mut()))
+    })
 }
 
 /// Auto-labels a batch with rayon work stealing (the idiomatic Rust
 /// data-parallel path; used where the experiment does not need a fixed
 /// worker count).
 pub fn auto_label_batch_rayon(images: &[Image<u8>], cfg: &AutoLabelConfig) -> Vec<LabelOutput> {
-    images.par_iter().map(|img| auto_label(img, cfg)).collect()
+    images
+        .par_iter()
+        .map_init(Scratch::new, |scratch, img| {
+            auto_label_scratch(img, cfg, scratch)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -152,9 +274,65 @@ mod tests {
         let pool = WorkerPool::new(3);
         let pooled = auto_label_batch_pool(&pool, images.clone(), cfg);
         for i in 0..images.len() {
-            assert_eq!(seq[i].class_mask, ray[i].class_mask, "rayon mismatch at {i}");
-            assert_eq!(seq[i].class_mask, pooled[i].class_mask, "pool mismatch at {i}");
+            assert_eq!(
+                seq[i].class_mask, ray[i].class_mask,
+                "rayon mismatch at {i}"
+            );
+            assert_eq!(
+                seq[i].class_mask, pooled[i].class_mask,
+                "pool mismatch at {i}"
+            );
         }
+    }
+
+    #[test]
+    fn backends_agree_on_synthetic_scenes() {
+        for seed in 0..4 {
+            let scene = generate(&SceneConfig::tiny(48), 300 + seed);
+            for cfg in [
+                AutoLabelConfig::unfiltered(),
+                AutoLabelConfig::filtered_for_tile(48),
+            ] {
+                let fused = auto_label(&scene.rgb, &cfg.with_backend(LabelBackend::Fused));
+                let reference = auto_label(&scene.rgb, &cfg.with_backend(LabelBackend::Reference));
+                assert_eq!(fused.class_mask, reference.class_mask, "seed {seed}");
+                assert_eq!(fused.color_label, reference.color_label, "seed {seed}");
+                assert_eq!(fused.processed, reference.processed, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn class_mask_only_path_matches_full_output() {
+        let scene = generate(&SceneConfig::tiny(32), 9);
+        let mut scratch = seaice_imgproc::buffer::Scratch::new();
+        for cfg in [
+            AutoLabelConfig::unfiltered(),
+            AutoLabelConfig::unfiltered().with_backend(LabelBackend::Reference),
+            AutoLabelConfig::filtered_for_tile(32),
+        ] {
+            let mask = auto_label_class_mask(&scene.rgb, &cfg, &mut scratch);
+            assert_eq!(mask, auto_label(&scene.rgb, &cfg).class_mask);
+        }
+    }
+
+    #[test]
+    fn scratch_buffers_recycle_across_tiles() {
+        // After the first unfiltered mask-only tile, the processed copy is
+        // recycled; the second tile must find it in the pool.
+        let imgs: Vec<_> = (0..3)
+            .map(|i| generate(&SceneConfig::tiny(16), 40 + i).rgb)
+            .collect();
+        let mut scratch = seaice_imgproc::buffer::Scratch::new();
+        let cfg = AutoLabelConfig::unfiltered();
+        let first = auto_label_class_mask(&imgs[0], &cfg, &mut scratch);
+        assert!(scratch.pooled().0 >= 1, "processed buffer not recycled");
+        let baseline = scratch.pooled().0;
+        let _ = auto_label_class_mask(&imgs[1], &cfg, &mut scratch);
+        let _ = auto_label_class_mask(&imgs[2], &cfg, &mut scratch);
+        // Steady state: the pool stops growing once tiles reuse buffers.
+        assert!(scratch.pooled().0 <= baseline + 1, "pool grew per tile");
+        assert_eq!(first, auto_label(&imgs[0], &cfg).class_mask);
     }
 
     #[test]

@@ -24,7 +24,10 @@ impl ClassRanges {
     /// # Panics
     /// Panics unless `0 < factor ≤ 1`.
     pub fn for_illumination(factor: f32) -> Self {
-        assert!(factor > 0.0 && factor <= 1.0, "illumination must be in (0, 1]");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "illumination must be in (0, 1]"
+        );
         let summer = Self::paper();
         let thick_lo = (summer.thick.lo[2] as f32 * factor).round() as u8;
         let water_hi = (summer.water.hi[2] as f32 * factor).round() as u8;

@@ -145,6 +145,23 @@ impl CloudShadowFilter {
         &self.config
     }
 
+    /// Runs the filter but keeps only the corrected image, donating the
+    /// diagnostic buffers (masks and fields) to `scratch` so batch callers
+    /// reuse them for the next tile instead of freeing and reallocating.
+    pub fn apply_keep_filtered(
+        &self,
+        rgb: &Image<u8>,
+        scratch: &mut seaice_imgproc::buffer::Scratch,
+    ) -> Image<u8> {
+        let out = self.apply(rgb);
+        scratch.recycle_image(out.cloud_mask);
+        scratch.recycle_image(out.shadow_mask);
+        scratch.recycle_image(out.residual);
+        scratch.recycle_image_f32(out.haze);
+        scratch.recycle_image_f32(out.shadow_gain);
+        out.filtered
+    }
+
     /// Runs the filter on an RGB image.
     ///
     /// # Panics
@@ -195,7 +212,7 @@ impl CloudShadowFilter {
                         }
                         let g_pred = gamma * (b - 255.0 * a) + 255.0 * a;
                         let err = (g_pred - g).abs();
-                        if best.map_or(true, |(_, e)| err < e) {
+                        if best.is_none_or(|(_, e)| err < e) {
                             best = Some((a, err));
                         }
                     }
@@ -328,8 +345,7 @@ impl CloudShadowFilter {
         } else {
             Image::<u8>::new(w, h, 1)
         };
-        let shadow_u8 =
-            shadow_gain.map(|m| ((1.0 - m) * 255.0).round().clamp(0.0, 255.0) as u8);
+        let shadow_u8 = shadow_gain.map(|m| ((1.0 - m) * 255.0).round().clamp(0.0, 255.0) as u8);
         let shadow_mask = threshold(&shadow_u8, 12, 255, ThresholdType::Binary);
 
         // 7. Change map (per-channel absolute difference, max-reduced).
@@ -480,10 +496,7 @@ mod tests {
         let out = CloudShadowFilter::new(FilterConfig::for_tile(64)).apply(&thin);
         let ranges = ClassRanges::paper();
         let mask = segment_classes(&out.filtered, &ranges);
-        assert!(mask
-            .as_slice()
-            .iter()
-            .all(|&c| c == IceClass::Thin as u8));
+        assert!(mask.as_slice().iter().all(|&c| c == IceClass::Thin as u8));
     }
 
     #[test]

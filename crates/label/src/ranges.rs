@@ -28,7 +28,7 @@ impl IceClass {
 
     /// Label color used in the paper's figures (Fig. 4): red for thick
     /// ice, blue for thin ice, green for open water.
-    pub fn color(self) -> [u8; 3] {
+    pub const fn color(self) -> [u8; 3] {
         match self {
             IceClass::Thick => [255, 0, 0],
             IceClass::Thin => [0, 0, 255],

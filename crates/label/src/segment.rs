@@ -52,11 +52,7 @@ pub fn segment_to_color(mask: &Image<u8>) -> Image<u8> {
     assert_eq!(mask.channels(), 1, "expected a class mask");
     let (w, h) = mask.dimensions();
     let mut out = Image::<u8>::new(w, h, 3);
-    for (dst, &c) in out
-        .as_mut_slice()
-        .chunks_exact_mut(3)
-        .zip(mask.as_slice())
-    {
+    for (dst, &c) in out.as_mut_slice().chunks_exact_mut(3).zip(mask.as_slice()) {
         let class = IceClass::from_index(c).expect("invalid class index in mask");
         dst.copy_from_slice(&class.color());
     }

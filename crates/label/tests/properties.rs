@@ -3,7 +3,8 @@
 use proptest::prelude::*;
 use seaice_imgproc::buffer::Image;
 use seaice_label::cloudshadow::{CloudShadowFilter, FilterConfig};
-use seaice_label::ranges::{ClassRanges, IceClass};
+use seaice_label::fused::ClassLut;
+use seaice_label::ranges::{ClassRanges, HsvRange, IceClass};
 use seaice_label::segment::{class_masks, color_to_classes, segment_classes, segment_to_color};
 
 fn arb_rgb(max_side: usize) -> impl Strategy<Value = Image<u8>> {
@@ -78,6 +79,65 @@ proptest! {
             ..FilterConfig::default()
         });
         prop_assert_eq!(f.apply(&img).filtered, f.apply(&img).filtered);
+    }
+
+    #[test]
+    fn lut_classification_matches_reference_for_arbitrary_ranges(
+        bounds in proptest::collection::vec(any::<u8>(), 18),
+        probes in proptest::collection::vec(any::<u8>(), 48),
+    ) {
+        // Fully arbitrary per-class boxes — including inverted (lo > hi,
+        // i.e. empty) bounds on any channel — must classify identically
+        // through the LUT and the reference range scan, fallback included.
+        let range = |i: usize| HsvRange {
+            lo: [bounds[i], bounds[i + 1], bounds[i + 2]],
+            hi: [bounds[i + 3], bounds[i + 4], bounds[i + 5]],
+        };
+        let ranges = ClassRanges {
+            thick: range(0),
+            thin: range(6),
+            water: range(12),
+        };
+        let lut = ClassLut::new(&ranges);
+        for hsv in probes.chunks_exact(3) {
+            prop_assert_eq!(
+                lut.classify(hsv[0], hsv[1], hsv[2]),
+                ranges.classify(hsv) as u8,
+                "hsv {:?} under ranges {:?}", hsv, ranges
+            );
+        }
+        // Membership per class: a probe classifies to class k through the
+        // first-match scan iff no earlier class contains it and k does.
+        for hsv in probes.chunks_exact(3) {
+            let first = IceClass::ALL
+                .into_iter()
+                .find(|c| ranges.range(*c).contains(hsv));
+            if let Some(c) = first {
+                prop_assert_eq!(lut.classify(hsv[0], hsv[1], hsv[2]), c as u8);
+            }
+        }
+    }
+
+    #[test]
+    fn wrapped_hue_bounds_are_empty_in_both_paths(
+        hue_lo in 100u8..=255, hue_span in 1u8..=99, h: u8, s: u8, v: u8,
+    ) {
+        // OpenCV-style inclusive boxes don't wrap the hue circle: lo > hi
+        // means the box is empty. The LUT must agree — every pixel then
+        // lands in the nearest-V fallback, same as the reference.
+        let hue_hi = hue_lo - hue_span;
+        let empty_hue = |vals: [u8; 2]| HsvRange {
+            lo: [hue_lo, 0, vals[0]],
+            hi: [hue_hi, 255, vals[1]],
+        };
+        let ranges = ClassRanges {
+            thick: empty_hue([205, 255]),
+            thin: empty_hue([31, 204]),
+            water: empty_hue([0, 30]),
+        };
+        prop_assert!(!ranges.thick.contains(&[h, s, v]));
+        let lut = ClassLut::new(&ranges);
+        prop_assert_eq!(lut.classify(h, s, v), ranges.classify(&[h, s, v]) as u8);
     }
 
     #[test]

@@ -79,8 +79,7 @@ impl Cluster {
                         // the queue keeps draining and the panic surfaces
                         // to the driver through the missing completion.
                         while let Ok(task) = rx.recv() {
-                            let _ =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
                         }
                     })
                     .expect("failed to spawn executor thread")
@@ -111,8 +110,8 @@ impl Cluster {
             return Vec::new();
         }
         let f = Arc::new(f);
-        let results: Arc<Mutex<Vec<Option<(U, f64)>>>> =
-            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        type SlotResults<U> = Arc<Mutex<Vec<Option<(U, f64)>>>>;
+        let results: SlotResults<U> = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
         let (done_tx, done_rx) = channel::bounded::<()>(n);
         for (i, item) in items.into_iter().enumerate() {
             let f = f.clone();

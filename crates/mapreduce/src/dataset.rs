@@ -73,9 +73,7 @@ impl Session {
             bytes_per_item,
         };
         let report = StageReport {
-            simulated_secs: self
-                .cost
-                .load_time(&self.spec(), bytes_per_item * n as f64),
+            simulated_secs: self.cost.load_time(&self.spec(), bytes_per_item * n as f64),
             measured_secs: t0.elapsed().as_secs_f64(),
             tasks: n,
         };
@@ -160,24 +158,17 @@ impl<T: Send + 'static, U: Send + 'static> LazyFrame<T, U> {
     /// driver (the action that does the real work — the paper's "Reduce"
     /// stage). `result_bytes_per_item` sizes the simulated collect
     /// transfer.
-    pub fn collect(
-        self,
-        session: &Session,
-        result_bytes_per_item: f64,
-    ) -> (Vec<U>, StageReport) {
+    pub fn collect(self, session: &Session, result_bytes_per_item: f64) -> (Vec<U>, StageReport) {
         let t0 = Instant::now();
         let n = self.items.len();
         let udf = self.udf;
-        let results = session
-            .cluster
-            .run_tasks(self.items, move |item| udf(item));
+        let results = session.cluster.run_tasks(self.items, move |item| udf(item));
         let measured = t0.elapsed().as_secs_f64();
         let costs: Vec<f64> = results.iter().map(|(_, secs)| *secs).collect();
-        let simulated = session.cost.reduce_time(
-            &session.spec(),
-            &costs,
-            result_bytes_per_item * n as f64,
-        );
+        let simulated =
+            session
+                .cost
+                .reduce_time(&session.spec(), &costs, result_bytes_per_item * n as f64);
         (
             results.into_iter().map(|(v, _)| v).collect(),
             StageReport {

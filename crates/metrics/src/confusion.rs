@@ -142,8 +142,8 @@ impl ConfusionMatrix {
         s.push('\n');
         for (p, name) in class_names.iter().enumerate() {
             s.push_str(&format!("{name:>14} |"));
-            for t in 0..self.n {
-                s.push_str(&format!(" {:>10.2}%", norm[p][t] * 100.0));
+            for cell in norm[p].iter().take(self.n) {
+                s.push_str(&format!(" {:>10.2}%", cell * 100.0));
             }
             s.push('\n');
         }
@@ -189,9 +189,12 @@ mod tests {
     fn columns_normalize_to_one() {
         let m = sample_matrix();
         let norm = m.column_normalized();
-        for t in 0..3 {
-            let col_sum: f64 = (0..3).map(|p| norm[p][t]).sum();
-            assert!((col_sum - 1.0).abs() < 1e-12, "column {t} sums to {col_sum}");
+        for t in 0..3usize {
+            let col_sum: f64 = norm.iter().take(3).map(|row| row[t]).sum();
+            assert!(
+                (col_sum - 1.0).abs() < 1e-12,
+                "column {t} sums to {col_sum}"
+            );
         }
         assert!((norm[0][0] - 2.0 / 3.0).abs() < 1e-12);
         assert!((norm[1][0] - 1.0 / 3.0).abs() < 1e-12);

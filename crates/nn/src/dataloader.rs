@@ -34,7 +34,11 @@ impl Sample {
             self.channels * self.height * self.width,
             "image length mismatch"
         );
-        assert_eq!(self.mask.len(), self.height * self.width, "mask length mismatch");
+        assert_eq!(
+            self.mask.len(),
+            self.height * self.width,
+            "mask length mismatch"
+        );
     }
 
     /// Horizontal mirror of the sample.
@@ -181,8 +185,7 @@ impl DataLoader {
                 let item = c * h * w;
                 for (bi, &si) in chunk.iter().enumerate() {
                     let s = &self.samples[si];
-                    images.as_mut_slice()[bi * item..(bi + 1) * item]
-                        .copy_from_slice(&s.image);
+                    images.as_mut_slice()[bi * item..(bi + 1) * item].copy_from_slice(&s.image);
                     targets.extend_from_slice(&s.mask);
                 }
                 Batch { images, targets }

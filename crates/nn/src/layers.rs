@@ -92,7 +92,11 @@ impl Conv2d {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn load(&mut self, weight: Tensor, bias: Tensor) {
-        assert_eq!(weight.shape(), self.weight.value.shape(), "weight shape mismatch");
+        assert_eq!(
+            weight.shape(),
+            self.weight.value.shape(),
+            "weight shape mismatch"
+        );
         assert_eq!(bias.shape(), self.bias.value.shape(), "bias shape mismatch");
         self.weight.value = weight;
         self.bias.value = bias;
@@ -107,10 +111,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self
-            .cached_input
-            .as_ref()
-            .expect("backward before forward");
+        let x = self.cached_input.as_ref().expect("backward before forward");
         let (dx, dw, db) = ops::conv2d_backward(x, &self.weight.value, grad_out, &self.shape);
         self.weight.grad.add_assign(&dw);
         self.bias.grad.add_assign(&db);
@@ -135,7 +136,10 @@ impl ConvTranspose2d {
     pub fn new(shape: crate::ops::convtranspose::ConvTranspose2dShape, seed: u64) -> Self {
         let fan_in = shape.in_channels * shape.kernel * shape.kernel;
         let weight = Param::new(he_uniform(
-            &[shape.in_channels, shape.out_channels * shape.kernel * shape.kernel],
+            &[
+                shape.in_channels,
+                shape.out_channels * shape.kernel * shape.kernel,
+            ],
             fan_in,
             seed,
         ));
@@ -167,10 +171,7 @@ impl Layer for ConvTranspose2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self
-            .cached_input
-            .as_ref()
-            .expect("backward before forward");
+        let x = self.cached_input.as_ref().expect("backward before forward");
         let (dx, dw, db) = crate::ops::convtranspose::conv_transpose2d_backward(
             x,
             &self.weight.value,
@@ -200,10 +201,7 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self
-            .cached_input
-            .as_ref()
-            .expect("backward before forward");
+        let x = self.cached_input.as_ref().expect("backward before forward");
         ops::relu_backward(x, grad_out)
     }
 }

@@ -62,8 +62,8 @@ pub fn softmax_cross_entropy(logits: &Tensor, targets: &[u8]) -> LossOutput {
                 }
             }
             let inv = 1.0 / sum;
-            for c in 0..k {
-                probs[c] *= inv;
+            for prob in probs.iter_mut().take(k) {
+                *prob *= inv;
             }
             loss_sum += -(probs[t].max(1e-12) as f64).ln();
             predictions[b * plane + p] = argmax as u8;

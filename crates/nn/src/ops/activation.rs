@@ -12,7 +12,11 @@ pub fn relu(x: &Tensor) -> Tensor {
 /// # Panics
 /// Panics on shape mismatch.
 pub fn relu_backward(input: &Tensor, grad_out: &Tensor) -> Tensor {
-    assert_eq!(input.shape(), grad_out.shape(), "relu gradient shape mismatch");
+    assert_eq!(
+        input.shape(),
+        grad_out.shape(),
+        "relu gradient shape mismatch"
+    );
     let data = input
         .as_slice()
         .iter()

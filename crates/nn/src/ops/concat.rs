@@ -18,8 +18,7 @@ pub fn concat_channels(a: &Tensor, b: &Tensor) -> Tensor {
     for bi in 0..n {
         let dst_base = bi * (c1 + c2) * plane;
         dst[dst_base..dst_base + c1 * plane].copy_from_slice(a.batch_item(bi));
-        dst[dst_base + c1 * plane..dst_base + (c1 + c2) * plane]
-            .copy_from_slice(b.batch_item(bi));
+        dst[dst_base + c1 * plane..dst_base + (c1 + c2) * plane].copy_from_slice(b.batch_item(bi));
     }
     out
 }
@@ -38,10 +37,8 @@ pub fn concat_channels_backward(grad_out: &Tensor, c1: usize, c2: usize) -> (Ten
         let src = grad_out.batch_item(bi);
         let ga_base = bi * c1 * plane;
         let gb_base = bi * c2 * plane;
-        ga.as_mut_slice()[ga_base..ga_base + c1 * plane]
-            .copy_from_slice(&src[..c1 * plane]);
-        gb.as_mut_slice()[gb_base..gb_base + c2 * plane]
-            .copy_from_slice(&src[c1 * plane..]);
+        ga.as_mut_slice()[ga_base..ga_base + c1 * plane].copy_from_slice(&src[..c1 * plane]);
+        gb.as_mut_slice()[gb_base..gb_base + c2 * plane].copy_from_slice(&src[c1 * plane..]);
     }
     (ga, gb)
 }
@@ -57,7 +54,10 @@ mod tests {
         let out = concat_channels(&a, &b);
         assert_eq!(out.shape(), &[1, 3, 2, 2]);
         assert_eq!(&out.as_slice()[..4], &[1.0, 2.0, 3.0, 4.0]);
-        assert_eq!(&out.as_slice()[4..], (5..=12).map(|v| v as f32).collect::<Vec<_>>().as_slice());
+        assert_eq!(
+            &out.as_slice()[4..],
+            (5..=12).map(|v| v as f32).collect::<Vec<_>>().as_slice()
+        );
     }
 
     #[test]

@@ -134,8 +134,7 @@ pub fn conv2d_backward(
     let mut grad_bias = Tensor::zeros(&[shape.out_channels]);
     let item_len = c * h * w;
     for (b, (dx, dw, db)) in partials.into_iter().enumerate() {
-        grad_input.as_mut_slice()[b * item_len..(b + 1) * item_len]
-            .copy_from_slice(dx.as_slice());
+        grad_input.as_mut_slice()[b * item_len..(b + 1) * item_len].copy_from_slice(dx.as_slice());
         grad_weight.add_assign(&dw);
         grad_bias.add_assign(&db);
     }

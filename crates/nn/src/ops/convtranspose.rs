@@ -90,7 +90,8 @@ pub fn conv_transpose2d(
             }
             let x = &in_data[b * in_item..(b + 1) * in_item];
             for ic in 0..c {
-                let w_row = &w_data[ic * shape.out_channels * k * k..(ic + 1) * shape.out_channels * k * k];
+                let w_row =
+                    &w_data[ic * shape.out_channels * k * k..(ic + 1) * shape.out_channels * k * k];
                 for y in 0..h {
                     for xpos in 0..w {
                         let v = x[(ic * h + y) * w + xpos];
@@ -149,7 +150,8 @@ pub fn conv_transpose2d_backward(
             // dX[ic,y,x] = Σ_{oc,ky,kx} gy[oc, y·s+ky, x·s+kx] · W[ic][oc,ky,kx]
             // dW[ic][oc,ky,kx] = Σ_{y,x} x[ic,y,x] · gy[oc, y·s+ky, x·s+kx]
             for ic in 0..c {
-                let w_row = &w_data[ic * shape.out_channels * k * k..(ic + 1) * shape.out_channels * k * k];
+                let w_row =
+                    &w_data[ic * shape.out_channels * k * k..(ic + 1) * shape.out_channels * k * k];
                 let dw_row = &mut dw.as_mut_slice()
                     [ic * shape.out_channels * k * k..(ic + 1) * shape.out_channels * k * k];
                 for y in 0..h {

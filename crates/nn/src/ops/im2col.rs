@@ -12,19 +12,21 @@ use crate::tensor::Tensor;
 /// # Panics
 /// Panics unless `input` is 3-D and the geometry yields at least one
 /// output position.
-pub fn im2col(
-    input: &Tensor,
-    kh: usize,
-    kw: usize,
-    stride: usize,
-    pad: usize,
-) -> Tensor {
+pub fn im2col(input: &Tensor, kh: usize, kw: usize, stride: usize, pad: usize) -> Tensor {
     let s = input.shape();
     assert_eq!(s.len(), 3, "im2col expects a CHW tensor");
     let (c, h, w) = (s[0], s[1], s[2]);
     assert!(stride > 0, "stride must be positive");
-    let oh = (h + 2 * pad).checked_sub(kh).expect("kernel taller than padded input") / stride + 1;
-    let ow = (w + 2 * pad).checked_sub(kw).expect("kernel wider than padded input") / stride + 1;
+    let oh = (h + 2 * pad)
+        .checked_sub(kh)
+        .expect("kernel taller than padded input")
+        / stride
+        + 1;
+    let ow = (w + 2 * pad)
+        .checked_sub(kw)
+        .expect("kernel wider than padded input")
+        / stride
+        + 1;
 
     let mut out = Tensor::zeros(&[c * kh * kw, oh * ow]);
     let data = input.as_slice();
@@ -61,6 +63,7 @@ pub fn im2col(
 ///
 /// # Panics
 /// Panics if the column shape does not match the geometry.
+#[allow(clippy::too_many_arguments)] // mirrors the standard col2im geometry signature
 pub fn col2im(
     cols: &Tensor,
     c: usize,

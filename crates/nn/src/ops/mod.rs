@@ -18,6 +18,6 @@ pub use conv2d::{conv2d, conv2d_backward, Conv2dShape};
 pub use convtranspose::{conv_transpose2d, conv_transpose2d_backward, ConvTranspose2dShape};
 pub use dropout::{dropout, dropout_backward};
 pub use im2col::{col2im, im2col};
-pub use matmul::{matmul, matmul_at_b, matmul_a_bt};
+pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
 pub use pool::{maxpool2x2, maxpool2x2_backward};
 pub use upsample::{upsample2x, upsample2x_backward};

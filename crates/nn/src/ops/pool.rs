@@ -47,16 +47,8 @@ pub fn maxpool2x2(input: &Tensor) -> (Tensor, Vec<usize>) {
 ///
 /// # Panics
 /// Panics if `grad_out` length differs from `argmax` length.
-pub fn maxpool2x2_backward(
-    grad_out: &Tensor,
-    argmax: &[usize],
-    input_shape: &[usize],
-) -> Tensor {
-    assert_eq!(
-        grad_out.len(),
-        argmax.len(),
-        "grad/argmax length mismatch"
-    );
+pub fn maxpool2x2_backward(grad_out: &Tensor, argmax: &[usize], input_shape: &[usize]) -> Tensor {
+    assert_eq!(grad_out.len(), argmax.len(), "grad/argmax length mismatch");
     let mut grad_in = Tensor::zeros(input_shape);
     let gi = grad_in.as_mut_slice();
     for (&g, &idx) in grad_out.as_slice().iter().zip(argmax) {
@@ -103,10 +95,7 @@ mod tests {
 
     #[test]
     fn multichannel_batches_pool_independently() {
-        let input = Tensor::from_vec(
-            &[2, 2, 2, 2],
-            (0..16).map(|v| v as f32).collect(),
-        );
+        let input = Tensor::from_vec(&[2, 2, 2, 2], (0..16).map(|v| v as f32).collect());
         let (out, _) = maxpool2x2(&input);
         assert_eq!(out.shape(), &[2, 2, 1, 1]);
         assert_eq!(out.as_slice(), &[3.0, 7.0, 11.0, 15.0]);

@@ -36,7 +36,10 @@ pub fn upsample2x(input: &Tensor) -> Tensor {
 /// Panics unless `grad_out` is 4-D with even spatial dimensions.
 pub fn upsample2x_backward(grad_out: &Tensor) -> Tensor {
     let (n, c, oh, ow) = grad_out.nchw();
-    assert!(oh % 2 == 0 && ow % 2 == 0, "upsample grad must be even-sized");
+    assert!(
+        oh % 2 == 0 && ow % 2 == 0,
+        "upsample grad must be even-sized"
+    );
     let (h, w) = (oh / 2, ow / 2);
     let mut grad_in = Tensor::zeros(&[n, c, h, w]);
     let src = grad_out.as_slice();

@@ -168,7 +168,11 @@ impl CloudLayer {
     /// Panics if `rgb` is not 3-channel or sizes mismatch.
     pub fn apply(&self, rgb: &Image<u8>) -> Image<u8> {
         assert_eq!(rgb.channels(), 3, "cloud overlay expects RGB");
-        assert_eq!(rgb.dimensions(), self.cloud_alpha.dimensions(), "size mismatch");
+        assert_eq!(
+            rgb.dimensions(),
+            self.cloud_alpha.dimensions(),
+            "size mismatch"
+        );
         let (w, _h) = rgb.dimensions();
         let strength = self.config.shadow_strength;
         let mut out = rgb.clone();

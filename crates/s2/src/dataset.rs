@@ -223,7 +223,10 @@ mod tests {
     fn split_fractions_hold() {
         let ds = Dataset::build(small_cfg());
         let train_frac = ds.train.len() as f64 / ds.len() as f64;
-        assert!((train_frac - 0.8).abs() < 0.05, "train fraction {train_frac}");
+        assert!(
+            (train_frac - 0.8).abs() < 0.05,
+            "train fraction {train_frac}"
+        );
     }
 
     #[test]
@@ -291,9 +294,14 @@ mod tests {
                     // A changed pixel must have had a different-class
                     // 4-neighbour in the original mask.
                     let c = scene.truth.get(x, y);
-                    let near_boundary = [(x.wrapping_sub(1), y), (x + 1, y), (x, y.wrapping_sub(1)), (x, y + 1)]
-                        .into_iter()
-                        .any(|(nx, ny)| nx < w && ny < h && scene.truth.get(nx, ny) != c);
+                    let near_boundary = [
+                        (x.wrapping_sub(1), y),
+                        (x + 1, y),
+                        (x, y.wrapping_sub(1)),
+                        (x, y + 1),
+                    ]
+                    .into_iter()
+                    .any(|(nx, ny)| nx < w && ny < h && scene.truth.get(nx, ny) != c);
                     assert!(near_boundary, "interior pixel ({x},{y}) changed");
                 }
             }

@@ -50,7 +50,11 @@ impl Manifest {
         if m.version > Self::VERSION {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("manifest version {} is newer than supported {}", m.version, Self::VERSION),
+                format!(
+                    "manifest version {} is newer than supported {}",
+                    m.version,
+                    Self::VERSION
+                ),
             ));
         }
         Ok(m)
@@ -107,7 +111,8 @@ mod tests {
     #[test]
     fn file_roundtrip() {
         let m = sample_manifest();
-        let path = std::env::temp_dir().join(format!("seaice-manifest-{}.json", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("seaice-manifest-{}.json", std::process::id()));
         m.save(&path).unwrap();
         let back = Manifest::load(&path).unwrap();
         std::fs::remove_file(&path).ok();

@@ -19,7 +19,9 @@ fn mix64(mut z: u64) -> u64 {
 /// Hashes a lattice point to a uniform value in `[0, 1)`.
 #[inline]
 fn lattice(ix: i64, iy: i64, seed: u64) -> f32 {
-    let h = mix64(seed ^ mix64((ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (iy as u64).rotate_left(32)));
+    let h = mix64(
+        seed ^ mix64((ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (iy as u64).rotate_left(32)),
+    );
     // Take the top 24 bits for a clean mantissa.
     (h >> 40) as f32 / (1u64 << 24) as f32
 }

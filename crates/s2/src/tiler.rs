@@ -58,9 +58,17 @@ pub fn tile_scene(
     tile_size: usize,
 ) -> Vec<Tile> {
     assert!(tile_size > 0, "tile size must be positive");
-    assert_eq!(rgb.dimensions(), truth.dimensions(), "rgb/truth size mismatch");
+    assert_eq!(
+        rgb.dimensions(),
+        truth.dimensions(),
+        "rgb/truth size mismatch"
+    );
     if let Some(c) = contamination {
-        assert_eq!(rgb.dimensions(), c.dimensions(), "contamination size mismatch");
+        assert_eq!(
+            rgb.dimensions(),
+            c.dimensions(),
+            "contamination size mismatch"
+        );
     }
     if let Some(c) = clean_rgb {
         assert_eq!(rgb.dimensions(), c.dimensions(), "clean rgb size mismatch");
@@ -180,10 +188,11 @@ mod tests {
             Some(&contamination),
             16,
         );
-        let mean: f64 =
-            tiles.iter().map(|t| t.cloud_fraction).sum::<f64>() / tiles.len() as f64;
+        let mean: f64 = tiles.iter().map(|t| t.cloud_fraction).sum::<f64>() / tiles.len() as f64;
         assert!(mean > 0.0, "contaminated scene must have cloudy tiles");
-        assert!(tiles.iter().all(|t| (0.0..=1.0).contains(&t.cloud_fraction)));
+        assert!(tiles
+            .iter()
+            .all(|t| (0.0..=1.0).contains(&t.cloud_fraction)));
         // The scene-level coverage must equal the tile-average coverage.
         assert!((mean - layer.coverage_fraction()).abs() < 0.02);
     }

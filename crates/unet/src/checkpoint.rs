@@ -104,7 +104,8 @@ mod tests {
         let mut a = tiny();
         let x = uniform(&[1, 3, 8, 8], 0.0, 1.0, 2);
         let ya = a.forward(&x, false);
-        let path = std::env::temp_dir().join(format!("seaice-unet-ckpt-{}.json", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("seaice-unet-ckpt-{}.json", std::process::id()));
         save(&mut a, &path).unwrap();
         let mut b = load(&path).unwrap();
         std::fs::remove_file(&path).ok();

@@ -77,7 +77,7 @@ impl UNetConfig {
     /// Panics if the side is not divisible by `2^depth`.
     pub fn assert_input_side(&self, side: usize) {
         assert!(
-            side % self.min_input_side() == 0 && side > 0,
+            side.is_multiple_of(self.min_input_side()) && side > 0,
             "input side {side} must be a positive multiple of {}",
             self.min_input_side()
         );

@@ -31,6 +31,6 @@ pub mod train;
 pub use config::{UNetConfig, UpMode};
 pub use model::UNet;
 pub use train::{
-    evaluate, train, train_validated, EvalReport, TrainConfig, TrainReport,
-    ValidatedTrainConfig, ValidatedTrainReport,
+    evaluate, train, train_validated, EvalReport, TrainConfig, TrainReport, ValidatedTrainConfig,
+    ValidatedTrainReport,
 };

@@ -3,7 +3,9 @@
 //! connections.
 
 use crate::config::{UNetConfig, UpMode};
-use seaice_nn::layers::{Conv2d, ConvTranspose2d, Dropout, Layer, MaxPool2x2, Param, Relu, Upsample2x};
+use seaice_nn::layers::{
+    Conv2d, ConvTranspose2d, Dropout, Layer, MaxPool2x2, Param, Relu, Upsample2x,
+};
 use seaice_nn::ops::conv2d::Conv2dShape;
 use seaice_nn::ops::convtranspose::ConvTranspose2dShape;
 use seaice_nn::ops::{concat_channels, concat_channels_backward};
@@ -396,10 +398,7 @@ mod tests {
         let dx = net.backward(&lo.grad);
         assert_eq!(dx.shape(), x.shape());
         for (i, p) in net.params_mut().into_iter().enumerate() {
-            assert!(
-                p.grad.max_abs() > 0.0,
-                "parameter {i} received no gradient"
-            );
+            assert!(p.grad.max_abs() > 0.0, "parameter {i} received no gradient");
         }
     }
 
@@ -445,7 +444,10 @@ mod tests {
             adam.step(&mut net.params_mut());
         }
         let after = softmax_cross_entropy(&net.forward(&x, false), &targets).loss;
-        assert!(after < before, "transposed U-Net must train: {before} -> {after}");
+        assert!(
+            after < before,
+            "transposed U-Net must train: {before} -> {after}"
+        );
         // The two up modes are genuinely different networks.
         let mut other = UNet::new(tiny_config());
         assert_ne!(net.parameter_count(), other.parameter_count());

@@ -282,7 +282,10 @@ mod tests {
     fn tiny_net() -> UNet {
         UNet::new(UNetConfig {
             depth: 2,
-            base_filters: 4,
+            // 4 filters sit right on the toy problem's decision boundary
+            // for some weight-init streams; 8 converges with margin and
+            // keeps the whole module under a second on one core.
+            base_filters: 8,
             dropout: 0.0,
             seed: 3,
             ..UNetConfig::paper()
@@ -355,7 +358,11 @@ mod tests {
             },
         );
         assert!(!report.validations.is_empty());
-        assert!(report.best_accuracy > 0.8, "best {:.3}", report.best_accuracy);
+        assert!(
+            report.best_accuracy > 0.8,
+            "best {:.3}",
+            report.best_accuracy
+        );
         // The restored model must reproduce the recorded best accuracy.
         let eval = evaluate(&mut net, &val_loader);
         assert!(

@@ -7,9 +7,7 @@
 //! cargo run --release --example autolabel_pipeline
 //! ```
 
-use seaice::label::autolabel::{
-    auto_label_batch, auto_label_batch_pool, AutoLabelConfig,
-};
+use seaice::label::autolabel::{auto_label_batch, auto_label_batch_pool, AutoLabelConfig};
 use seaice::label::parallel::WorkerPool;
 use seaice::mapreduce::{ClusterSpec, CostModel, Session};
 use seaice::s2::catalog::{Catalog, CatalogQuery};
@@ -33,19 +31,32 @@ fn main() {
         let (scene, layer) = catalog.generate(meta);
         let cloudy = layer.apply(&scene.rgb);
         let contamination = layer.contamination();
-        for t in tile_scene(meta.id, &cloudy, None, &scene.truth, Some(&contamination), tile_size)
-        {
+        for t in tile_scene(
+            meta.id,
+            &cloudy,
+            None,
+            &scene.truth,
+            Some(&contamination),
+            tile_size,
+        ) {
             tiles.push(t.rgb);
         }
     }
-    println!("tiled into {} tiles of {tile_size}x{tile_size}", tiles.len());
+    println!(
+        "tiled into {} tiles of {tile_size}x{tile_size}",
+        tiles.len()
+    );
 
     let cfg = AutoLabelConfig::filtered_for_tile(tile_size);
 
     // 3a. Sequential baseline.
     let t0 = Instant::now();
     let seq = auto_label_batch(&tiles, &cfg);
-    println!("sequential: {} labels in {:.2}s", seq.len(), t0.elapsed().as_secs_f64());
+    println!(
+        "sequential: {} labels in {:.2}s",
+        seq.len(),
+        t0.elapsed().as_secs_f64()
+    );
 
     // 3b. Multiprocessing-style worker pool.
     let pool = WorkerPool::new(4);
@@ -56,7 +67,9 @@ fn main() {
     // 3c. Map-reduce engine on a virtual 2×2 cluster.
     let session = Session::new(ClusterSpec::new(2, 2), CostModel::gcd_n2());
     let (df, load) = session.read(tiles.clone(), (tile_size * tile_size * 3) as f64);
-    let (lazy, map) = df.map(&session, move |img| auto_label_batch(&[img], &cfg).remove(0));
+    let (lazy, map) = df.map(&session, move |img| {
+        auto_label_batch(&[img], &cfg).remove(0)
+    });
     let (reduced, reduce) = lazy.collect(&session, (tile_size * tile_size) as f64);
     println!(
         "map-reduce (2x2): load {:.2}s sim / map {:.2}s sim / reduce {:.2}s sim ({:.2}s measured)",
@@ -65,10 +78,19 @@ fn main() {
 
     // 4. All three paths must produce identical labels.
     for i in 0..tiles.len() {
-        assert_eq!(seq[i].class_mask, pooled[i].class_mask, "pool mismatch at {i}");
-        assert_eq!(seq[i].class_mask, reduced[i].class_mask, "engine mismatch at {i}");
+        assert_eq!(
+            seq[i].class_mask, pooled[i].class_mask,
+            "pool mismatch at {i}"
+        );
+        assert_eq!(
+            seq[i].class_mask, reduced[i].class_mask,
+            "engine mismatch at {i}"
+        );
     }
-    println!("all {} labels identical across sequential / pool / map-reduce", tiles.len());
+    println!(
+        "all {} labels identical across sequential / pool / map-reduce",
+        tiles.len()
+    );
 
     // 5. Label statistics.
     let mut counts = [0u64; 3];

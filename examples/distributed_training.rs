@@ -69,7 +69,10 @@ fn main() {
             log_every: 0,
         },
     );
-    println!("single-process (batch 8): losses {:?}", sreport.epoch_losses);
+    println!(
+        "single-process (batch 8): losses {:?}",
+        sreport.epoch_losses
+    );
 
     // 3. The two models must agree (synchronous data parallelism does not
     //    change the mathematics, only the wall clock).
@@ -82,7 +85,10 @@ fn main() {
         .map(|(a, b)| (a - b).abs())
         .fold(0f32, f32::max);
     println!("max output divergence distributed vs single: {max_diff:.2e}");
-    assert!(max_diff < 1e-3, "replicas must match single-process training");
+    assert!(
+        max_diff < 1e-3,
+        "replicas must match single-process training"
+    );
 
     // 4. Table III projection on the calibrated DGX A100 model.
     let dgx = DgxA100Model::dgx_a100();

@@ -65,7 +65,11 @@ fn main() {
             .count();
         let acc = correct as f64 / (side * side) as f64;
         let ssim = ssim_rgb(&label.color_label, &manual_color);
-        println!("auto-label ({name}): accuracy {:.2}%, SSIM {:.2}%", acc * 100.0, ssim * 100.0);
+        println!(
+            "auto-label ({name}): accuracy {:.2}%, SSIM {:.2}%",
+            acc * 100.0,
+            ssim * 100.0
+        );
     }
 
     // 5. Write everything for inspection.

@@ -91,5 +91,8 @@ fn main() {
         &seaice::label::segment::segment_to_color(&scene.truth),
     )
     .unwrap();
-    println!("wrote scene.ppm / prediction.ppm / truth.ppm to {}", out.display());
+    println!(
+        "wrote scene.ppm / prediction.ppm / truth.ppm to {}",
+        out.display()
+    );
 }

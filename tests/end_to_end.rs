@@ -64,14 +64,20 @@ fn filtering_improves_both_models_end_to_end() {
             filt > orig,
             "{labels:?}: filtered {filt:.3} must beat original {orig:.3}"
         );
-        assert!(filt > 0.85, "{labels:?}: filtered accuracy {filt:.3} too low");
+        assert!(
+            filt > 0.85,
+            "{labels:?}: filtered accuracy {filt:.3} too low"
+        );
     }
     // U-Net-Auto tracks U-Net-Man closely (the auto-labeling validation
     // argument of §IV-C-3).
     let gap = (acc(LabelSource::Manual, InputVariant::Filtered)
         - acc(LabelSource::Auto, InputVariant::Filtered))
     .abs();
-    assert!(gap < 0.05, "Man/Auto filtered accuracy gap {gap:.3} too wide");
+    assert!(
+        gap < 0.05,
+        "Man/Auto filtered accuracy gap {gap:.3} too wide"
+    );
 }
 
 /// Training on auto-labels and predicting a held-out scene end to end
@@ -135,7 +141,12 @@ fn untrained_model_scores_near_chance() {
     let cfg = WorkflowConfig::scaled(2, 128, 32, 1);
     let dataset = Dataset::build(cfg.dataset.clone());
     let mut model = UNet::new(cfg.unet);
-    let eval = evaluate_arm(&mut model, &dataset.validation, InputVariant::Original, &cfg);
+    let eval = evaluate_arm(
+        &mut model,
+        &dataset.validation,
+        InputVariant::Original,
+        &cfg,
+    );
     assert!(
         eval.report.accuracy < 0.8,
         "untrained accuracy suspiciously high: {:.3}",

@@ -1,0 +1,121 @@
+//! Differential tests proving the fused integer/LUT auto-label kernel is
+//! bit-identical to the `f32` reference path (HSV conversion + range
+//! scans) under the paper's class ranges.
+//!
+//! The seeded 1M-sample variant runs in tier-1; the exhaustive sweep over
+//! all 2^24 RGB inputs is `#[ignore]`d for `cargo test --release -- --ignored`.
+
+use seaice::imgproc::buffer::Image;
+use seaice::imgproc::color::{rgb_pixel_to_hsv, rgb_pixel_to_hsv_int};
+use seaice::label::autolabel::{auto_label, AutoLabelConfig, LabelBackend};
+use seaice::label::fused::{segment_classes_fused, ClassLut};
+use seaice::label::ranges::ClassRanges;
+use seaice::label::segment::segment_classes;
+use seaice::s2::synth::{generate, SceneConfig};
+
+/// Checks one RGB value through both pixel pipelines.
+fn check_pixel(r: u8, g: u8, b: u8, ranges: &ClassRanges, lut: &ClassLut) {
+    let hsv_ref = rgb_pixel_to_hsv(r, g, b);
+    let hsv_int = rgb_pixel_to_hsv_int(r, g, b);
+    assert_eq!(
+        hsv_int, hsv_ref,
+        "integer HSV diverged from f32 at rgb ({r},{g},{b})"
+    );
+    let class_ref = ranges.classify(&hsv_ref) as u8;
+    let class_fused = lut.classify_rgb(r, g, b);
+    assert_eq!(
+        class_fused, class_ref,
+        "fused class diverged at rgb ({r},{g},{b}), hsv {hsv_ref:?}"
+    );
+}
+
+/// SplitMix64 — tiny deterministic generator for the sampled variant.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[test]
+fn sampled_million_rgb_values_are_bit_identical() {
+    let ranges = ClassRanges::paper();
+    let lut = ClassLut::new(&ranges);
+    let mut rng = SplitMix64(0x5ea1_ce00_d1ff_7e57);
+    for _ in 0..1_000_000 {
+        let x = rng.next();
+        check_pixel(x as u8, (x >> 8) as u8, (x >> 16) as u8, &ranges, &lut);
+    }
+    // The boundary shell matters more than uniform mass: sweep every pair
+    // at the paper's V thresholds and the extremes.
+    for &fixed in &[0u8, 30, 31, 204, 205, 255] {
+        for a in 0..=255u8 {
+            for b in (0..=255u8).step_by(3) {
+                check_pixel(a, b, fixed, &ranges, &lut);
+                check_pixel(fixed, a, b, &ranges, &lut);
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore = "exhaustive 2^24 sweep; run with --release -- --ignored"]
+fn exhaustive_rgb_space_is_bit_identical() {
+    let ranges = ClassRanges::paper();
+    let lut = ClassLut::new(&ranges);
+    for r in 0..=255u8 {
+        for g in 0..=255u8 {
+            for b in 0..=255u8 {
+                check_pixel(r, g, b, &ranges, &lut);
+            }
+        }
+    }
+}
+
+#[test]
+fn image_level_segmentation_agrees_on_synthetic_scenes() {
+    let ranges = ClassRanges::paper();
+    for seed in 0..5 {
+        let scene = generate(&SceneConfig::tiny(64), 700 + seed);
+        assert_eq!(
+            segment_classes_fused(&scene.rgb, &ranges),
+            segment_classes(&scene.rgb, &ranges),
+            "scene seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn full_auto_label_outputs_agree_across_backends() {
+    let scene = generate(&SceneConfig::tiny(48), 77);
+    for cfg in [
+        AutoLabelConfig::unfiltered(),
+        AutoLabelConfig::filtered_for_tile(48),
+    ] {
+        let fused = auto_label(&scene.rgb, &cfg.with_backend(LabelBackend::Fused));
+        let reference = auto_label(&scene.rgb, &cfg.with_backend(LabelBackend::Reference));
+        assert_eq!(fused.class_mask, reference.class_mask);
+        assert_eq!(fused.color_label, reference.color_label);
+        assert_eq!(fused.processed, reference.processed);
+    }
+}
+
+#[test]
+fn fused_kernel_handles_degenerate_shapes() {
+    let ranges = ClassRanges::paper();
+    for (w, h) in [(1usize, 1usize), (1, 7), (7, 1), (3, 2)] {
+        let img = Image::from_fn(w, h, 3, |x, y| {
+            vec![(x * 97) as u8, (y * 53) as u8, ((x + y) * 31) as u8]
+        });
+        assert_eq!(
+            segment_classes_fused(&img, &ranges),
+            segment_classes(&img, &ranges),
+            "shape {w}x{h}"
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Golden-mask regression: the class masks produced for fixed seeded
+//! synthetic scenes are pinned by FNV-1a hash. Any change to scene
+//! synthesis, the filter, or either segmentation backend that perturbs
+//! labeling shows up here as a hash mismatch — and both backends must
+//! keep producing the *same* golden bytes.
+//!
+//! To regenerate after an intentional change, run with
+//! `GOLDEN_MASKS_PRINT=1 cargo test --test golden_masks -- --nocapture`
+//! and paste the printed table over `GOLDEN`.
+
+use seaice::label::autolabel::{auto_label, AutoLabelConfig, LabelBackend};
+use seaice::s2::synth::{generate, SceneConfig};
+
+/// FNV-1a 64-bit over a byte slice.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// (scene seed, filtered?, expected class-mask hash).
+const GOLDEN: [(u64, bool, u64); 6] = [
+    (11, false, 0xb9d80d97e74af75c),
+    (12, false, 0x3b708371a0e1e47a),
+    (13, false, 0xb4d5175faaef8a94),
+    (11, true, 0x8b1450880fad378d),
+    (12, true, 0xce1da75921726243),
+    (13, true, 0x4ff44541a11d1df2),
+];
+
+fn mask_hash(seed: u64, filtered: bool, backend: LabelBackend) -> u64 {
+    let scene = generate(&SceneConfig::tiny(32), seed);
+    let cfg = if filtered {
+        AutoLabelConfig::filtered_for_tile(32)
+    } else {
+        AutoLabelConfig::unfiltered()
+    };
+    let out = auto_label(&scene.rgb, &cfg.with_backend(backend));
+    fnv1a64(out.class_mask.as_slice())
+}
+
+#[test]
+fn golden_mask_hashes_are_stable_across_backends() {
+    if std::env::var_os("GOLDEN_MASKS_PRINT").is_some() {
+        for &(seed, filtered, _) in &GOLDEN {
+            let h = mask_hash(seed, filtered, LabelBackend::Reference);
+            println!("    ({seed}, {filtered}, {h:#018x}),");
+        }
+        return;
+    }
+    for &(seed, filtered, expected) in &GOLDEN {
+        let reference = mask_hash(seed, filtered, LabelBackend::Reference);
+        let fused = mask_hash(seed, filtered, LabelBackend::Fused);
+        assert_eq!(
+            reference, expected,
+            "reference mask drifted for seed {seed} (filtered: {filtered})"
+        );
+        assert_eq!(
+            fused, expected,
+            "fused mask drifted for seed {seed} (filtered: {filtered})"
+        );
+    }
+}

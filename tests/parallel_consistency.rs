@@ -5,7 +5,7 @@
 
 use seaice::distrib::{train_distributed, DgxA100Model, DistTrainConfig};
 use seaice::label::autolabel::{
-    auto_label_batch, auto_label_batch_pool, auto_label_batch_rayon, AutoLabelConfig,
+    auto_label_batch, auto_label_batch_pool, auto_label_batch_rayon, AutoLabelConfig, LabelBackend,
 };
 use seaice::label::parallel::WorkerPool;
 use seaice::mapreduce::{ClusterSpec, CostModel, Session};
@@ -21,23 +21,37 @@ fn tiles(n: usize, side: usize) -> Vec<seaice::imgproc::buffer::Image<u8>> {
 #[test]
 fn all_labeling_backends_agree_bit_for_bit() {
     let imgs = tiles(12, 48);
-    let cfg = AutoLabelConfig::filtered_for_tile(48);
-    let seq = auto_label_batch(&imgs, &cfg);
-    let ray = auto_label_batch_rayon(&imgs, &cfg);
-    let pool = WorkerPool::new(3);
-    let pooled = auto_label_batch_pool(&pool, imgs.clone(), cfg);
-    let session = Session::new(ClusterSpec::new(2, 2), CostModel::gcd_n2());
-    let (df, _) = session.read(imgs.clone(), 1.0);
-    let (lazy, _) = df.map(&session, move |img| {
-        seaice::label::autolabel::auto_label(&img, &cfg).class_mask
-    });
-    let (engine, _) = lazy.collect(&session, 1.0);
+    // Both segmentation backends must agree across every parallel
+    // mechanism: sequential, rayon, worker pool, and the map-reduce
+    // Session path.
+    for backend in [LabelBackend::Reference, LabelBackend::Fused] {
+        let cfg = AutoLabelConfig::filtered_for_tile(48).with_backend(backend);
+        let seq = auto_label_batch(&imgs, &cfg);
+        let ray = auto_label_batch_rayon(&imgs, &cfg);
+        let pool = WorkerPool::new(3);
+        let pooled = auto_label_batch_pool(&pool, imgs.clone(), cfg);
+        let session = Session::new(ClusterSpec::new(2, 2), CostModel::gcd_n2());
+        let (df, _) = session.read(imgs.clone(), 1.0);
+        let (lazy, _) = df.map(&session, move |img| {
+            seaice::label::autolabel::auto_label(&img, &cfg).class_mask
+        });
+        let (engine, _) = lazy.collect(&session, 1.0);
 
-    for i in 0..imgs.len() {
-        assert_eq!(seq[i].class_mask, ray[i].class_mask, "rayon differs at {i}");
-        assert_eq!(seq[i].class_mask, pooled[i].class_mask, "pool differs at {i}");
-        assert_eq!(seq[i].class_mask, engine[i], "map-reduce differs at {i}");
-        assert_eq!(seq[i].color_label, ray[i].color_label);
+        for i in 0..imgs.len() {
+            assert_eq!(
+                seq[i].class_mask, ray[i].class_mask,
+                "{backend:?}: rayon differs at {i}"
+            );
+            assert_eq!(
+                seq[i].class_mask, pooled[i].class_mask,
+                "{backend:?}: pool differs at {i}"
+            );
+            assert_eq!(
+                seq[i].class_mask, engine[i],
+                "{backend:?}: map-reduce differs at {i}"
+            );
+            assert_eq!(seq[i].color_label, ray[i].color_label);
+        }
     }
 }
 
@@ -112,7 +126,9 @@ fn distributed_width_does_not_change_the_model() {
 #[test]
 fn worker_pool_handles_heavier_than_worker_count_workloads() {
     let pool = WorkerPool::new(2);
-    let out = pool.map((0..500).collect::<Vec<u32>>(), |x| x.wrapping_mul(2654435761));
+    let out = pool.map((0..500).collect::<Vec<u32>>(), |x| {
+        x.wrapping_mul(2654435761)
+    });
     assert_eq!(out.len(), 500);
     assert_eq!(out[499], 499u32.wrapping_mul(2654435761));
 }

