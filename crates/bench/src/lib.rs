@@ -25,6 +25,7 @@
 pub mod ablation;
 pub mod night;
 pub mod scale;
+pub mod servebench;
 pub mod sweep;
 pub mod table1;
 pub mod table2;

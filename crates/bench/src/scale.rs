@@ -57,6 +57,18 @@ impl Scale {
         }
     }
 
+    /// (scenes, scene side, tile side, passes, closed-loop clients) for
+    /// the serving load generator. Multiple passes over the same scene
+    /// archive model an operational re-analysis workload — the regime
+    /// where the serving engine's prediction cache pays off.
+    pub fn serve_workload(self) -> (usize, usize, usize, usize, usize) {
+        match self {
+            Scale::Small => (2, 48, 16, 3, 4),
+            Scale::Medium => (4, 96, 32, 3, 8),
+            Scale::Large => (8, 192, 32, 4, 16),
+        }
+    }
+
     /// Ranks for the real distributed-training semantics run.
     pub fn distrib_ranks(self) -> usize {
         match self {

@@ -16,7 +16,9 @@ use seaice_nn::dataloader::DataLoader;
 use seaice_s2::clouds::{self, CloudConfig};
 use seaice_s2::dataset::Dataset;
 use seaice_s2::synth::{generate, SceneConfig};
+use seaice_serve::{classify_scene_engine, Engine, EngineConfig, HttpServer};
 use seaice_unet::{checkpoint, train, UNet};
+use std::sync::Arc;
 
 /// Top-level error type for command execution.
 #[derive(Debug)]
@@ -51,14 +53,16 @@ impl From<std::io::Error> for CliError {
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: seaice <synth|filter|label|calibrate|train|classify|analyze> [options]
-  synth     --out scene.ppm [--truth truth.ppm] [--side 512] [--seed 7] [--clouds 0.3] [--illumination 1.0]
-  filter    --in scene.ppm --out filtered.ppm
-  label     --in scene.ppm --out labels.ppm [--no-filter] [--cuts WATER_HI,THICK_LO]
-  calibrate --image scene.ppm --labels labels.ppm
-  train     --model model.json [--scenes 6] [--scene-size 256] [--tile 32] [--epochs 12] [--labels auto|manual] [--seed 2019]
-  classify  --model model.json --in scene.ppm --out pred.ppm [--tile 32] [--no-filter] [--parallel]
-  analyze   --labels labels.ppm";
+pub const USAGE: &str = "usage: seaice <synth|filter|label|calibrate|train|classify|analyze|serve|serve-bench> [options]
+  synth       --out scene.ppm [--truth truth.ppm] [--side 512] [--seed 7] [--clouds 0.3] [--illumination 1.0]
+  filter      --in scene.ppm --out filtered.ppm
+  label       --in scene.ppm --out labels.ppm [--no-filter] [--cuts WATER_HI,THICK_LO]
+  calibrate   --image scene.ppm --labels labels.ppm
+  train       --model model.json [--scenes 6] [--scene-size 256] [--tile 32] [--epochs 12] [--labels auto|manual] [--seed 2019]
+  classify    --model model.json --in scene.ppm --out pred.ppm [--tile 32] [--no-filter] [--parallel | --engine [--workers N] [--batch 8]]
+  analyze     --labels labels.ppm
+  serve       --model model.json [--addr 127.0.0.1:8080] [--tile 32] [--workers N] [--batch 8] [--queue 256] [--cache 1024] [--no-filter] [--smoke]
+  serve-bench [--scale small|medium|large] [--scenes N] [--scene-size N] [--tile N] [--passes N] [--clients N]";
 
 /// Dispatches a parsed command.
 pub fn run(mut p: Parsed) -> Result<String, CliError> {
@@ -70,6 +74,8 @@ pub fn run(mut p: Parsed) -> Result<String, CliError> {
         "train" => run_train(&mut p),
         "classify" => classify(&mut p),
         "analyze" => analyze(&mut p),
+        "serve" => serve(&mut p),
+        "serve-bench" => serve_bench(&mut p),
         other => Err(CliError::Msg(format!("unknown command '{other}'\n{USAGE}"))),
     }
 }
@@ -248,18 +254,41 @@ fn run_train(p: &mut Parsed) -> Result<String, CliError> {
     ))
 }
 
+/// Reads a checkpoint file without restoring it into a model (the
+/// parallel and serving paths restore one replica per worker).
+fn read_checkpoint(path: &str) -> Result<checkpoint::Checkpoint, CliError> {
+    let bytes = std::fs::read(path)?;
+    serde_json::from_slice(&bytes).map_err(|e| CliError::Io(std::io::Error::other(e)))
+}
+
 fn classify(p: &mut Parsed) -> Result<String, CliError> {
-    p.expect_options(&["model", "in", "out", "tile", "no-filter", "parallel"])?;
+    p.expect_options(&[
+        "model",
+        "in",
+        "out",
+        "tile",
+        "no-filter",
+        "parallel",
+        "engine",
+        "workers",
+        "batch",
+    ])?;
     let model_path = p.required("model")?;
     let input = read_ppm(p.required("in")?)?;
     let out_path = p.required("out")?;
     let tile = p.get_or("tile", 32usize)?;
     let filter = !p.flag("no-filter");
 
-    let result = if p.flag("parallel") {
-        let bytes = std::fs::read(&model_path)?;
-        let ckpt: checkpoint::Checkpoint =
-            serde_json::from_slice(&bytes).map_err(std::io::Error::other)?;
+    let result = if p.flag("engine") {
+        let ckpt = read_checkpoint(&model_path)?;
+        let mut cfg = EngineConfig::for_tile(tile);
+        cfg.filter = filter;
+        cfg.workers = p.get_or("workers", cfg.workers)?;
+        cfg.max_batch_size = p.get_or("batch", cfg.max_batch_size)?;
+        let engine = Engine::new(&ckpt, cfg);
+        classify_scene_engine(&engine, &input).map_err(|e| CliError::Msg(e.to_string()))?
+    } else if p.flag("parallel") {
+        let ckpt = read_checkpoint(&model_path)?;
         classify_scene_parallel(&ckpt, &input, tile, filter)
     } else {
         let mut model = checkpoint::load(&model_path)?;
@@ -275,6 +304,81 @@ fn classify(p: &mut Parsed) -> Result<String, CliError> {
         result.fractions.1 * 100.0,
         result.fractions.2 * 100.0
     ))
+}
+
+fn serve(p: &mut Parsed) -> Result<String, CliError> {
+    p.expect_options(&[
+        "model",
+        "addr",
+        "tile",
+        "workers",
+        "batch",
+        "queue",
+        "cache",
+        "no-filter",
+        "smoke",
+    ])?;
+    let ckpt = read_checkpoint(&p.required("model")?)?;
+    let tile = p.get_or("tile", 32usize)?;
+    let mut cfg = EngineConfig::for_tile(tile);
+    cfg.workers = p.get_or("workers", cfg.workers)?;
+    cfg.max_batch_size = p.get_or("batch", cfg.max_batch_size)?;
+    cfg.queue_capacity = p.get_or("queue", cfg.queue_capacity)?;
+    cfg.cache_capacity = p.get_or("cache", cfg.cache_capacity)?;
+    cfg.filter = !p.flag("no-filter");
+    let engine = Arc::new(Engine::new(&ckpt, cfg));
+
+    if p.flag("smoke") {
+        // Self-test: bind an ephemeral port, push one synthetic tile
+        // through the full engine path, report, shut down cleanly.
+        let mut server = HttpServer::start(Arc::clone(&engine), "127.0.0.1:0")?;
+        let tile_img = generate(&SceneConfig::tiny(tile), 1).rgb;
+        let mask = engine
+            .classify_blocking(tile_img)
+            .map_err(|e| CliError::Msg(e.to_string()))?;
+        let stats = engine.stats();
+        server.shutdown();
+        return Ok(format!(
+            "serve smoke on {}: classified 1 tile ({} px mask), ok={}, p50={}us",
+            server.addr(),
+            mask.len(),
+            stats.ok,
+            stats.latency.p50_us
+        ));
+    }
+
+    let addr = p
+        .optional("addr")
+        .unwrap_or_else(|| "127.0.0.1:8080".into());
+    let server = HttpServer::start(engine, &addr)?;
+    println!(
+        "seaice-serve listening on {} (tile {tile}, {} workers, batch {}, queue {}, cache {})",
+        server.addr(),
+        cfg.workers,
+        cfg.max_batch_size,
+        cfg.queue_capacity,
+        cfg.cache_capacity
+    );
+    println!("routes: POST /classify (raw RGB tile bytes), GET /stats, GET /healthz");
+    loop {
+        std::thread::park();
+    }
+}
+
+fn serve_bench(p: &mut Parsed) -> Result<String, CliError> {
+    p.expect_options(&["scale", "scenes", "scene-size", "tile", "passes", "clients"])?;
+    let scale = match p.optional("scale") {
+        None => seaice_bench::scale::Scale::Small,
+        Some(v) => seaice_bench::scale::Scale::parse(&v)
+            .ok_or_else(|| CliError::Args(ArgError::Invalid("scale".into(), v)))?,
+    };
+    let mut cfg = seaice_bench::servebench::ServeBenchConfig::from_scale(scale);
+    cfg.scenes = p.get_or("scenes", cfg.scenes)?;
+    cfg.scene_side = p.get_or("scene-size", cfg.scene_side)?;
+    cfg.tile_size = p.get_or("tile", cfg.tile_size)?;
+    cfg.passes = p.get_or("passes", cfg.passes)?;
+    cfg.clients = p.get_or("clients", cfg.clients)?;
+    Ok(seaice_bench::servebench::run_config(cfg).render())
 }
 
 fn analyze(p: &mut Parsed) -> Result<String, CliError> {
@@ -328,7 +432,7 @@ mod tests {
 
     fn parse(line: &str) -> Parsed {
         let args: Vec<String> = line.split_whitespace().map(str::to_string).collect();
-        Parsed::parse(&args, &["no-filter", "parallel"]).unwrap()
+        Parsed::parse(&args, &["no-filter", "parallel", "engine", "smoke"]).unwrap()
     }
 
     #[test]
@@ -393,7 +497,20 @@ mod tests {
         let b = read_ppm(&pred_par).unwrap();
         assert_eq!(a, b);
 
-        for f in [scene, pred, pred_par, model] {
+        // ... and so does the serving engine.
+        let pred_eng = tmp("c-pred-eng.ppm");
+        run(parse(&format!(
+            "classify --model {model} --in {scene} --out {pred_eng} --tile 32 --engine --workers 2 --batch 3"
+        )))
+        .unwrap();
+        assert_eq!(read_ppm(&pred_eng).unwrap(), a);
+
+        // The serve smoke flag runs the HTTP + engine path end to end.
+        let msg = run(parse(&format!("serve --model {model} --tile 32 --smoke"))).unwrap();
+        assert!(msg.contains("serve smoke"), "{msg}");
+        assert!(msg.contains("ok=1"), "{msg}");
+
+        for f in [scene, pred, pred_par, pred_eng, model] {
             std::fs::remove_file(f).ok();
         }
     }

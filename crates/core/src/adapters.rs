@@ -31,15 +31,28 @@ pub enum LabelSource {
 
 /// Converts an RGB image to CHW `f32` planes in `[0, 1]`.
 pub fn image_to_chw(rgb: &Image<u8>) -> Vec<f32> {
-    assert_eq!(rgb.channels(), 3, "expected an RGB image");
     let (w, h) = rgb.dimensions();
     let mut out = vec![0f32; 3 * h * w];
+    image_to_chw_into(rgb, &mut out);
+    out
+}
+
+/// [`image_to_chw`] into a caller-owned slice, so tile loops (inference,
+/// batch assembly in the serving engine) reuse one conversion buffer
+/// instead of allocating per tile. `out` may be a slice of a larger NCHW
+/// batch buffer.
+///
+/// # Panics
+/// Panics if the image is not RGB or `out` is not exactly `3·h·w` long.
+pub fn image_to_chw_into(rgb: &Image<u8>, out: &mut [f32]) {
+    assert_eq!(rgb.channels(), 3, "expected an RGB image");
+    let (w, h) = rgb.dimensions();
+    assert_eq!(out.len(), 3 * h * w, "chw buffer length mismatch");
     for (x, y, px) in rgb.pixels() {
         for c in 0..3 {
             out[(c * h + y) * w + x] = px[c] as f32 / 255.0;
         }
     }
-    out
 }
 
 /// Selects the pixel variant of a tile (filtering on demand).

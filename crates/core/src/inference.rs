@@ -3,11 +3,11 @@
 //! tile, and stitch the per-tile predictions back into a full-scene
 //! sea-ice map.
 
-use crate::adapters::{image_to_chw, mask_to_image};
+use crate::adapters::{image_to_chw, image_to_chw_into, mask_to_image};
 use seaice_imgproc::buffer::Image;
 use seaice_label::cloudshadow::{CloudShadowFilter, FilterConfig};
 use seaice_nn::Tensor;
-use seaice_s2::tiler::stitch_tiles;
+use seaice_s2::tiler::{stitch_tiles, tile_anchors};
 use seaice_unet::UNet;
 
 /// Full-scene classification output.
@@ -48,28 +48,28 @@ pub fn classify_scene(
     model.config().assert_input_side(tile_size);
     let filter_impl = filter.then(|| CloudShadowFilter::new(FilterConfig::for_tile(tile_size)));
 
-    // Anchor grid: step by tile_size, with a final edge-anchored row and
-    // column when the scene is not an exact multiple.
-    let anchors = |extent: usize| -> Vec<usize> {
-        let mut v: Vec<usize> = (0..=extent - tile_size).step_by(tile_size).collect();
-        if !extent.is_multiple_of(tile_size) {
-            v.push(extent - tile_size);
-        }
-        v
-    };
-
+    // One input tensor buffer for the whole anchor loop: each tile is
+    // converted in place and the allocation is reclaimed from the tensor
+    // after the forward pass.
+    let mut chw = vec![0f32; 3 * tile_size * tile_size];
+    let mut preds = Vec::new();
     let mut pieces = Vec::new();
-    for &y0 in &anchors(h) {
-        for &x0 in &anchors(w) {
+    for &y0 in &tile_anchors(h, tile_size) {
+        for &x0 in &tile_anchors(w, tile_size) {
             let tile = scene_rgb.crop(x0, y0, tile_size, tile_size);
             let input = match &filter_impl {
                 Some(f) => f.apply(&tile).filtered,
                 None => tile,
             };
-            let chw = image_to_chw(&input);
-            let x = Tensor::from_vec(&[1, 3, tile_size, tile_size], chw);
-            let preds = model.predict(&x);
-            pieces.push((x0, y0, Image::from_vec(tile_size, tile_size, 1, preds)));
+            image_to_chw_into(&input, &mut chw);
+            let x = Tensor::from_vec(&[1, 3, tile_size, tile_size], std::mem::take(&mut chw));
+            model.predict_into(&x, &mut preds);
+            chw = x.into_vec();
+            pieces.push((
+                x0,
+                y0,
+                Image::from_vec(tile_size, tile_size, 1, preds.clone()),
+            ));
         }
     }
     let mask = stitch_tiles(&pieces, w, h, 1);
@@ -107,16 +107,13 @@ pub fn classify_scene_parallel(
     );
     checkpoint.config.assert_input_side(tile_size);
 
-    let anchors = |extent: usize| -> Vec<usize> {
-        let mut v: Vec<usize> = (0..=extent - tile_size).step_by(tile_size).collect();
-        if !extent.is_multiple_of(tile_size) {
-            v.push(extent - tile_size);
-        }
-        v
-    };
-    let grid: Vec<(usize, usize)> = anchors(h)
+    let grid: Vec<(usize, usize)> = tile_anchors(h, tile_size)
         .into_iter()
-        .flat_map(|y0| anchors(w).into_iter().map(move |x0| (x0, y0)))
+        .flat_map(|y0| {
+            tile_anchors(w, tile_size)
+                .into_iter()
+                .map(move |x0| (x0, y0))
+        })
         .collect();
 
     let pieces: Vec<(usize, usize, Image<u8>)> = grid

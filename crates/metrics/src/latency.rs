@@ -1,0 +1,263 @@
+//! Request-latency accounting for the serving layer: a fixed-size
+//! log-spaced histogram over microseconds, cheap to record into and cheap
+//! to merge, with the quantile readouts (p50/p95/p99) an operator watches
+//! on a serving dashboard.
+//!
+//! The bucket layout is geometric: bucket `i` covers
+//! `[floor(GROWTH^i), floor(GROWTH^(i+1)))` µs with `GROWTH = 1.35`, so
+//! relative quantile error is bounded by ~35 % of one bucket width —
+//! plenty for a latency table — while 64 buckets span 1 µs to beyond an
+//! hour. Recording is O(buckets) in the worst case (a short upward scan),
+//! with a running exact count/sum/min/max kept alongside.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometric growth factor between bucket edges.
+const GROWTH: f64 = 1.35;
+/// Number of histogram buckets (the last one is open-ended).
+const BUCKETS: usize = 64;
+
+/// A log-spaced latency histogram over microseconds.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum_us: u64,
+    min_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Lower edge (inclusive, in µs) of bucket `i`.
+fn bucket_floor(i: usize) -> u64 {
+    GROWTH.powi(i as i32).floor() as u64
+}
+
+/// Bucket index holding a `us` microsecond observation.
+fn bucket_of(us: u64) -> usize {
+    // Buckets 0 and 1 both floor to 1 µs; start the scan at the analytic
+    // guess and walk to the covering bucket.
+    let mut i = if us == 0 {
+        0
+    } else {
+        ((us as f64).ln() / GROWTH.ln()).floor() as usize
+    };
+    i = i.min(BUCKETS - 1);
+    while i + 1 < BUCKETS && bucket_floor(i + 1) <= us {
+        i += 1;
+    }
+    while i > 0 && bucket_floor(i) > us {
+        i -= 1;
+    }
+    i
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+        }
+    }
+
+    /// Records one observation, in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        self.counts[bucket_of(us)] += 1;
+        self.count += 1;
+        self.sum_us += us;
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Records one observation from a [`std::time::Duration`].
+    pub fn record(&mut self, d: std::time::Duration) {
+        self.record_us(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value in microseconds (0 when empty).
+    pub fn min_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_us
+        }
+    }
+
+    /// Largest recorded value in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) in microseconds: the lower edge
+    /// of the bucket containing the `ceil(q·count)`-th observation,
+    /// clamped to the exact observed min/max so p0/p100 are truthful.
+    ///
+    /// Returns 0 when the histogram is empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_floor(i).clamp(self.min_us, self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Condenses the histogram into the snapshot a stats endpoint serves.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            count: self.count,
+            mean_us: self.mean_us(),
+            min_us: self.min_us(),
+            p50_us: self.quantile_us(0.50),
+            p95_us: self.quantile_us(0.95),
+            p99_us: self.quantile_us(0.99),
+            max_us: self.max_us,
+        }
+    }
+}
+
+/// A point-in-time latency summary (what `GET /stats` reports).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct LatencySnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Mean latency, µs.
+    pub mean_us: f64,
+    /// Minimum, µs.
+    pub min_us: u64,
+    /// Median, µs.
+    pub p50_us: u64,
+    /// 95th percentile, µs.
+    pub p95_us: u64,
+    /// 99th percentile, µs.
+    pub p99_us: u64,
+    /// Maximum, µs.
+    pub max_us: u64,
+}
+
+impl LatencySnapshot {
+    /// Throughput in requests/second given the wall time that produced
+    /// this snapshot.
+    pub fn throughput(&self, wall: std::time::Duration) -> f64 {
+        let s = wall.as_secs_f64();
+        if s > 0.0 {
+            self.count as f64 / s
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_axis() {
+        // Every value lands in exactly the bucket whose range covers it.
+        for us in [0u64, 1, 2, 3, 10, 99, 1000, 123_456, 10_000_000] {
+            let i = bucket_of(us);
+            assert!(bucket_floor(i) <= us || i == 0, "floor({i}) > {us}");
+            if i + 1 < BUCKETS {
+                assert!(bucket_floor(i + 1) > us, "bucket {i} too low for {us}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record_us(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert!(s.min_us <= s.p50_us && s.p50_us <= s.p95_us);
+        assert!(s.p95_us <= s.p99_us && s.p99_us <= s.max_us);
+        assert_eq!(s.max_us, 1000);
+        // p50 of a uniform 1..=1000 sample sits near 500 (within one
+        // geometric bucket: ±35 %).
+        assert!(s.p50_us >= 350 && s.p50_us <= 700, "p50 {}", s.p50_us);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for us in [5u64, 50, 500, 5000] {
+            a.record_us(us);
+            whole.record_us(us);
+        }
+        for us in [7u64, 70, 700] {
+            b.record_us(us);
+            whole.record_us(us);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.quantile_us(0.5), whole.quantile_us(0.5));
+        assert_eq!(a.max_us(), whole.max_us());
+        assert_eq!(a.min_us(), whole.min_us());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99_us, 0);
+        assert_eq!(s.min_us, 0);
+        assert_eq!(s.throughput(std::time::Duration::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    fn single_observation_pins_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        h.record_us(1234);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile_us(q), 1234);
+        }
+        assert_eq!(h.mean_us(), 1234.0);
+    }
+}

@@ -102,6 +102,23 @@ pub fn tile_scene(
     out
 }
 
+/// The inference anchor grid along one axis: offsets stepping by
+/// `tile_size`, plus a final edge-anchored position when `extent` is not
+/// an exact multiple — so every pixel is covered by at least one tile
+/// (Fig. 9's edge handling; the last two tiles overlap on ragged scenes).
+///
+/// # Panics
+/// Panics if `extent < tile_size` or `tile_size == 0`.
+pub fn tile_anchors(extent: usize, tile_size: usize) -> Vec<usize> {
+    assert!(tile_size > 0, "tile size must be positive");
+    assert!(extent >= tile_size, "extent smaller than a tile");
+    let mut v: Vec<usize> = (0..=extent - tile_size).step_by(tile_size).collect();
+    if !extent.is_multiple_of(tile_size) {
+        v.push(extent - tile_size);
+    }
+    v
+}
+
 /// Re-assembles per-tile images into a scene-sized canvas (Fig. 9's
 /// prediction stitching). Tiles outside the canvas are rejected.
 ///
@@ -213,6 +230,24 @@ mod tests {
         for t in &tiles {
             let clean = t.clean_rgb.as_ref().expect("clean kept");
             assert_eq!(clean.pixel(3, 3), scene.rgb.pixel(t.x0 + 3, t.y0 + 3));
+        }
+    }
+
+    #[test]
+    fn anchors_cover_exact_and_ragged_extents() {
+        assert_eq!(tile_anchors(48, 16), vec![0, 16, 32]);
+        // Ragged extent: a final edge-anchored tile overlaps its neighbour.
+        assert_eq!(tile_anchors(40, 16), vec![0, 16, 24]);
+        assert_eq!(tile_anchors(16, 16), vec![0]);
+        // Every pixel is covered by some anchor's [a, a+tile) range.
+        for (extent, tile) in [(40usize, 16usize), (100, 32), (33, 32)] {
+            let anchors = tile_anchors(extent, tile);
+            for px in 0..extent {
+                assert!(
+                    anchors.iter().any(|&a| a <= px && px < a + tile),
+                    "pixel {px} uncovered for extent {extent}, tile {tile}"
+                );
+            }
         }
     }
 

@@ -1,0 +1,268 @@
+//! The prediction cache: an O(1) LRU map from tile *content* (FNV-1a hash
+//! of the raw RGB bytes and dimensions) to the predicted class mask.
+//! Operational sea-ice serving re-sees tiles constantly — re-analysis
+//! passes over a scene archive, overlapping requests from adjacent users,
+//! retries — and a forward pass costs milliseconds where a hash lookup
+//! costs microseconds, so the cache converts repeat traffic into
+//! near-free responses.
+//!
+//! The classic design: a `HashMap` from key to a slab index plus an
+//! intrusive doubly-linked recency list threaded through the slab, giving
+//! O(1) get / insert / evict with no per-operation allocation once warm.
+
+use seaice_imgproc::buffer::Image;
+use std::collections::HashMap;
+
+/// Slab sentinel for "no node".
+const NIL: usize = usize::MAX;
+
+/// Content-addressed key for a tile: FNV-1a 64 over the dimensions and
+/// raw pixel bytes (the same hash family the golden-mask tests pin).
+pub fn tile_key(img: &Image<u8>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for dim in [img.width(), img.height(), img.channels()] {
+        for b in (dim as u64).to_le_bytes() {
+            eat(b);
+        }
+    }
+    for &b in img.as_slice() {
+        eat(b);
+    }
+    h
+}
+
+struct Node<V> {
+    key: u64,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity LRU cache with hit/miss accounting.
+pub struct LruCache<V> {
+    map: HashMap<u64, usize>,
+    slab: Vec<Node<V>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<V: Clone> LruCache<V> {
+    /// A cache holding at most `capacity` entries. `capacity == 0`
+    /// disables caching (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// `hits / (hits + misses)`, 0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up a key, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<V> {
+        match self.map.get(&key).copied() {
+            Some(i) => {
+                self.hits += 1;
+                if self.head != i {
+                    self.unlink(i);
+                    self.push_front(i);
+                }
+                Some(self.slab[i].value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least recently used
+    /// one when at capacity.
+    pub fn insert(&mut self, key: u64, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slab[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return;
+        }
+        let i = if self.map.len() >= self.capacity {
+            // Reuse the LRU node in place.
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.slab[victim].key = key;
+            self.slab[victim].value = value;
+            victim
+        } else if let Some(free) = self.free.pop() {
+            self.slab[free].key = key;
+            self.slab[free].value = value;
+            free
+        } else {
+            self.slab.push(Node {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        };
+        self.push_front(i);
+        self.map.insert(key, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.get(1), Some("a")); // 1 is now MRU
+        c.insert(3, "c"); // evicts 2
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1), Some("a"));
+        assert_eq!(c.get(3), Some("c"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // refresh: 2 becomes LRU
+        c.insert(3, 30); // evicts 2
+        assert_eq!(c.get(1), Some(11));
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(3), Some(30));
+    }
+
+    #[test]
+    fn accounting_tracks_hits_and_misses() {
+        let mut c = LruCache::new(4);
+        assert_eq!(c.hit_rate(), 0.0);
+        c.insert(7, ());
+        assert!(c.get(7).is_some());
+        assert!(c.get(8).is_none());
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        c.insert(1, 1);
+        assert_eq!(c.get(1), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn heavy_churn_never_exceeds_capacity_and_keeps_working_set() {
+        let mut c = LruCache::new(8);
+        for round in 0..1000u64 {
+            c.insert(round % 64, round);
+            assert!(c.len() <= 8);
+        }
+        // The last 8 distinct keys inserted are resident.
+        let mut resident = 0;
+        for k in 0..64 {
+            if c.get(k).is_some() {
+                resident += 1;
+            }
+        }
+        assert_eq!(resident, 8);
+    }
+
+    #[test]
+    fn tile_key_separates_content_and_shape() {
+        let a = Image::<u8>::from_vec(2, 2, 3, vec![0; 12]);
+        let mut b = Image::<u8>::from_vec(2, 2, 3, vec![0; 12]);
+        assert_eq!(tile_key(&a), tile_key(&b));
+        b.as_mut_slice()[5] = 1;
+        assert_ne!(tile_key(&a), tile_key(&b));
+        // Same bytes, different shape → different key.
+        let c = Image::<u8>::from_vec(4, 1, 3, vec![0; 12]);
+        assert_ne!(tile_key(&a), tile_key(&c));
+    }
+}

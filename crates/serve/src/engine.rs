@@ -1,0 +1,576 @@
+//! The serving engine: admission queue → dynamic micro-batcher → U-Net
+//! replica pool → response, with an LRU prediction cache short-circuiting
+//! repeat tiles and a latency histogram timing every request end to end.
+//!
+//! ```text
+//!  submit ──▶ [cache?] ──hit──▶ ticket (immediate)
+//!                │ miss
+//!                ▼
+//!        BoundedQueue (capacity K; full ⇒ Overloaded)
+//!                │  pop_batch(max_batch, max_wait)
+//!                ▼
+//!     worker 0..W  (one UNet replica each, reusable NCHW buffers)
+//!                │  predict_into([n,3,s,s])
+//!                ▼
+//!        per-request ticket + cache insert + latency record
+//! ```
+//!
+//! Every worker restores its replica from the same
+//! [`Checkpoint`](seaice_unet::checkpoint::Checkpoint), and every op in
+//! the network treats batch items independently, so a tile's mask is
+//! bit-identical whether it was served alone, in a batch of any size, or
+//! by `core::classify_scene` — the property `tests/parallel_consistency.rs`
+//! pins.
+
+use crate::cache::{tile_key, LruCache};
+use crate::queue::{BoundedQueue, QueueError};
+use seaice_core::adapters::image_to_chw_into;
+use seaice_imgproc::buffer::Image;
+use seaice_label::cloudshadow::{CloudShadowFilter, FilterConfig};
+use seaice_metrics::latency::{LatencyHistogram, LatencySnapshot};
+use seaice_nn::Tensor;
+use seaice_unet::checkpoint::Checkpoint;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Tile side the model serves; every request must match.
+    pub tile_size: usize,
+    /// U-Net replicas (worker threads).
+    pub workers: usize,
+    /// Largest micro-batch a worker assembles.
+    pub max_batch_size: usize,
+    /// How long a worker lingers for a batch to fill once it holds the
+    /// first request (the batching latency/throughput dial).
+    pub max_wait: Duration,
+    /// Admission-queue capacity; a full queue sheds with
+    /// [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// LRU prediction-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Apply the thin-cloud/shadow pre-filter before inference (must
+    /// match how the model was trained/used; `classify_scene` parity).
+    pub filter: bool,
+}
+
+impl EngineConfig {
+    /// Sensible defaults for a `tile_size` model.
+    pub fn for_tile(tile_size: usize) -> Self {
+        Self {
+            tile_size,
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            max_batch_size: 8,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 256,
+            cache_capacity: 1024,
+            filter: false,
+        }
+    }
+}
+
+/// Why a request failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission queue full: the request was shed (HTTP 503).
+    Overloaded,
+    /// Engine shut down; no new requests.
+    Closed,
+    /// Malformed request (wrong tile shape, not RGB, …).
+    BadRequest(String),
+    /// A worker failed to answer (response channel dropped).
+    Internal(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "overloaded: request shed"),
+            ServeError::Closed => write!(f, "engine closed"),
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::Internal(m) => write!(f, "internal: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<QueueError> for ServeError {
+    fn from(e: QueueError) -> Self {
+        match e {
+            QueueError::Overloaded => ServeError::Overloaded,
+            QueueError::Closed => ServeError::Closed,
+        }
+    }
+}
+
+/// A queued classification request.
+struct Request {
+    tile: Image<u8>,
+    key: u64,
+    submitted: Instant,
+    tx: mpsc::Sender<Result<Arc<Vec<u8>>, ServeError>>,
+}
+
+/// A pending response: wait on it to get the tile's class mask.
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Arc<Vec<u8>>, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the mask is ready.
+    ///
+    /// # Errors
+    /// Whatever the worker reported, or `Internal` if the worker vanished.
+    pub fn wait(self) -> Result<Arc<Vec<u8>>, ServeError> {
+        self.rx
+            .recv()
+            .map_err(|_| ServeError::Internal("worker dropped the response channel".into()))?
+    }
+}
+
+/// Lock-free counters + the (locked, cheap) latency histogram.
+#[derive(Default)]
+struct StatsInner {
+    submitted: AtomicU64,
+    computed: AtomicU64,
+    cache_hits: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    max_batch_seen: AtomicU64,
+    latency: Mutex<LatencyHistogram>,
+}
+
+/// A point-in-time view of the engine (what `GET /stats` serves).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Seconds since the engine started.
+    pub uptime_secs: f64,
+    /// Requests admitted past validation (hits + queued).
+    pub submitted: u64,
+    /// Requests answered, from cache or compute.
+    pub ok: u64,
+    /// Requests answered by a model forward pass.
+    pub computed: u64,
+    /// Requests answered from the prediction cache.
+    pub cache_hits: u64,
+    /// Cache lookups that missed.
+    pub cache_misses: u64,
+    /// `cache_hits / lookups` so far.
+    pub cache_hit_rate: f64,
+    /// Entries resident in the cache.
+    pub cache_len: usize,
+    /// Configured cache capacity.
+    pub cache_capacity: usize,
+    /// Requests shed by admission control (`Overloaded`).
+    pub shed: u64,
+    /// Malformed requests refused before admission.
+    pub rejected: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Mean requests per executed batch.
+    pub mean_batch_size: f64,
+    /// Largest batch executed.
+    pub max_batch_seen: u64,
+    /// Requests waiting in the queue right now.
+    pub queue_depth: usize,
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Worker replica count.
+    pub workers: usize,
+    /// End-to-end request latency (submit → response ready).
+    pub latency: LatencySnapshot,
+    /// `ok / uptime` — the engine's lifetime throughput in requests/s.
+    pub throughput_rps: f64,
+}
+
+/// The batched, cache-aware inference serving engine.
+pub struct Engine {
+    cfg: EngineConfig,
+    queue: Arc<BoundedQueue<Request>>,
+    cache: Arc<Mutex<LruCache<Arc<Vec<u8>>>>>,
+    stats: Arc<StatsInner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    started: Instant,
+}
+
+impl Engine {
+    /// Spawns the worker pool, each worker restoring a replica from
+    /// `ckpt`.
+    ///
+    /// # Panics
+    /// Panics if the config is degenerate (zero workers/batch/queue) or
+    /// `tile_size` is incompatible with the checkpointed architecture.
+    pub fn new(ckpt: &Checkpoint, cfg: EngineConfig) -> Self {
+        assert!(cfg.workers >= 1, "engine needs at least one worker");
+        assert!(cfg.max_batch_size >= 1, "max batch size must be positive");
+        ckpt.config.assert_input_side(cfg.tile_size);
+        let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
+        let cache = Arc::new(Mutex::new(LruCache::new(cfg.cache_capacity)));
+        let stats = Arc::new(StatsInner::default());
+
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for w in 0..cfg.workers {
+            let queue = Arc::clone(&queue);
+            let cache = Arc::clone(&cache);
+            let stats = Arc::clone(&stats);
+            let mut model = seaice_unet::checkpoint::restore(ckpt);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("seaice-serve-{w}"))
+                    .spawn(move || worker_loop(&queue, &cache, &stats, &mut model, cfg))
+                    .expect("failed to spawn serve worker"),
+            );
+        }
+        Self {
+            cfg,
+            queue,
+            cache,
+            stats,
+            workers: Mutex::new(workers),
+            started: Instant::now(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Validates a tile and answers from cache if possible; otherwise
+    /// hands back the request to enqueue plus its paired ticket.
+    fn admit(&self, tile: Image<u8>) -> Result<Admitted, ServeError> {
+        let s = self.cfg.tile_size;
+        if tile.dimensions() != (s, s) || tile.channels() != 3 {
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::BadRequest(format!(
+                "expected a {s}x{s} RGB tile, got {}x{} with {} channels",
+                tile.width(),
+                tile.height(),
+                tile.channels()
+            )));
+        }
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let submitted = Instant::now();
+        let key = tile_key(&tile);
+        let cached = self.cache.lock().unwrap().get(key);
+        let (tx, rx) = mpsc::channel();
+        let ticket = Ticket { rx };
+        if let Some(mask) = cached {
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.record_latency(submitted.elapsed());
+            tx.send(Ok(mask)).ok();
+            return Ok(Admitted::Hit(ticket));
+        }
+        Ok(Admitted::Miss(
+            Request {
+                tile,
+                key,
+                submitted,
+                tx,
+            },
+            ticket,
+        ))
+    }
+
+    /// Submits a tile, shedding with [`ServeError::Overloaded`] when the
+    /// admission queue is full — the front-door path.
+    ///
+    /// # Errors
+    /// `Overloaded`, `Closed`, or `BadRequest`.
+    pub fn try_submit(&self, tile: Image<u8>) -> Result<Ticket, ServeError> {
+        match self.admit(tile)? {
+            Admitted::Hit(ticket) => Ok(ticket),
+            Admitted::Miss(req, ticket) => match self.queue.try_push(req) {
+                Ok(()) => Ok(ticket),
+                Err((_, e)) => {
+                    if e == QueueError::Overloaded {
+                        self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e.into())
+                }
+            },
+        }
+    }
+
+    /// Submits a tile with backpressure: blocks until queue space frees
+    /// instead of shedding — the batch-job path (whole-scene
+    /// classification).
+    ///
+    /// # Errors
+    /// `Closed` or `BadRequest`.
+    pub fn submit_blocking(&self, tile: Image<u8>) -> Result<Ticket, ServeError> {
+        match self.admit(tile)? {
+            Admitted::Hit(ticket) => Ok(ticket),
+            Admitted::Miss(req, ticket) => {
+                self.queue
+                    .push_wait(req)
+                    .map_err(|(_, e)| ServeError::from(e))?;
+                Ok(ticket)
+            }
+        }
+    }
+
+    /// Convenience: [`try_submit`](Engine::try_submit) + wait.
+    ///
+    /// # Errors
+    /// As `try_submit`, plus anything the worker reports.
+    pub fn classify(&self, tile: Image<u8>) -> Result<Arc<Vec<u8>>, ServeError> {
+        self.try_submit(tile)?.wait()
+    }
+
+    /// Convenience: [`submit_blocking`](Engine::submit_blocking) + wait.
+    ///
+    /// # Errors
+    /// As `submit_blocking`, plus anything the worker reports.
+    pub fn classify_blocking(&self, tile: Image<u8>) -> Result<Arc<Vec<u8>>, ServeError> {
+        self.submit_blocking(tile)?.wait()
+    }
+
+    fn record_latency(&self, d: Duration) {
+        self.stats.latency.lock().unwrap().record(d);
+    }
+
+    /// A point-in-time stats snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        let cache = self.cache.lock().unwrap();
+        let latency = self.stats.latency.lock().unwrap().snapshot();
+        let computed = self.stats.computed.load(Ordering::Relaxed);
+        let hits = self.stats.cache_hits.load(Ordering::Relaxed);
+        let batches = self.stats.batches.load(Ordering::Relaxed);
+        let batched = self.stats.batched_requests.load(Ordering::Relaxed);
+        let ok = computed + hits;
+        let uptime = self.started.elapsed().as_secs_f64();
+        StatsSnapshot {
+            uptime_secs: uptime,
+            submitted: self.stats.submitted.load(Ordering::Relaxed),
+            ok,
+            computed,
+            cache_hits: hits,
+            cache_misses: cache.misses(),
+            cache_hit_rate: cache.hit_rate(),
+            cache_len: cache.len(),
+            cache_capacity: cache.capacity(),
+            shed: self.stats.shed.load(Ordering::Relaxed),
+            rejected: self.stats.rejected.load(Ordering::Relaxed),
+            batches,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                batched as f64 / batches as f64
+            },
+            max_batch_seen: self.stats.max_batch_seen.load(Ordering::Relaxed),
+            queue_depth: self.queue.len(),
+            queue_capacity: self.queue.capacity(),
+            workers: self.cfg.workers,
+            latency,
+            throughput_rps: if uptime > 0.0 {
+                ok as f64 / uptime
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Graceful shutdown: closes admissions, lets the workers drain every
+    /// queued request, and joins them. Idempotent. Requests submitted
+    /// after this fail with [`ServeError::Closed`]; requests already
+    /// queued still get answers.
+    pub fn shutdown(&self) {
+        self.queue.close();
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            h.join().expect("serve worker panicked");
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Admission outcome: answered from cache, or a request to queue paired
+/// with the ticket its waiter holds.
+enum Admitted {
+    Hit(Ticket),
+    Miss(Request, Ticket),
+}
+
+/// One worker: pop a micro-batch, assemble the NCHW tensor in a reused
+/// buffer, forward once, slice the masks back out, answer + cache.
+fn worker_loop(
+    queue: &BoundedQueue<Request>,
+    cache: &Mutex<LruCache<Arc<Vec<u8>>>>,
+    stats: &StatsInner,
+    model: &mut seaice_unet::UNet,
+    cfg: EngineConfig,
+) {
+    let s = cfg.tile_size;
+    let plane = s * s;
+    let filter_impl = cfg
+        .filter
+        .then(|| CloudShadowFilter::new(FilterConfig::for_tile(s)));
+    // Reusable forward buffers: the NCHW input (reclaimed from the tensor
+    // after each forward) and the prediction output.
+    let mut input: Vec<f32> = Vec::new();
+    let mut preds: Vec<u8> = Vec::new();
+
+    while let Some(batch) = queue.pop_batch(cfg.max_batch_size, cfg.max_wait) {
+        let n = batch.len();
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        stats
+            .batched_requests
+            .fetch_add(n as u64, Ordering::Relaxed);
+        stats.max_batch_seen.fetch_max(n as u64, Ordering::Relaxed);
+
+        input.resize(n * 3 * plane, 0.0);
+        for (i, req) in batch.iter().enumerate() {
+            let dst = &mut input[i * 3 * plane..(i + 1) * 3 * plane];
+            match &filter_impl {
+                Some(f) => image_to_chw_into(&f.apply(&req.tile).filtered, dst),
+                None => image_to_chw_into(&req.tile, dst),
+            }
+        }
+        let x = Tensor::from_vec(&[n, 3, s, s], std::mem::take(&mut input));
+        model.predict_into(&x, &mut preds);
+        input = x.into_vec();
+
+        let mut cache_guard = cache.lock().unwrap();
+        let mut latency_guard = stats.latency.lock().unwrap();
+        for (i, req) in batch.into_iter().enumerate() {
+            let mask = Arc::new(preds[i * plane..(i + 1) * plane].to_vec());
+            cache_guard.insert(req.key, Arc::clone(&mask));
+            latency_guard.record(req.submitted.elapsed());
+            stats.computed.fetch_add(1, Ordering::Relaxed);
+            // A vanished waiter (dropped ticket) is not an error.
+            req.tx.send(Ok(mask)).ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seaice_s2::synth::{generate, SceneConfig};
+    use seaice_unet::checkpoint::snapshot;
+    use seaice_unet::{UNet, UNetConfig};
+
+    fn tiny_ckpt() -> Checkpoint {
+        let mut model = UNet::new(UNetConfig {
+            depth: 1,
+            base_filters: 4,
+            dropout: 0.0,
+            seed: 9,
+            ..UNetConfig::paper()
+        });
+        snapshot(&mut model)
+    }
+
+    fn tile(seed: u64) -> Image<u8> {
+        generate(&SceneConfig::tiny(16), seed).rgb
+    }
+
+    fn quiet_cfg() -> EngineConfig {
+        EngineConfig {
+            workers: 2,
+            max_batch_size: 4,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 16,
+            cache_capacity: 32,
+            filter: false,
+            ..EngineConfig::for_tile(16)
+        }
+    }
+
+    #[test]
+    fn classify_matches_a_direct_forward_pass() {
+        let ckpt = tiny_ckpt();
+        let engine = Engine::new(&ckpt, quiet_cfg());
+        let t = tile(1);
+        let got = engine.classify(t.clone()).unwrap();
+
+        let mut model = seaice_unet::checkpoint::restore(&ckpt);
+        let chw = seaice_core::adapters::image_to_chw(&t);
+        let x = Tensor::from_vec(&[1, 3, 16, 16], chw);
+        let want = model.predict(&x);
+        assert_eq!(*got, want);
+    }
+
+    #[test]
+    fn repeat_tiles_hit_the_cache() {
+        let engine = Engine::new(&tiny_ckpt(), quiet_cfg());
+        let t = tile(2);
+        let a = engine.classify(t.clone()).unwrap();
+        let b = engine.classify(t).unwrap();
+        assert_eq!(a, b);
+        let s = engine.stats();
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.computed, 1);
+        assert_eq!(s.ok, 2);
+        assert!(s.cache_hit_rate > 0.0);
+        assert_eq!(s.latency.count, 2);
+    }
+
+    #[test]
+    fn wrong_shape_is_a_bad_request_not_a_panic() {
+        let engine = Engine::new(&tiny_ckpt(), quiet_cfg());
+        let wrong = Image::<u8>::new(8, 8, 3);
+        match engine.classify(wrong) {
+            Err(ServeError::BadRequest(m)) => assert!(m.contains("16x16"), "{m}"),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        assert_eq!(engine.stats().rejected, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work_then_refuses_new() {
+        let engine = Engine::new(&tiny_ckpt(), quiet_cfg());
+        // Queue several distinct tiles, then shut down immediately: every
+        // accepted ticket must still resolve.
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| engine.submit_blocking(tile(100 + i)).unwrap())
+            .collect();
+        engine.shutdown();
+        for t in tickets {
+            let mask = t.wait().unwrap();
+            assert_eq!(mask.len(), 256);
+            assert!(mask.iter().all(|&c| c < 3));
+        }
+        assert_eq!(engine.classify(tile(1)), Err(ServeError::Closed));
+        // Idempotent.
+        engine.shutdown();
+    }
+
+    #[test]
+    fn batches_form_under_concurrent_load() {
+        let engine = Arc::new(Engine::new(&tiny_ckpt(), quiet_cfg()));
+        let mut clients = Vec::new();
+        for c in 0..4u64 {
+            let engine = Arc::clone(&engine);
+            clients.push(std::thread::spawn(move || {
+                for i in 0..6 {
+                    let mask = engine.classify_blocking(tile(1000 + c * 10 + i)).unwrap();
+                    assert_eq!(mask.len(), 256);
+                }
+            }));
+        }
+        for c in clients {
+            c.join().unwrap();
+        }
+        let s = engine.stats();
+        assert_eq!(s.ok, 24);
+        assert_eq!(s.latency.count, 24);
+        assert!(s.batches >= 1 && s.batches <= 24);
+        assert!(s.mean_batch_size >= 1.0);
+        assert!(s.max_batch_seen as usize <= engine.config().max_batch_size);
+    }
+}

@@ -31,26 +31,45 @@ pub fn snapshot(model: &mut UNet) -> Checkpoint {
 /// Restores parameters into a model built from the checkpoint's config.
 ///
 /// # Panics
-/// Panics if the parameter list does not match the architecture.
+/// Panics if the parameter list does not match the architecture; use
+/// [`try_restore`] for untrusted payloads.
 pub fn restore(ckpt: &Checkpoint) -> UNet {
+    match try_restore(ckpt) {
+        Ok(model) => model,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`restore`]: validates the payload against the architecture
+/// the config describes and reports what is wrong instead of panicking —
+/// the path `load` takes for on-disk files, which may be truncated or
+/// hand-edited.
+///
+/// # Errors
+/// A description of the first mismatch (parameter count or tensor shape).
+pub fn try_restore(ckpt: &Checkpoint) -> Result<UNet, String> {
     let mut model = UNet::new(ckpt.config);
     {
         let mut params = model.params_mut();
-        assert_eq!(
-            params.len(),
-            ckpt.params.len(),
-            "checkpoint parameter count mismatch"
-        );
-        for (p, saved) in params.iter_mut().zip(&ckpt.params) {
-            assert_eq!(
-                p.value.shape(),
-                saved.shape(),
-                "checkpoint parameter shape mismatch"
-            );
+        if params.len() != ckpt.params.len() {
+            return Err(format!(
+                "checkpoint parameter count mismatch: architecture has {} tensors, payload has {}",
+                params.len(),
+                ckpt.params.len()
+            ));
+        }
+        for (i, (p, saved)) in params.iter_mut().zip(&ckpt.params).enumerate() {
+            if p.value.shape() != saved.shape() {
+                return Err(format!(
+                    "checkpoint parameter {i} shape mismatch: architecture wants {:?}, payload has {:?}",
+                    p.value.shape(),
+                    saved.shape()
+                ));
+            }
             p.value = saved.clone();
         }
     }
-    model
+    Ok(model)
 }
 
 /// Saves a model checkpoint as JSON.
@@ -66,11 +85,24 @@ pub fn save(model: &mut UNet, path: impl AsRef<Path>) -> io::Result<()> {
 /// Loads a model checkpoint from JSON.
 ///
 /// # Errors
-/// I/O or deserialization failures.
+/// I/O failures, and `InvalidData` with a descriptive message when the
+/// file is truncated, not JSON, or a valid JSON payload whose parameters
+/// do not match the architecture it claims.
 pub fn load(path: impl AsRef<Path>) -> io::Result<UNet> {
+    let path = path.as_ref();
     let bytes = std::fs::read(path)?;
-    let ckpt: Checkpoint = serde_json::from_slice(&bytes).map_err(io::Error::other)?;
-    Ok(restore(&ckpt))
+    let ckpt: Checkpoint = serde_json::from_slice(&bytes).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("corrupt checkpoint {}: {e}", path.display()),
+        )
+    })?;
+    try_restore(&ckpt).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("corrupt checkpoint {}: {e}", path.display()),
+        )
+    })
 }
 
 #[cfg(test)]
@@ -110,6 +142,60 @@ mod tests {
         let mut b = load(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(b.forward(&x, false), ya);
+    }
+
+    #[test]
+    fn corrupt_files_error_descriptively_instead_of_panicking() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+
+        // A valid checkpoint to mutilate.
+        let mut model = tiny();
+        let good = serde_json::to_vec(&snapshot(&mut model)).unwrap();
+
+        // 1. Truncated mid-JSON.
+        let truncated = dir.join(format!("seaice-ckpt-trunc-{pid}.json"));
+        std::fs::write(&truncated, &good[..good.len() / 2]).unwrap();
+        let e = load(&truncated).err().expect("truncated file must fail");
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("corrupt checkpoint"), "{e}");
+
+        // 2. Not JSON at all.
+        let garbage = dir.join(format!("seaice-ckpt-garbage-{pid}.json"));
+        std::fs::write(&garbage, b"\x00\xffnot json").unwrap();
+        let e = load(&garbage).err().expect("garbage file must fail");
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+
+        // 3. Valid JSON whose parameter list was truncated: must report
+        //    the count mismatch, not panic.
+        let mut ckpt: Checkpoint = serde_json::from_slice(&good).unwrap();
+        ckpt.params.pop();
+        let short = dir.join(format!("seaice-ckpt-short-{pid}.json"));
+        std::fs::write(&short, serde_json::to_vec(&ckpt).unwrap()).unwrap();
+        let e = load(&short).err().expect("short param list must fail");
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("parameter count mismatch"), "{e}");
+
+        // 4. Right count, wrong shape.
+        let mut ckpt: Checkpoint = serde_json::from_slice(&good).unwrap();
+        let n = ckpt.params.len();
+        ckpt.params[n - 1] = Tensor::zeros(&[1]);
+        let misshapen = dir.join(format!("seaice-ckpt-shape-{pid}.json"));
+        std::fs::write(&misshapen, serde_json::to_vec(&ckpt).unwrap()).unwrap();
+        let e = load(&misshapen).err().expect("misshapen param must fail");
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("shape mismatch"), "{e}");
+
+        // 5. A missing file is still a plain NotFound, not InvalidData.
+        let missing = dir.join(format!("seaice-ckpt-missing-{pid}.json"));
+        assert_eq!(
+            load(&missing).err().expect("missing file must fail").kind(),
+            std::io::ErrorKind::NotFound
+        );
+
+        for f in [truncated, garbage, short, misshapen] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]

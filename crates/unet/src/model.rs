@@ -323,11 +323,26 @@ impl UNet {
 
     /// Per-pixel class predictions for a batch: argmax over the logits.
     pub fn predict(&mut self, x: &Tensor) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.predict_into(x, &mut out);
+        out
+    }
+
+    /// [`predict`] into a caller-owned buffer, so serving workers reuse
+    /// one mask buffer across micro-batches instead of allocating per
+    /// call. `out` is cleared and refilled with `n·h·w` class ids.
+    ///
+    /// Batch items are independent throughout the network (every op loops
+    /// or parallelizes over the batch axis with per-item math), so a tile
+    /// classified in a batch of any size gets bit-identical predictions
+    /// to the same tile classified alone.
+    pub fn predict_into(&mut self, x: &Tensor, out: &mut Vec<u8>) {
         let logits = self.forward(x, false);
         let (n, k, h, w) = logits.nchw();
         let plane = h * w;
         let data = logits.as_slice();
-        let mut out = vec![0u8; n * plane];
+        out.clear();
+        out.resize(n * plane, 0u8);
         for b in 0..n {
             for p in 0..plane {
                 let base = b * k * plane + p;
@@ -343,7 +358,6 @@ impl UNet {
                 out[b * plane + p] = arg;
             }
         }
-        out
     }
 }
 
@@ -417,6 +431,23 @@ mod tests {
         let preds = net.predict(&x);
         assert_eq!(preds.len(), 2 * 256);
         assert!(preds.iter().all(|&c| c < 3));
+    }
+
+    #[test]
+    fn batched_predict_matches_per_item_predict() {
+        let mut net = UNet::new(tiny_config());
+        let x = uniform(&[3, 3, 16, 16], 0.0, 1.0, 11);
+        let batched = net.predict(&x);
+        let mut reused = vec![0xAAu8; 1]; // dirty buffer must be overwritten
+        for b in 0..3 {
+            let item = Tensor::from_vec(&[1, 3, 16, 16], x.batch_item(b).to_vec());
+            net.predict_into(&item, &mut reused);
+            assert_eq!(
+                reused,
+                &batched[b * 256..(b + 1) * 256],
+                "batch item {b} diverged from its solo prediction"
+            );
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`unet`] | `seaice-unet` | U-Net segmentation model |
 //! | [`distrib`] | `seaice-distrib` | ring all-reduce data-parallel training (Horovod replacement) |
 //! | [`core`] | `seaice-core` | the end-to-end parallel workflow |
+//! | [`serve`] | `seaice-serve` | batched, cache-aware inference serving engine |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -29,4 +30,5 @@ pub use seaice_mapreduce as mapreduce;
 pub use seaice_metrics as metrics;
 pub use seaice_nn as nn;
 pub use seaice_s2 as s2;
+pub use seaice_serve as serve;
 pub use seaice_unet as unet;

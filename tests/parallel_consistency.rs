@@ -124,6 +124,44 @@ fn distributed_width_does_not_change_the_model() {
 }
 
 #[test]
+fn micro_batched_serving_is_bit_identical_to_sequential_classification() {
+    use seaice::serve::{classify_scene_engine, Engine, EngineConfig};
+    use std::time::Duration;
+
+    let mut model = seaice::unet::UNet::new(UNetConfig {
+        depth: 1,
+        base_filters: 4,
+        dropout: 0.0,
+        seed: 4242,
+        ..UNetConfig::paper()
+    });
+    let ckpt = seaice::unet::checkpoint::snapshot(&mut model);
+    // 40 % 16 != 0: the grid has overlapping edge anchors, so identical
+    // stitching is part of what this pins down.
+    let scene = generate(&SceneConfig::tiny(40), 77);
+    let want = seaice::core::classify_scene(&mut model, &scene.rgb, 16, true);
+
+    // Batch size 1, an awkward 3, and the full default must all match:
+    // every op in the network treats batch items independently.
+    for max_batch in [1usize, 3, 8] {
+        let engine = Engine::new(
+            &ckpt,
+            EngineConfig {
+                workers: 2,
+                max_batch_size: max_batch,
+                max_wait: Duration::from_millis(1),
+                filter: true,
+                ..EngineConfig::for_tile(16)
+            },
+        );
+        let got = classify_scene_engine(&engine, &scene.rgb).unwrap();
+        assert_eq!(got.mask, want.mask, "batch size {max_batch} diverged");
+        assert_eq!(got.color, want.color, "batch size {max_batch} diverged");
+        assert_eq!(got.fractions, want.fractions);
+    }
+}
+
+#[test]
 fn worker_pool_handles_heavier_than_worker_count_workloads() {
     let pool = WorkerPool::new(2);
     let out = pool.map((0..500).collect::<Vec<u32>>(), |x| {

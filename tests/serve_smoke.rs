@@ -1,0 +1,144 @@
+//! Tier-1 smoke test for the serving subsystem: an in-process engine
+//! under concurrent load, overload shedding, and graceful-drain
+//! semantics — the contracts an operator relies on, exercised without
+//! any network I/O.
+
+use seaice::imgproc::buffer::Image;
+use seaice::s2::synth::{generate, SceneConfig};
+use seaice::serve::{Engine, EngineConfig, ServeError, Ticket};
+use seaice::unet::checkpoint::{snapshot, Checkpoint};
+use seaice::unet::{UNet, UNetConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tiny_ckpt(seed: u64) -> Checkpoint {
+    let mut model = UNet::new(UNetConfig {
+        depth: 1,
+        base_filters: 4,
+        dropout: 0.0,
+        seed,
+        ..UNetConfig::paper()
+    });
+    snapshot(&mut model)
+}
+
+fn tile(seed: u64) -> Image<u8> {
+    generate(&SceneConfig::tiny(16), seed).rgb
+}
+
+#[test]
+fn engine_serves_64_tiles_under_concurrency_with_sane_stats() {
+    let engine = Arc::new(Engine::new(
+        &tiny_ckpt(11),
+        EngineConfig {
+            workers: 2,
+            max_batch_size: 4,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 64,
+            cache_capacity: 64,
+            filter: false,
+            ..EngineConfig::for_tile(16)
+        },
+    ));
+
+    // 4 clients x 16 tiles; every 4th tile repeats so the cache sees
+    // traffic too.
+    let mut clients = Vec::new();
+    for c in 0..4u64 {
+        let engine = Arc::clone(&engine);
+        clients.push(std::thread::spawn(move || {
+            for i in 0..16u64 {
+                let seed = if i % 4 == 3 { 1 } else { 10 + c * 100 + i };
+                let mask = engine.classify_blocking(tile(seed)).unwrap();
+                assert_eq!(mask.len(), 256);
+                assert!(mask.iter().all(|&c| c < 3));
+            }
+        }));
+    }
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    let s = engine.stats();
+    assert_eq!(s.submitted, 64);
+    assert_eq!(s.ok, 64);
+    assert_eq!(s.computed + s.cache_hits, 64);
+    assert_eq!(s.cache_hits + s.cache_misses, 64);
+    // 16 of the 64 submissions repeat one tile. In-flight duplicates are
+    // not coalesced (both compute if they race before the first insert),
+    // so the exact hit count varies with scheduling — but most repeats
+    // must land after the first insert.
+    assert!(s.cache_hits >= 8, "repeat tiles must hit: {}", s.cache_hits);
+    assert_eq!(s.shed, 0, "closed-loop blocking load must never shed");
+    assert_eq!(s.rejected, 0);
+    assert_eq!(s.latency.count, 64);
+    assert!(s.latency.p50_us <= s.latency.p95_us);
+    assert!(s.latency.p95_us <= s.latency.p99_us);
+    assert!(s.latency.min_us <= s.latency.p50_us);
+    assert!(s.latency.p99_us <= s.latency.max_us);
+    assert!(s.mean_batch_size >= 1.0);
+    assert!(s.max_batch_seen <= 4);
+    assert!(s.throughput_rps > 0.0);
+}
+
+#[test]
+fn overload_burst_sheds_instead_of_queuing_without_bound() {
+    let engine = Engine::new(
+        &tiny_ckpt(12),
+        EngineConfig {
+            workers: 1,
+            max_batch_size: 2,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 2,
+            cache_capacity: 0,
+            filter: false,
+            ..EngineConfig::for_tile(16)
+        },
+    );
+
+    // Fire a burst far beyond queue capacity without waiting: the engine
+    // must answer what it admitted and shed the rest with Overloaded.
+    let mut accepted: Vec<Ticket> = Vec::new();
+    let mut shed = 0usize;
+    for i in 0..64u64 {
+        match engine.try_submit(tile(2000 + i)) {
+            Ok(t) => accepted.push(t),
+            Err(ServeError::Overloaded) => shed += 1,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(shed > 0, "a 64-request burst into a 2-slot queue must shed");
+    assert!(!accepted.is_empty(), "admission control must admit some");
+    for t in accepted {
+        let mask = t.wait().unwrap();
+        assert_eq!(mask.len(), 256);
+    }
+    let s = engine.stats();
+    assert_eq!(s.shed, shed as u64);
+    assert_eq!(s.ok + s.shed, 64);
+}
+
+#[test]
+fn graceful_shutdown_drains_accepted_work_and_then_refuses() {
+    let engine = Engine::new(
+        &tiny_ckpt(13),
+        EngineConfig {
+            workers: 1,
+            max_batch_size: 4,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 32,
+            cache_capacity: 8,
+            filter: false,
+            ..EngineConfig::for_tile(16)
+        },
+    );
+    let tickets: Vec<Ticket> = (0..12u64)
+        .map(|i| engine.submit_blocking(tile(3000 + i)).unwrap())
+        .collect();
+    engine.shutdown();
+    // Every accepted request resolves even though shutdown started first.
+    for t in tickets {
+        assert_eq!(t.wait().unwrap().len(), 256);
+    }
+    assert!(matches!(engine.classify(tile(1)), Err(ServeError::Closed)));
+}
