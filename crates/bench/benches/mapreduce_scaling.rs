@@ -25,7 +25,8 @@ fn bench_engine(c: &mut Criterion) {
             &(e, cores),
             |b, &(e, cores)| {
                 b.iter(|| {
-                    let session = Session::new(ClusterSpec::new(e, cores), CostModel::gcd_n2());
+                    let session =
+                        Session::new(ClusterSpec::new(e, cores).unwrap(), CostModel::gcd_n2());
                     let (df, _) = session.read((0..256u64).collect::<Vec<_>>(), 8.0);
                     let (lazy, _) = df.map(&session, spin);
                     let (out, _) = lazy.collect(&session, 8.0);
@@ -36,7 +37,12 @@ fn bench_engine(c: &mut Criterion) {
     }
 
     g.bench_function("session_startup_4x4", |b| {
-        b.iter(|| black_box(Session::new(ClusterSpec::new(4, 4), CostModel::gcd_n2())))
+        b.iter(|| {
+            black_box(Session::new(
+                ClusterSpec::new(4, 4).unwrap(),
+                CostModel::gcd_n2(),
+            ))
+        })
     });
     g.finish();
 }

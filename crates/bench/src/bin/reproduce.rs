@@ -14,6 +14,7 @@
 //!   fig14    prediction panels                       (Fig. 14)
 //!   scenes   66-scene labeling time                  (§IV-B)
 //!   serve    serving-engine load generator           (DESIGN.md §4.2)
+//!   chaos    fault-injection / recovery demo         (DESIGN.md §4.3)
 //!   ablation cloud/shadow-filter design ablations    (DESIGN.md §6)
 //!   sweep    batch-size / dropout exploration        (§IV-A)
 //!   night    season-transfer + threshold calibration (§IV-B-2)
@@ -77,7 +78,7 @@ fn parse_args() -> Args {
 
 fn print_usage() {
     eprintln!(
-        "usage: reproduce <table1|table2|table3|table4|table5|fig11|fig13|fig14|scenes|serve|ablation|sweep|night|all> [--scale small|medium|large] [--out DIR]"
+        "usage: reproduce <table1|table2|table3|table4|table5|fig11|fig13|fig14|scenes|serve|chaos|ablation|sweep|night|all> [--scale small|medium|large] [--out DIR]"
     );
 }
 
@@ -103,6 +104,7 @@ fn main() {
         "fig14" => run_fig14(args.scale, &args.out),
         "scenes" => println!("{}", table45::scenes_timing(args.scale).render()),
         "serve" => println!("{}", seaice_bench::servebench::run(args.scale).render()),
+        "chaos" => println!("{}", seaice_bench::chaosbench::run(args.scale).render()),
         "ablation" => {
             println!("{}", seaice_bench::ablation::run(args.scale).render());
             println!("{}", seaice_bench::ablation::up_mode(args.scale).render());
@@ -123,6 +125,7 @@ fn main() {
             run_fig11(args.scale, &args.out);
             println!("{}", table45::scenes_timing(args.scale).render());
             println!("{}", seaice_bench::servebench::run(args.scale).render());
+            println!("{}", seaice_bench::chaosbench::run(args.scale).render());
             println!("{}", seaice_bench::ablation::run(args.scale).render());
             println!("{}", seaice_bench::night::run(args.scale).render());
         }

@@ -23,6 +23,7 @@
 //! reduced scale and report real numbers.
 
 pub mod ablation;
+pub mod chaosbench;
 pub mod night;
 pub mod scale;
 pub mod servebench;

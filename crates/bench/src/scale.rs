@@ -69,6 +69,17 @@ impl Scale {
         }
     }
 
+    /// (map-reduce items, training samples, serve tiles) for the chaos
+    /// demonstration: every layer runs under a seeded kill and must
+    /// recover with byte-identical results.
+    pub fn chaos_workload(self) -> (usize, usize, usize) {
+        match self {
+            Scale::Small => (64, 12, 8),
+            Scale::Medium => (256, 18, 24),
+            Scale::Large => (1024, 24, 64),
+        }
+    }
+
     /// Ranks for the real distributed-training semantics run.
     pub fn distrib_ranks(self) -> usize {
         match self {

@@ -210,7 +210,8 @@ pub fn run_config(cfg: ServeBenchConfig) -> ServeBench {
             filter: false,
             ..EngineConfig::for_tile(cfg.tile_size)
         },
-    );
+    )
+    .expect("bench engine config");
     let mismatches = AtomicUsize::new(0);
     let t0 = Instant::now();
     // Passes are separated by a barrier: a re-analysis pass starts after
@@ -264,7 +265,8 @@ pub fn run_config(cfg: ServeBenchConfig) -> ServeBench {
             filter: false,
             ..EngineConfig::for_tile(cfg.tile_size)
         },
-    );
+    )
+    .expect("bench engine config");
     let tiles: Vec<Image<u8>> = scene_rgbs
         .iter()
         .flat_map(|rgb| {

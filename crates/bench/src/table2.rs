@@ -128,7 +128,7 @@ pub fn run(scale: Scale) -> Table2 {
     let mut rows = Vec::with_capacity(GRID.len());
     let mut base: Option<(f64, f64)> = None;
     for &(e, c) in &GRID {
-        let spec = ClusterSpec::new(e, c);
+        let spec = ClusterSpec::new(e, c).expect("grid specs are positive");
         // Execute the real engine at local scale (verifies results; its
         // own report is consistent but covers n tasks, not 4224).
         let (load, map, _engine_reduce) = run_grid_point(&tiles, spec, cost, tile_bytes);

@@ -285,7 +285,7 @@ fn classify(p: &mut Parsed) -> Result<String, CliError> {
         cfg.filter = filter;
         cfg.workers = p.get_or("workers", cfg.workers)?;
         cfg.max_batch_size = p.get_or("batch", cfg.max_batch_size)?;
-        let engine = Engine::new(&ckpt, cfg);
+        let engine = Engine::new(&ckpt, cfg).map_err(|e| CliError::Msg(e.to_string()))?;
         classify_scene_engine(&engine, &input).map_err(|e| CliError::Msg(e.to_string()))?
     } else if p.flag("parallel") {
         let ckpt = read_checkpoint(&model_path)?;
@@ -326,7 +326,7 @@ fn serve(p: &mut Parsed) -> Result<String, CliError> {
     cfg.queue_capacity = p.get_or("queue", cfg.queue_capacity)?;
     cfg.cache_capacity = p.get_or("cache", cfg.cache_capacity)?;
     cfg.filter = !p.flag("no-filter");
-    let engine = Arc::new(Engine::new(&ckpt, cfg));
+    let engine = Arc::new(Engine::new(&ckpt, cfg).map_err(|e| CliError::Msg(e.to_string()))?);
 
     if p.flag("smoke") {
         // Self-test: bind an ephemeral port, push one synthetic tile

@@ -10,6 +10,27 @@
 use crossbeam::channel::{self, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 
+/// A collective failed because a peer rank disappeared (its endpoints
+/// were dropped — typically the rank thread panicked or was killed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollectiveError {
+    /// This rank's ring successor hung up mid-collective.
+    SuccessorLost,
+    /// This rank's ring predecessor hung up mid-collective.
+    PredecessorLost,
+}
+
+impl std::fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectiveError::SuccessorLost => f.write_str("ring successor disconnected"),
+            CollectiveError::PredecessorLost => f.write_str("ring predecessor disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
 /// One rank's endpoint in the group.
 pub struct Rank {
     rank: usize,
@@ -29,7 +50,18 @@ impl ProcessGroup {
     /// Panics if `n == 0`.
     #[allow(clippy::new_ret_no_self)] // `ProcessGroup` is a namespace; ranks are the product
     pub fn new(n: usize) -> Vec<Rank> {
-        assert!(n > 0, "process group needs at least one rank");
+        Self::try_new(n).expect("process group needs at least one rank")
+    }
+
+    /// Fallible [`new`](ProcessGroup::new): rejects an empty group with a
+    /// descriptive error instead of panicking.
+    ///
+    /// # Errors
+    /// When `n == 0`.
+    pub fn try_new(n: usize) -> Result<Vec<Rank>, String> {
+        if n == 0 {
+            return Err("process group needs at least one rank (got 0)".to_string());
+        }
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
@@ -54,7 +86,7 @@ impl ProcessGroup {
                 barrier: barrier.clone(),
             });
         }
-        ranks
+        Ok(ranks)
     }
 }
 
@@ -88,11 +120,26 @@ impl Rank {
     ///
     /// # Panics
     /// Panics if a neighbour disconnects mid-collective (a peer rank
-    /// panicked).
+    /// panicked). Use [`try_all_reduce_sum`](Rank::try_all_reduce_sum)
+    /// when peers are allowed to fail.
     pub fn all_reduce_sum(&self, buf: &mut [f32]) {
+        if let Err(e) = self.try_all_reduce_sum(buf) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`all_reduce_sum`](Rank::all_reduce_sum): reports a lost
+    /// peer instead of panicking, so a surviving rank can unwind cleanly
+    /// and rejoin a rebuilt, smaller group (elastic recovery). On error
+    /// the buffer contents are unspecified — discard them and resume from
+    /// a checkpoint.
+    ///
+    /// # Errors
+    /// [`CollectiveError`] naming the lost neighbour.
+    pub fn try_all_reduce_sum(&self, buf: &mut [f32]) -> Result<(), CollectiveError> {
         let n = self.size;
         if n == 1 {
-            return;
+            return Ok(());
         }
         let len = buf.len();
 
@@ -104,11 +151,11 @@ impl Rank {
             let (ss, se) = chunk_bounds(len, n, send_idx);
             self.to_next
                 .send(buf[ss..se].to_vec())
-                .expect("ring successor disconnected");
+                .map_err(|_| CollectiveError::SuccessorLost)?;
             let incoming = self
                 .from_prev
                 .recv()
-                .expect("ring predecessor disconnected");
+                .map_err(|_| CollectiveError::PredecessorLost)?;
             let (rs, re) = chunk_bounds(len, n, recv_idx);
             debug_assert_eq!(incoming.len(), re - rs);
             for (dst, src) in buf[rs..re].iter_mut().zip(&incoming) {
@@ -123,15 +170,16 @@ impl Rank {
             let (ss, se) = chunk_bounds(len, n, send_idx);
             self.to_next
                 .send(buf[ss..se].to_vec())
-                .expect("ring successor disconnected");
+                .map_err(|_| CollectiveError::SuccessorLost)?;
             let incoming = self
                 .from_prev
                 .recv()
-                .expect("ring predecessor disconnected");
+                .map_err(|_| CollectiveError::PredecessorLost)?;
             let (rs, re) = chunk_bounds(len, n, recv_idx);
             debug_assert_eq!(incoming.len(), re - rs);
             buf[rs..re].copy_from_slice(&incoming);
         }
+        Ok(())
     }
 
     /// In-place average all-reduce (`sum / size`) — what gradient
@@ -142,6 +190,20 @@ impl Rank {
         for v in buf.iter_mut() {
             *v *= inv;
         }
+    }
+
+    /// Fallible [`all_reduce_mean`](Rank::all_reduce_mean); see
+    /// [`try_all_reduce_sum`](Rank::try_all_reduce_sum).
+    ///
+    /// # Errors
+    /// [`CollectiveError`] naming the lost neighbour.
+    pub fn try_all_reduce_mean(&self, buf: &mut [f32]) -> Result<(), CollectiveError> {
+        self.try_all_reduce_sum(buf)?;
+        let inv = 1.0 / self.size as f32;
+        for v in buf.iter_mut() {
+            *v *= inv;
+        }
+        Ok(())
     }
 
     /// Broadcast from `root`: after the call every rank's buffer equals
@@ -297,6 +359,42 @@ mod tests {
                 assert_eq!(covered, len, "chunks must cover the buffer");
             }
         }
+    }
+
+    #[test]
+    fn lost_rank_errors_all_survivors_without_deadlock() {
+        // Rank 2 of 4 "dies" (drops its endpoints without participating);
+        // every survivor's try-collective must return an error rather
+        // than hang, which is what lets the elastic trainer unwind and
+        // rebuild a smaller group.
+        let ranks = ProcessGroup::new(4);
+        let handles: Vec<_> = ranks
+            .into_iter()
+            .map(|rank| {
+                std::thread::spawn(move || {
+                    if rank.rank() == 2 {
+                        return None; // dies: endpoints drop here
+                    }
+                    let mut buf = vec![1.0f32; 16];
+                    Some(rank.try_all_reduce_sum(&mut buf))
+                })
+            })
+            .collect();
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(outcomes.iter().filter(|o| o.is_none()).count(), 1);
+        for o in outcomes.into_iter().flatten() {
+            assert!(o.is_err(), "survivors must observe the lost peer");
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_empty_group() {
+        let e = match ProcessGroup::try_new(0) {
+            Err(e) => e,
+            Ok(_) => panic!("empty group must be rejected"),
+        };
+        assert!(e.contains("at least one rank"), "{e}");
+        assert_eq!(ProcessGroup::try_new(2).unwrap().len(), 2);
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub mod optimizer;
 pub mod perfmodel;
 pub mod trainer;
 
-pub use group::{ProcessGroup, Rank};
+pub use group::{CollectiveError, ProcessGroup, Rank};
 pub use optimizer::DistributedOptimizer;
 pub use perfmodel::DgxA100Model;
-pub use trainer::{train_distributed, DistTrainConfig, DistTrainReport};
+pub use trainer::{
+    rank_fault_key, train_distributed, train_distributed_elastic, DistTrainConfig, DistTrainReport,
+    ElasticConfig, ResumePoint, TrainError,
+};

@@ -2,7 +2,7 @@
 //! analog: averages gradients across ranks with ring all-reduce before
 //! delegating to the wrapped optimizer.
 
-use crate::group::Rank;
+use crate::group::{CollectiveError, Rank};
 use seaice_nn::layers::Param;
 use seaice_nn::optim::Optimizer;
 
@@ -24,10 +24,16 @@ impl<'g, O: Optimizer> DistributedOptimizer<'g, O> {
     pub fn inner(&self) -> &O {
         &self.inner
     }
-}
 
-impl<O: Optimizer> Optimizer for DistributedOptimizer<'_, O> {
-    fn step(&mut self, params: &mut [&mut Param]) {
+    /// Fallible [`step`](Optimizer::step): synchronizes gradients with
+    /// the fallible all-reduce and reports a lost peer instead of
+    /// panicking. On error no parameter is updated — the replica's
+    /// weights still equal the last completed step, so the surviving rank
+    /// can unwind and resume from a checkpoint.
+    ///
+    /// # Errors
+    /// [`CollectiveError`] when a peer rank disappeared mid-sync.
+    pub fn try_step(&mut self, params: &mut [&mut Param]) -> Result<(), CollectiveError> {
         // Fuse all gradients into one buffer so the ring runs once per
         // step (Horovod batches tensors the same way for bandwidth).
         let total: usize = params.iter().map(|p| p.grad.len()).sum();
@@ -35,7 +41,7 @@ impl<O: Optimizer> Optimizer for DistributedOptimizer<'_, O> {
         for p in params.iter() {
             fused.extend_from_slice(p.grad.as_slice());
         }
-        self.rank.all_reduce_mean(&mut fused);
+        self.rank.try_all_reduce_mean(&mut fused)?;
         let mut offset = 0;
         for p in params.iter_mut() {
             let len = p.grad.len();
@@ -45,6 +51,15 @@ impl<O: Optimizer> Optimizer for DistributedOptimizer<'_, O> {
             offset += len;
         }
         self.inner.step(params);
+        Ok(())
+    }
+}
+
+impl<O: Optimizer> Optimizer for DistributedOptimizer<'_, O> {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if let Err(e) = self.try_step(params) {
+            panic!("{e}");
+        }
     }
 }
 

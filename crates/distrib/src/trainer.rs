@@ -1,16 +1,29 @@
 //! Synchronous data-parallel U-Net training (Fig. 8's "with Horovod"
 //! pseudo-code): shard the data, replicate the model per rank, broadcast
 //! rank 0's initial weights, and all-reduce-average gradients every step.
+//!
+//! Two entry points share one engine:
+//!
+//! * [`train_distributed`] — the strict path: any rank failure panics
+//!   (the pre-elastic behavior, bit-identical to earlier releases);
+//! * [`train_distributed_elastic`] — fault-tolerant: rank 0 checkpoints
+//!   at epoch boundaries, a lost rank unwinds the survivors through the
+//!   fallible collectives, and training resumes from the last checkpoint
+//!   with the surviving rank set re-sharding the data (Horovod Elastic's
+//!   model). The injection point for chaos tests sits right before each
+//!   gradient all-reduce.
 
 use crate::group::ProcessGroup;
 use crate::optimizer::DistributedOptimizer;
 use crate::perfmodel::DgxA100Model;
+use seaice_faults::{mix, FaultPlan};
 use seaice_nn::dataloader::{DataLoader, Sample};
 use seaice_nn::loss::softmax_cross_entropy;
-use seaice_nn::optim::{Adam, Optimizer};
-use seaice_unet::checkpoint;
+use seaice_nn::optim::Adam;
+use seaice_unet::checkpoint::{self, Checkpoint};
 use seaice_unet::{UNet, UNetConfig};
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
 
 /// Distributed training configuration.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -28,6 +41,84 @@ pub struct DistTrainConfig {
     pub shuffle_seed: Option<u64>,
 }
 
+/// Elastic-recovery knobs for [`train_distributed_elastic`].
+#[derive(Clone, Default)]
+pub struct ElasticConfig {
+    /// Rank 0 snapshots the model every this-many epochs (0 → 1).
+    pub checkpoint_every_epochs: usize,
+    /// Recovery attempts allowed before giving up (0 → 8). Each rank
+    /// failure consumes one generation.
+    pub max_generations: usize,
+    /// Abort instead of recovering once fewer than this many ranks
+    /// survive (0 → 1).
+    pub min_ranks: usize,
+    /// Start from a prior checkpoint instead of fresh weights — how a
+    /// planned resume (or a reference run for recovery tests) enters the
+    /// middle of a schedule.
+    pub resume: Option<ResumePoint>,
+}
+
+/// Where a resumed run picks up.
+#[derive(Clone)]
+pub struct ResumePoint {
+    /// First epoch the resumed run executes.
+    pub epoch: usize,
+    /// Weights at that epoch boundary.
+    pub checkpoint: Checkpoint,
+    /// Epoch losses already accumulated before `epoch` (prepended to the
+    /// report so trajectories stay comparable).
+    pub prior_losses: Vec<f32>,
+}
+
+/// Why an elastic run could not finish.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrainError {
+    /// `ranks == 0`.
+    NoRanks,
+    /// Fewer samples than ranks — some shard would be empty.
+    NotEnoughSamples {
+        /// Usable (non-corrupt) sample count.
+        samples: usize,
+        /// Requested world size.
+        ranks: usize,
+    },
+    /// Rank failures exhausted the generation budget.
+    TooManyFailures {
+        /// Generations consumed (initial run + recoveries).
+        generations: usize,
+    },
+    /// The surviving world shrank below `min_ranks`.
+    BelowMinRanks {
+        /// Ranks left after the latest failure.
+        survivors: usize,
+        /// Configured floor.
+        min_ranks: usize,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::NoRanks => f.write_str("need at least one rank"),
+            TrainError::NotEnoughSamples { samples, ranks } => {
+                write!(f, "fewer samples ({samples}) than ranks ({ranks})")
+            }
+            TrainError::TooManyFailures { generations } => {
+                write!(f, "rank failures exhausted {generations} generations")
+            }
+            TrainError::BelowMinRanks {
+                survivors,
+                min_ranks,
+            } => write!(
+                f,
+                "only {survivors} ranks survive, below the configured minimum of {min_ranks}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
 /// Results of a distributed run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DistTrainReport {
@@ -35,14 +126,38 @@ pub struct DistTrainReport {
     pub epoch_losses: Vec<f32>,
     /// Measured host wall-clock seconds for the whole run.
     pub measured_secs: f64,
-    /// Simulated DGX seconds for the whole run (perf model).
+    /// Simulated DGX seconds for the whole run (perf model); under
+    /// faults this charges every generation, retried epochs included.
     pub simulated_secs: f64,
     /// Simulated throughput (images/s).
     pub simulated_images_per_sec: f64,
-    /// Number of ranks used.
+    /// Number of ranks used (the initial world size).
     pub ranks: usize,
-    /// Samples per rank after equalizing shards.
+    /// Samples per rank after equalizing shards (final generation).
     pub samples_per_rank: usize,
+    /// Corrupt samples dropped before sharding (see
+    /// `DataLoader::skipped`).
+    pub skipped_samples: usize,
+    /// Training generations executed (1 = no failures).
+    pub generations: usize,
+    /// Ranks lost to failures across the run.
+    pub rank_failures: usize,
+    /// Epoch each recovery resumed from (empty when nothing failed).
+    pub resumed_from_epochs: Vec<usize>,
+    /// World size of the final (successful) generation.
+    pub final_ranks: usize,
+}
+
+/// The deterministic fault key checked at the `distrib.allreduce` site
+/// before rank `rank`'s gradient all-reduce of (`epoch`, `step`) in a
+/// world of `world` ranks. Including the world size means a key targeted
+/// at the original world cannot re-fire after recovery renumbers a
+/// smaller group.
+pub fn rank_fault_key(world: usize, rank: usize, epoch: usize, step: usize) -> u64 {
+    mix(
+        mix(world as u64, rank as u64),
+        mix(epoch as u64, step as u64),
+    )
 }
 
 /// Shards `samples` round-robin across `ranks`, truncating so every rank
@@ -56,6 +171,31 @@ fn shard(samples: &[Sample], ranks: usize) -> Vec<Vec<Sample>> {
     shards
 }
 
+/// Last checkpointed state, shared between rank 0 and the coordinator so
+/// a failed generation can resume from the most recent epoch boundary.
+struct CheckpointSlot {
+    /// First epoch a resume would run.
+    next_epoch: usize,
+    /// Weights at that boundary (`None` until the first checkpoint —
+    /// resume restarts from fresh init).
+    ckpt: Option<Checkpoint>,
+    /// Epoch losses accumulated up to `next_epoch`.
+    losses: Vec<f32>,
+}
+
+/// How one rank's generation ended.
+enum RankOutcome {
+    /// Ran every epoch; rank 0 carries the final snapshot.
+    Finished {
+        losses: Vec<f32>,
+        snapshot: Option<Checkpoint>,
+    },
+    /// This rank was killed by the fault plan at `epoch`.
+    Died { epoch: usize },
+    /// A peer vanished; this rank unwound cleanly at `epoch`.
+    PeerLost { epoch: usize },
+}
+
 /// Trains a U-Net with `cfg.ranks` synchronous data-parallel replicas and
 /// returns rank 0's model plus the run report.
 ///
@@ -67,103 +207,284 @@ pub fn train_distributed(
     cfg: DistTrainConfig,
     perf: &DgxA100Model,
 ) -> (UNet, DistTrainReport) {
-    assert!(cfg.ranks > 0, "need at least one rank");
-    assert!(
-        samples.len() >= cfg.ranks,
-        "fewer samples ({}) than ranks ({})",
-        samples.len(),
-        cfg.ranks
-    );
+    match train_distributed_elastic(
+        unet_cfg,
+        samples,
+        cfg,
+        perf,
+        ElasticConfig::default(),
+        Arc::new(FaultPlan::disabled()),
+    ) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fault-tolerant distributed training. Rank 0 snapshots the model at
+/// epoch boundaries (every `elastic.checkpoint_every_epochs`); when a
+/// rank dies — in chaos tests, via the `distrib.allreduce` fault site
+/// keyed by [`rank_fault_key`] — the survivors unwind through the
+/// fallible collectives, the coordinator rebuilds a process group over
+/// the surviving world size, re-shards the data, and resumes from the
+/// last checkpoint. With no faults this is bit-identical to
+/// [`train_distributed`].
+///
+/// # Errors
+/// [`TrainError`] when the configuration is unusable, failures exhaust
+/// `max_generations`, or the world shrinks below `min_ranks`.
+pub fn train_distributed_elastic(
+    unet_cfg: UNetConfig,
+    samples: Vec<Sample>,
+    cfg: DistTrainConfig,
+    perf: &DgxA100Model,
+    elastic: ElasticConfig,
+    faults: Arc<FaultPlan>,
+) -> Result<(UNet, DistTrainReport), TrainError> {
+    if cfg.ranks == 0 {
+        return Err(TrainError::NoRanks);
+    }
     let t0 = std::time::Instant::now();
-    let shards = shard(&samples, cfg.ranks);
-    let samples_per_rank = shards[0].len();
-    let ranks = ProcessGroup::new(cfg.ranks);
+    let checkpoint_every = elastic.checkpoint_every_epochs.max(1);
+    let max_generations = if elastic.max_generations == 0 {
+        8
+    } else {
+        elastic.max_generations
+    };
+    let min_ranks = elastic.min_ranks.max(1);
 
-    let handles: Vec<_> = ranks
+    // Corrupt tiles are dropped (and counted) before sharding so every
+    // rank sees a clean, consistent dataset.
+    let total_in = samples.len();
+    let mut shape: Option<(usize, usize, usize)> = None;
+    let samples: Vec<Sample> = samples
         .into_iter()
-        .zip(shards)
-        .map(|(rank, shard)| {
-            std::thread::spawn(move || {
-                let mut model = UNet::new(unet_cfg);
-                // Broadcast initial weights from rank 0 (the
-                // `BroadcastGlobalVariablesCallback(0)` step). With a
-                // shared seed this is a no-op, but it guarantees identical
-                // replicas even if per-rank init ever diverges.
-                {
-                    let mut params = model.params_mut();
-                    let total: usize = params.iter().map(|p| p.value.len()).sum();
-                    let mut fused = Vec::with_capacity(total);
-                    for p in params.iter() {
-                        fused.extend_from_slice(p.value.as_slice());
-                    }
-                    rank.broadcast(&mut fused, 0);
-                    let mut off = 0;
-                    for p in params.iter_mut() {
-                        let len = p.value.len();
-                        p.value
-                            .as_mut_slice()
-                            .copy_from_slice(&fused[off..off + len]);
-                        off += len;
-                    }
+        .filter(|s| {
+            if !s.is_consistent() {
+                return false;
+            }
+            match shape {
+                None => {
+                    shape = Some(s.shape());
+                    true
                 }
-
-                let loader = DataLoader::new(
-                    shard,
-                    cfg.batch_size_per_rank,
-                    cfg.shuffle_seed.map(|s| s ^ rank.rank() as u64),
-                );
-                let adam = Adam::new(cfg.learning_rate);
-                let mut opt = DistributedOptimizer::new(adam, &rank);
-                let mut epoch_losses = Vec::with_capacity(cfg.epochs);
-                for epoch in 0..cfg.epochs {
-                    let mut loss_sum = 0f64;
-                    let mut batches = 0usize;
-                    for batch in loader.epoch(epoch as u64) {
-                        model.zero_grads();
-                        let logits = model.forward(&batch.images, true);
-                        let lo = softmax_cross_entropy(&logits, &batch.targets);
-                        model.backward(&lo.grad);
-                        opt.step(&mut model.params_mut());
-                        loss_sum += lo.loss as f64;
-                        batches += 1;
-                    }
-                    epoch_losses.push((loss_sum / batches.max(1) as f64) as f32);
-                }
-                let snapshot = if rank.rank() == 0 {
-                    Some(checkpoint::snapshot(&mut model))
-                } else {
-                    None
-                };
-                (rank.rank(), epoch_losses, snapshot)
-            })
+                Some(sh) => s.shape() == sh,
+            }
         })
         .collect();
+    let skipped_samples = total_in - samples.len();
+    if samples.len() < cfg.ranks {
+        return Err(TrainError::NotEnoughSamples {
+            samples: samples.len(),
+            ranks: cfg.ranks,
+        });
+    }
 
-    let mut rank0_losses = Vec::new();
-    let mut rank0_model = None;
-    for h in handles {
-        let (r, losses, snap) = h.join().expect("a rank panicked");
-        if r == 0 {
-            rank0_losses = losses;
-            rank0_model = snap;
+    let slot = Arc::new(Mutex::new(match elastic.resume {
+        Some(r) => CheckpointSlot {
+            next_epoch: r.epoch,
+            ckpt: Some(r.checkpoint),
+            losses: r.prior_losses,
+        },
+        None => CheckpointSlot {
+            next_epoch: 0,
+            ckpt: None,
+            losses: Vec::new(),
+        },
+    }));
+
+    let mut world = cfg.ranks;
+    let mut generations = 0usize;
+    let mut rank_failures = 0usize;
+    let mut resumed_from_epochs = Vec::new();
+    let mut simulated_secs = 0.0f64;
+
+    loop {
+        if generations >= max_generations {
+            return Err(TrainError::TooManyFailures { generations });
+        }
+        generations += 1;
+
+        let (start_epoch, init, prior_losses) = {
+            let s = slot.lock().unwrap_or_else(|e| e.into_inner());
+            (s.next_epoch, s.ckpt.clone().map(Arc::new), s.losses.clone())
+        };
+        let shards = shard(&samples, world);
+        let samples_per_rank = shards[0].len();
+        let ranks = ProcessGroup::new(world);
+
+        let handles: Vec<_> = ranks
+            .into_iter()
+            .zip(shards)
+            .map(|(rank, shard)| {
+                let init = init.clone();
+                let faults = Arc::clone(&faults);
+                let slot = Arc::clone(&slot);
+                let prior_losses = prior_losses.clone();
+                std::thread::spawn(move || {
+                    let r = rank.rank();
+                    let w = rank.size();
+                    let mut model = match &init {
+                        Some(ckpt) => checkpoint::restore(ckpt),
+                        None => UNet::new(unet_cfg),
+                    };
+                    // Broadcast initial weights from rank 0 (the
+                    // `BroadcastGlobalVariablesCallback(0)` step). With a
+                    // shared seed or checkpoint this is a no-op, but it
+                    // guarantees identical replicas even if per-rank init
+                    // ever diverges.
+                    {
+                        let mut params = model.params_mut();
+                        let total: usize = params.iter().map(|p| p.value.len()).sum();
+                        let mut fused = Vec::with_capacity(total);
+                        for p in params.iter() {
+                            fused.extend_from_slice(p.value.as_slice());
+                        }
+                        rank.broadcast(&mut fused, 0);
+                        let mut off = 0;
+                        for p in params.iter_mut() {
+                            let len = p.value.len();
+                            p.value
+                                .as_mut_slice()
+                                .copy_from_slice(&fused[off..off + len]);
+                            off += len;
+                        }
+                    }
+
+                    let loader = DataLoader::new(
+                        shard,
+                        cfg.batch_size_per_rank,
+                        cfg.shuffle_seed.map(|s| s ^ r as u64),
+                    );
+                    let adam = Adam::new(cfg.learning_rate);
+                    let mut opt = DistributedOptimizer::new(adam, &rank);
+                    let mut epoch_losses = Vec::with_capacity(cfg.epochs - start_epoch);
+                    for epoch in start_epoch..cfg.epochs {
+                        let mut loss_sum = 0f64;
+                        let mut batches = 0usize;
+                        for (step, batch) in loader.epoch(epoch as u64).into_iter().enumerate() {
+                            // The RankFailure injection point: this rank
+                            // drops out right where the gradient
+                            // all-reduce would begin, exactly how a lost
+                            // node manifests to the ring.
+                            if faults
+                                .maybe_fail("distrib.allreduce", rank_fault_key(w, r, epoch, step))
+                                .is_err()
+                            {
+                                return (r, RankOutcome::Died { epoch });
+                            }
+                            model.zero_grads();
+                            let logits = model.forward(&batch.images, true);
+                            let lo = softmax_cross_entropy(&logits, &batch.targets);
+                            model.backward(&lo.grad);
+                            if opt.try_step(&mut model.params_mut()).is_err() {
+                                return (r, RankOutcome::PeerLost { epoch });
+                            }
+                            loss_sum += lo.loss as f64;
+                            batches += 1;
+                        }
+                        epoch_losses.push((loss_sum / batches.max(1) as f64) as f32);
+                        // Rank 0 owns checkpointing: after it finishes an
+                        // epoch, every rank applied the same averaged
+                        // gradients, so its weights ARE the global state.
+                        if r == 0 && (epoch + 1) % checkpoint_every == 0 {
+                            let mut s = slot.lock().unwrap_or_else(|e| e.into_inner());
+                            s.next_epoch = epoch + 1;
+                            s.ckpt = Some(checkpoint::snapshot(&mut model));
+                            s.losses = prior_losses
+                                .iter()
+                                .chain(epoch_losses.iter())
+                                .copied()
+                                .collect();
+                        }
+                    }
+                    let snapshot = if r == 0 {
+                        Some(checkpoint::snapshot(&mut model))
+                    } else {
+                        None
+                    };
+                    (
+                        r,
+                        RankOutcome::Finished {
+                            losses: epoch_losses,
+                            snapshot,
+                        },
+                    )
+                })
+            })
+            .collect();
+
+        let mut outcomes = Vec::with_capacity(world);
+        for h in handles {
+            outcomes.push(h.join().expect("a rank panicked"));
+        }
+
+        let died: Vec<usize> = outcomes
+            .iter()
+            .filter_map(|(r, o)| matches!(o, RankOutcome::Died { .. }).then_some(*r))
+            .collect();
+        let failed_epoch = outcomes
+            .iter()
+            .filter_map(|(_, o)| match o {
+                RankOutcome::Died { epoch } | RankOutcome::PeerLost { epoch } => Some(*epoch),
+                RankOutcome::Finished { .. } => None,
+            })
+            .min();
+
+        match failed_epoch {
+            None => {
+                // Clean generation: assemble the final model and report.
+                let mut rank0_losses = Vec::new();
+                let mut rank0_model = None;
+                for (r, o) in outcomes {
+                    if r == 0 {
+                        if let RankOutcome::Finished { losses, snapshot } = o {
+                            rank0_losses = losses;
+                            rank0_model = snapshot;
+                        }
+                    }
+                }
+                let model = checkpoint::restore(&rank0_model.expect("rank 0 snapshot missing"));
+                simulated_secs += perf.total_time(world, cfg.epochs - start_epoch);
+                let epoch_losses: Vec<f32> = prior_losses.into_iter().chain(rank0_losses).collect();
+                let report = DistTrainReport {
+                    epoch_losses,
+                    measured_secs: t0.elapsed().as_secs_f64(),
+                    simulated_secs,
+                    simulated_images_per_sec: perf.images_per_sec(cfg.ranks),
+                    ranks: cfg.ranks,
+                    samples_per_rank,
+                    skipped_samples,
+                    generations,
+                    rank_failures,
+                    resumed_from_epochs,
+                    final_ranks: world,
+                };
+                return Ok((model, report));
+            }
+            Some(epoch) => {
+                // Charge the epochs this generation actually attempted
+                // (the partial epoch counts — the cluster ran it).
+                simulated_secs += perf.total_time(world, epoch - start_epoch + 1);
+                rank_failures += died.len();
+                let survivors = world - died.len();
+                if survivors < min_ranks {
+                    return Err(TrainError::BelowMinRanks {
+                        survivors,
+                        min_ranks,
+                    });
+                }
+                world = survivors;
+                let resume_epoch = slot.lock().unwrap_or_else(|e| e.into_inner()).next_epoch;
+                resumed_from_epochs.push(resume_epoch);
+            }
         }
     }
-    let model = checkpoint::restore(&rank0_model.expect("rank 0 snapshot missing"));
-
-    let report = DistTrainReport {
-        epoch_losses: rank0_losses,
-        measured_secs: t0.elapsed().as_secs_f64(),
-        simulated_secs: perf.total_time(cfg.ranks, cfg.epochs),
-        simulated_images_per_sec: perf.images_per_sec(cfg.ranks),
-        ranks: cfg.ranks,
-        samples_per_rank,
-    };
-    (model, report)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use seaice_faults::FaultAction;
     use seaice_unet::train::{train, TrainConfig};
 
     fn toy_samples(n: usize, side: usize) -> Vec<Sample> {
@@ -190,6 +511,14 @@ mod tests {
             seed: 11,
             ..UNetConfig::paper()
         }
+    }
+
+    fn weights(model: &mut UNet) -> Vec<f32> {
+        model
+            .params_mut()
+            .iter()
+            .flat_map(|p| p.value.as_slice().to_vec())
+            .collect()
     }
 
     #[test]
@@ -313,5 +642,204 @@ mod tests {
         assert!((report.simulated_secs - expected).abs() < 1e-9);
         assert_eq!(report.ranks, 8);
         assert_eq!(report.samples_per_rank, 1);
+        assert_eq!(report.generations, 1);
+        assert_eq!(report.rank_failures, 0);
+        assert_eq!(report.final_ranks, 8);
+    }
+
+    #[test]
+    fn corrupt_samples_are_skipped_and_reported() {
+        let mut samples = toy_samples(9, 8);
+        samples[4].image.truncate(10); // torn tile
+        let (_, report) = train_distributed(
+            tiny_cfg(),
+            samples,
+            DistTrainConfig {
+                ranks: 2,
+                epochs: 1,
+                batch_size_per_rank: 2,
+                learning_rate: 1e-3,
+                shuffle_seed: None,
+            },
+            &DgxA100Model::dgx_a100(),
+        );
+        assert_eq!(report.skipped_samples, 1);
+        assert_eq!(report.samples_per_rank, 4);
+    }
+
+    #[test]
+    fn elastic_errors_are_descriptive() {
+        let e = train_distributed_elastic(
+            tiny_cfg(),
+            toy_samples(2, 8),
+            DistTrainConfig {
+                ranks: 4,
+                epochs: 1,
+                batch_size_per_rank: 1,
+                learning_rate: 1e-3,
+                shuffle_seed: None,
+            },
+            &DgxA100Model::dgx_a100(),
+            ElasticConfig::default(),
+            Arc::new(FaultPlan::disabled()),
+        );
+        let e = match e {
+            Err(e) => e,
+            Ok(_) => panic!("expected an error"),
+        };
+        assert_eq!(
+            e,
+            TrainError::NotEnoughSamples {
+                samples: 2,
+                ranks: 4
+            }
+        );
+        assert!(e.to_string().contains("fewer samples"));
+    }
+
+    #[test]
+    fn rank_failure_recovers_and_matches_planned_resume() {
+        // Chaos run: 4 ranks, rank 3 dies entering epoch 1 step 0 (an
+        // epoch boundary, so no training step is lost). The run must
+        // recover onto 3 ranks from the epoch-1 checkpoint and finish.
+        let total_epochs = 3usize;
+        let cfg = |ranks| DistTrainConfig {
+            ranks,
+            epochs: total_epochs,
+            batch_size_per_rank: 2,
+            learning_rate: 2e-3,
+            shuffle_seed: Some(7),
+        };
+        let samples = toy_samples(12, 8);
+        let plan = FaultPlan::seeded(5).fail_keys(
+            "distrib.allreduce",
+            &[rank_fault_key(4, 3, 1, 0)],
+            FaultAction::Error,
+        );
+        let (mut chaos_model, chaos_report) = train_distributed_elastic(
+            tiny_cfg(),
+            samples.clone(),
+            cfg(4),
+            &DgxA100Model::dgx_a100(),
+            ElasticConfig::default(),
+            Arc::new(plan),
+        )
+        .unwrap();
+        assert_eq!(chaos_report.generations, 2);
+        assert_eq!(chaos_report.rank_failures, 1);
+        assert_eq!(chaos_report.resumed_from_epochs, vec![1]);
+        assert_eq!(chaos_report.final_ranks, 3);
+        assert_eq!(chaos_report.epoch_losses.len(), total_epochs);
+
+        // Reference: the same schedule run on purpose — 4 ranks for
+        // epoch 0, then a planned resume on 3 ranks for epochs 1..3.
+        let (mut phase1, r1) = train_distributed_elastic(
+            tiny_cfg(),
+            samples.clone(),
+            DistTrainConfig {
+                epochs: 1,
+                ..cfg(4)
+            },
+            &DgxA100Model::dgx_a100(),
+            ElasticConfig::default(),
+            Arc::new(FaultPlan::disabled()),
+        )
+        .unwrap();
+        let (mut reference, r2) = train_distributed_elastic(
+            tiny_cfg(),
+            samples,
+            cfg(3),
+            &DgxA100Model::dgx_a100(),
+            ElasticConfig {
+                resume: Some(ResumePoint {
+                    epoch: 1,
+                    checkpoint: checkpoint::snapshot(&mut phase1),
+                    prior_losses: r1.epoch_losses.clone(),
+                }),
+                ..ElasticConfig::default()
+            },
+            Arc::new(FaultPlan::disabled()),
+        )
+        .unwrap();
+        assert_eq!(
+            chaos_report.epoch_losses, r2.epoch_losses,
+            "recovered loss trajectory must match the planned resume"
+        );
+        assert_eq!(
+            weights(&mut chaos_model),
+            weights(&mut reference),
+            "recovered weights must be bit-identical to the planned resume"
+        );
+    }
+
+    #[test]
+    fn elastic_without_faults_is_bit_identical_to_strict() {
+        let cfg = DistTrainConfig {
+            ranks: 3,
+            epochs: 2,
+            batch_size_per_rank: 2,
+            learning_rate: 1e-3,
+            shuffle_seed: Some(9),
+        };
+        let (mut strict, strict_report) = train_distributed(
+            tiny_cfg(),
+            toy_samples(9, 8),
+            cfg,
+            &DgxA100Model::dgx_a100(),
+        );
+        let (mut elastic, elastic_report) = train_distributed_elastic(
+            tiny_cfg(),
+            toy_samples(9, 8),
+            cfg,
+            &DgxA100Model::dgx_a100(),
+            ElasticConfig {
+                checkpoint_every_epochs: 1,
+                ..ElasticConfig::default()
+            },
+            Arc::new(FaultPlan::disabled()),
+        )
+        .unwrap();
+        assert_eq!(weights(&mut strict), weights(&mut elastic));
+        assert_eq!(strict_report.epoch_losses, elastic_report.epoch_losses);
+        assert_eq!(strict_report.simulated_secs, elastic_report.simulated_secs);
+    }
+
+    #[test]
+    fn below_min_ranks_aborts_with_error() {
+        // Both surviving... all four ranks die at once: world would drop
+        // to 2, below the floor of 3.
+        let plan = FaultPlan::seeded(6).fail_keys(
+            "distrib.allreduce",
+            &[rank_fault_key(4, 1, 0, 0), rank_fault_key(4, 2, 0, 0)],
+            FaultAction::Error,
+        );
+        let e = train_distributed_elastic(
+            tiny_cfg(),
+            toy_samples(8, 8),
+            DistTrainConfig {
+                ranks: 4,
+                epochs: 2,
+                batch_size_per_rank: 1,
+                learning_rate: 1e-3,
+                shuffle_seed: None,
+            },
+            &DgxA100Model::dgx_a100(),
+            ElasticConfig {
+                min_ranks: 3,
+                ..ElasticConfig::default()
+            },
+            Arc::new(plan),
+        );
+        let e = match e {
+            Err(e) => e,
+            Ok(_) => panic!("expected an error"),
+        };
+        assert_eq!(
+            e,
+            TrainError::BelowMinRanks {
+                survivors: 2,
+                min_ranks: 3
+            }
+        );
     }
 }

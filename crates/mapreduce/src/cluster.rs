@@ -6,12 +6,44 @@
 //! on a large host those run truly in parallel; on a small host they
 //! time-slice, which is why timing comes from the simulated clock rather
 //! than wall time.
+//!
+//! Each executor has its own task queue shared by its cores, so the
+//! driver can steer work *away* from an executor — the mechanism behind
+//! per-executor failure accounting and blacklisting in
+//! [`Cluster::run_tasks_ft`], the fault-tolerant entry point that retries
+//! failed attempts, blacklists repeatedly failing executors, and
+//! speculatively re-executes stragglers (Spark's task-retry +
+//! speculative-execution model, which is where satellite pipelines get
+//! their resilience at scale).
 
-use crossbeam::channel;
-use parking_lot::Mutex;
+use crossbeam::channel::{self, RecvTimeoutError};
+use seaice_faults::{mix, FaultPlan};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Why a [`ClusterSpec`] could not be built.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    /// Requested executor count.
+    pub executors: usize,
+    /// Requested cores per executor.
+    pub cores_per_executor: usize,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid cluster spec: {} executors x {} cores (both dimensions must be at least 1)",
+            self.executors, self.cores_per_executor
+        )
+    }
+}
+
+impl std::error::Error for SpecError {}
 
 /// Cluster topology.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -23,16 +55,22 @@ pub struct ClusterSpec {
 }
 
 impl ClusterSpec {
-    /// Creates a spec.
+    /// Creates a spec, rejecting empty dimensions with a descriptive
+    /// error instead of panicking.
     ///
-    /// # Panics
-    /// Panics if either dimension is zero.
-    pub fn new(executors: usize, cores_per_executor: usize) -> Self {
-        assert!(executors > 0 && cores_per_executor > 0, "empty cluster");
-        Self {
+    /// # Errors
+    /// [`SpecError`] if either dimension is zero.
+    pub fn new(executors: usize, cores_per_executor: usize) -> Result<Self, SpecError> {
+        if executors == 0 || cores_per_executor == 0 {
+            return Err(SpecError {
+                executors,
+                cores_per_executor,
+            });
+        }
+        Ok(Self {
             executors,
             cores_per_executor,
-        }
+        })
     }
 
     /// Total task slots (executors × cores).
@@ -42,7 +80,10 @@ impl ClusterSpec {
 
     /// The paper's largest configuration: 4 executors × 4 cores.
     pub fn paper_max() -> Self {
-        Self::new(4, 4)
+        Self {
+            executors: 4,
+            cores_per_executor: 4,
+        }
     }
 
     /// Slot identifier `(executor, core)` for a flat slot index.
@@ -54,40 +95,179 @@ impl ClusterSpec {
     }
 }
 
+/// Retry / blacklist / speculation policy for a fault-tolerant job.
+#[derive(Clone, Copy, Debug)]
+pub struct RunPolicy {
+    /// Total attempts allowed per task (first run + retries). Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Failures on one executor before the driver stops scheduling to it.
+    pub blacklist_after: u32,
+    /// Straggler mitigation; `None` disables speculative re-execution.
+    pub speculation: Option<SpeculationPolicy>,
+}
+
+/// When to launch a speculative duplicate of a still-running task.
+#[derive(Clone, Copy, Debug)]
+pub struct SpeculationPolicy {
+    /// Duration quantile of *completed* tasks used as the baseline
+    /// (Spark's `spark.speculation.quantile`).
+    pub quantile: f64,
+    /// A task is a straggler once it has run `multiplier ×` the baseline.
+    pub multiplier: f64,
+    /// Completed-task count required before the baseline is trusted.
+    pub min_completed: usize,
+}
+
+impl Default for SpeculationPolicy {
+    fn default() -> Self {
+        Self {
+            quantile: 0.75,
+            multiplier: 4.0,
+            min_completed: 3,
+        }
+    }
+}
+
+impl Default for RunPolicy {
+    /// One attempt, no blacklisting, no speculation — byte-for-byte the
+    /// semantics of the non-fault-tolerant path.
+    fn default() -> Self {
+        Self {
+            max_attempts: 1,
+            blacklist_after: u32::MAX,
+            speculation: None,
+        }
+    }
+}
+
+impl RunPolicy {
+    /// A production-shaped policy: 3 attempts per task, blacklist an
+    /// executor after 2 failures, speculate on 4× stragglers.
+    pub fn resilient() -> Self {
+        Self {
+            max_attempts: 3,
+            blacklist_after: 2,
+            speculation: Some(SpeculationPolicy::default()),
+        }
+    }
+}
+
+/// What a fault-tolerant job did to finish: every attempt is accounted
+/// for so the simulated clock can charge retries and speculation.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FtReport {
+    /// Distinct tasks in the job.
+    pub tasks: usize,
+    /// Attempts launched (= `tasks` when nothing failed or straggled).
+    pub attempts: usize,
+    /// Retry attempts launched after failures.
+    pub retries: usize,
+    /// Failed attempts observed (panics + injected transient errors).
+    pub failures: usize,
+    /// Speculative duplicates launched for stragglers.
+    pub speculative: usize,
+    /// Tasks whose speculative copy finished first.
+    pub speculative_wins: usize,
+    /// Executors blacklisted during the job.
+    pub blacklisted: Vec<usize>,
+    /// Failure count per executor.
+    pub failures_per_executor: Vec<u32>,
+    /// Measured compute seconds of **every** attempt — failed,
+    /// speculative, and winning alike — which is what the cluster really
+    /// burned; feed this to `CostModel::reduce_time` so Table II-style
+    /// numbers charge the waste.
+    pub attempt_costs: Vec<f64>,
+}
+
+/// Why a fault-tolerant job could not produce a full result set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// A task exhausted its attempt budget.
+    TaskFailed {
+        /// Input index of the failing task.
+        task: usize,
+        /// Attempts consumed.
+        attempts: u32,
+        /// The last failure's message.
+        last_error: String,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::TaskFailed {
+                task,
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "task {task} failed after {attempts} attempts: {last_error}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
-/// A running virtual cluster: one worker thread per slot, fed by a shared
-/// work queue (matching Spark's dynamic task dispatch within a stage).
+/// A running virtual cluster: one worker thread per slot. Cores within an
+/// executor share that executor's queue; the driver decides which
+/// executor each attempt lands on.
 pub struct Cluster {
     spec: ClusterSpec,
-    sender: Option<channel::Sender<Task>>,
+    senders: Vec<channel::Sender<Task>>,
     workers: Vec<JoinHandle<()>>,
+}
+
+/// One attempt's completion message back to the driver.
+struct Completion<U> {
+    task: usize,
+    executor: usize,
+    speculative: bool,
+    outcome: Result<U, String>,
+    secs: f64,
+}
+
+/// Driver-side bookkeeping for one task.
+struct TaskState {
+    done: bool,
+    /// Executors currently running an attempt of this task.
+    running: Vec<usize>,
+    attempts_started: u32,
+    last_error: String,
 }
 
 impl Cluster {
     /// Starts worker threads for every slot.
     pub fn start(spec: ClusterSpec) -> Self {
-        let (sender, receiver) = channel::unbounded::<Task>();
-        let workers = (0..spec.total_slots())
-            .map(|i| {
-                let rx = receiver.clone();
-                let (e, c) = spec.slot(i);
-                std::thread::Builder::new()
-                    .name(format!("executor-{e}-core-{c}"))
-                    .spawn(move || {
-                        // A panicking task must not kill the executor:
-                        // the queue keeps draining and the panic surfaces
-                        // to the driver through the missing completion.
-                        while let Ok(task) = rx.recv() {
-                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
-                        }
-                    })
-                    .expect("failed to spawn executor thread")
-            })
-            .collect();
+        let mut senders = Vec::with_capacity(spec.executors);
+        let mut workers = Vec::with_capacity(spec.total_slots());
+        for e in 0..spec.executors {
+            let (tx, rx) = channel::unbounded::<Task>();
+            senders.push(tx);
+            for c in 0..spec.cores_per_executor {
+                let rx = rx.clone();
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("executor-{e}-core-{c}"))
+                        .spawn(move || {
+                            // Tasks are self-contained closures that catch
+                            // their own panics and report through their
+                            // completion channel, so the worker loop never
+                            // dies.
+                            while let Ok(task) = rx.recv() {
+                                task();
+                            }
+                        })
+                        .expect("failed to spawn executor thread"),
+                );
+            }
+        }
         Self {
             spec,
-            sender: Some(sender),
+            senders,
             workers,
         }
     }
@@ -99,6 +279,12 @@ impl Cluster {
 
     /// Runs `f` over every item on the cluster's slots, returning results
     /// in input order together with each task's measured compute seconds.
+    ///
+    /// This is the strict path: any task failure fails the whole job.
+    ///
+    /// # Panics
+    /// Panics if a task panicked on an executor (the driver cannot build
+    /// a complete result set).
     pub fn run_tasks<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<(U, f64)>
     where
         T: Send + 'static,
@@ -110,46 +296,316 @@ impl Cluster {
             return Vec::new();
         }
         let f = Arc::new(f);
-        type SlotResults<U> = Arc<Mutex<Vec<Option<(U, f64)>>>>;
-        let results: SlotResults<U> = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
-        let (done_tx, done_rx) = channel::bounded::<()>(n);
+        let (done_tx, done_rx) = channel::unbounded::<Completion<U>>();
         for (i, item) in items.into_iter().enumerate() {
-            let f = f.clone();
-            let results = results.clone();
+            let f = Arc::clone(&f);
             let done = done_tx.clone();
-            self.sender
-                .as_ref()
-                .expect("cluster is shut down")
+            let executor = i % self.spec.executors;
+            self.senders[executor]
                 .send(Box::new(move || {
-                    let t0 = std::time::Instant::now();
-                    let out = f(item);
-                    let secs = t0.elapsed().as_secs_f64();
-                    results.lock()[i] = Some((out, secs));
-                    let _ = done.send(());
+                    let t0 = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| f(item)));
+                    let _ = done.send(Completion {
+                        task: i,
+                        executor,
+                        speculative: false,
+                        outcome: outcome.map_err(|p| panic_message(p.as_ref())),
+                        secs: t0.elapsed().as_secs_f64(),
+                    });
                 }))
                 .expect("executor channel closed");
         }
         drop(done_tx);
+        let mut results: Vec<Option<(U, f64)>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
-            done_rx
-                .recv()
-                .expect("a task panicked on an executor; job results are incomplete");
+            let c = done_rx.recv().expect("executor workers vanished");
+            match c.outcome {
+                Ok(v) => results[c.task] = Some((v, c.secs)),
+                Err(msg) => {
+                    panic!("a task panicked on an executor; job results are incomplete: {msg}")
+                }
+            }
         }
-        // A worker may still hold its Arc clone for an instant after
-        // signalling completion (the closure drops after the send), so
-        // move the results out from under the mutex rather than
-        // unwrapping the Arc.
-        let collected = std::mem::take(&mut *results.lock());
-        collected
+        results
             .into_iter()
             .map(|s| s.expect("missing task result"))
             .collect()
+    }
+
+    /// Fault-tolerant execution: like [`run_tasks`](Cluster::run_tasks)
+    /// but failed attempts are retried on other executors (up to
+    /// `policy.max_attempts`), executors that keep failing are
+    /// blacklisted, and stragglers past the policy's duration quantile
+    /// get a speculative duplicate — first finisher wins, and every
+    /// attempt's cost lands in the [`FtReport`] so the simulated clock
+    /// stays honest.
+    ///
+    /// `faults` is the chaos hook; pass `FaultPlan::disabled()` in
+    /// production. Injection sites:
+    ///
+    /// * `mapreduce.executor`, key = executor index — a down node (every
+    ///   attempt scheduled there fails);
+    /// * `mapreduce.task`, key = `mix(task, attempt)` — a single flaky or
+    ///   straggling attempt.
+    ///
+    /// # Errors
+    /// [`JobError::TaskFailed`] once any task exhausts its attempts.
+    pub fn run_tasks_ft<T, U, F>(
+        &self,
+        items: Vec<T>,
+        f: F,
+        policy: RunPolicy,
+        faults: Arc<FaultPlan>,
+    ) -> Result<(Vec<(U, f64)>, FtReport), JobError>
+    where
+        T: Clone + Send + Sync + 'static,
+        U: Send + 'static,
+        F: Fn(T) -> U + Send + Sync + 'static,
+    {
+        assert!(policy.max_attempts >= 1, "need at least one attempt");
+        let n = items.len();
+        let mut report = FtReport {
+            tasks: n,
+            failures_per_executor: vec![0; self.spec.executors],
+            ..FtReport::default()
+        };
+        if n == 0 {
+            return Ok((Vec::new(), report));
+        }
+        let items = Arc::new(items);
+        let f = Arc::new(f);
+        let (done_tx, done_rx) = channel::unbounded::<Completion<U>>();
+
+        let mut tasks: Vec<TaskState> = (0..n)
+            .map(|_| TaskState {
+                done: false,
+                running: Vec::new(),
+                attempts_started: 0,
+                last_error: String::new(),
+            })
+            .collect();
+        let mut results: Vec<Option<(U, f64)>> = (0..n).map(|_| None).collect();
+        let mut inflight = vec![0usize; self.spec.executors];
+        let mut blacklisted = vec![false; self.spec.executors];
+        // (task, started) per running attempt, for straggler detection.
+        let mut started_at: Vec<(usize, Instant)> = Vec::new();
+        // Completed durations, kept sorted for the quantile.
+        let mut durations: Vec<f64> = Vec::new();
+        let mut done_count = 0usize;
+
+        let dispatch = |task: usize,
+                        speculative: bool,
+                        tasks: &mut Vec<TaskState>,
+                        inflight: &mut Vec<usize>,
+                        blacklisted: &[bool],
+                        started_at: &mut Vec<(usize, Instant)>,
+                        report: &mut FtReport| {
+            let state = &mut tasks[task];
+            let attempt = state.attempts_started;
+            // Least-loaded executor, avoiding blacklisted nodes and
+            // executors already running this task when possible.
+            let executor = pick_executor(inflight, blacklisted, &state.running);
+            state.attempts_started += 1;
+            state.running.push(executor);
+            inflight[executor] += 1;
+            started_at.push((task, Instant::now()));
+            report.attempts += 1;
+            if speculative {
+                report.speculative += 1;
+            } else if attempt > 0 {
+                report.retries += 1;
+            }
+            let f = Arc::clone(&f);
+            let items = Arc::clone(&items);
+            let faults = Arc::clone(&faults);
+            let done = done_tx.clone();
+            self.senders[executor]
+                .send(Box::new(move || {
+                    let t0 = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<U, String> {
+                        faults
+                            .maybe_fail("mapreduce.executor", executor as u64)
+                            .map_err(|e| e.to_string())?;
+                        faults
+                            .maybe_fail("mapreduce.task", mix(task as u64, attempt as u64))
+                            .map_err(|e| e.to_string())?;
+                        Ok(f(items[task].clone()))
+                    }));
+                    let _ = done.send(Completion {
+                        task,
+                        executor,
+                        speculative,
+                        outcome: match outcome {
+                            Ok(r) => r,
+                            Err(p) => Err(panic_message(p.as_ref())),
+                        },
+                        secs: t0.elapsed().as_secs_f64(),
+                    });
+                }))
+                .expect("executor channel closed");
+        };
+
+        for task in 0..n {
+            dispatch(
+                task,
+                false,
+                &mut tasks,
+                &mut inflight,
+                &blacklisted,
+                &mut started_at,
+                &mut report,
+            );
+        }
+
+        let tick = Duration::from_millis(2);
+        while done_count < n {
+            let completion = match done_rx.recv_timeout(tick) {
+                Ok(c) => Some(c),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("driver holds a completion sender")
+                }
+            };
+            if let Some(c) = completion {
+                inflight[c.executor] -= 1;
+                if let Some(pos) = tasks[c.task].running.iter().position(|&e| e == c.executor) {
+                    tasks[c.task].running.swap_remove(pos);
+                }
+                if let Some(pos) = started_at.iter().position(|&(t, _)| t == c.task) {
+                    started_at.swap_remove(pos);
+                }
+                report.attempt_costs.push(c.secs);
+                match c.outcome {
+                    Ok(v) => {
+                        if !tasks[c.task].done {
+                            tasks[c.task].done = true;
+                            results[c.task] = Some((v, c.secs));
+                            done_count += 1;
+                            let at = durations.partition_point(|&d| d <= c.secs);
+                            durations.insert(at, c.secs);
+                            if c.speculative {
+                                report.speculative_wins += 1;
+                            }
+                        }
+                        // A late twin of an already-finished task is
+                        // discarded; its cost was charged above.
+                    }
+                    Err(msg) => {
+                        report.failures += 1;
+                        report.failures_per_executor[c.executor] += 1;
+                        if report.failures_per_executor[c.executor] >= policy.blacklist_after
+                            && !blacklisted[c.executor]
+                        {
+                            blacklisted[c.executor] = true;
+                            report.blacklisted.push(c.executor);
+                        }
+                        let state = &mut tasks[c.task];
+                        if !state.done {
+                            state.last_error = msg;
+                            if state.attempts_started < policy.max_attempts {
+                                dispatch(
+                                    c.task,
+                                    false,
+                                    &mut tasks,
+                                    &mut inflight,
+                                    &blacklisted,
+                                    &mut started_at,
+                                    &mut report,
+                                );
+                            } else if state.running.is_empty() {
+                                // Budget spent and no twin still racing.
+                                return Err(JobError::TaskFailed {
+                                    task: c.task,
+                                    attempts: state.attempts_started,
+                                    last_error: state.last_error.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            // Straggler check: duplicate any task that has run far past
+            // the observed duration quantile, while idle slots exist.
+            if let Some(spec_policy) = policy.speculation {
+                if durations.len() >= spec_policy.min_completed.max(1) {
+                    let q_idx = ((durations.len() - 1) as f64 * spec_policy.quantile) as usize;
+                    let threshold = (durations[q_idx] * spec_policy.multiplier).max(1e-3);
+                    let busy: usize = inflight.iter().sum();
+                    if busy < self.spec.total_slots() {
+                        let stragglers: Vec<usize> = started_at
+                            .iter()
+                            .filter(|(t, s)| {
+                                !tasks[*t].done
+                                    && tasks[*t].running.len() == 1
+                                    && s.elapsed().as_secs_f64() > threshold
+                            })
+                            .map(|&(t, _)| t)
+                            .collect();
+                        let mut free = self.spec.total_slots() - busy;
+                        for t in stragglers {
+                            if free == 0 {
+                                break;
+                            }
+                            dispatch(
+                                t,
+                                true,
+                                &mut tasks,
+                                &mut inflight,
+                                &blacklisted,
+                                &mut started_at,
+                                &mut report,
+                            );
+                            free -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Attempts still in flight (losing speculative twins) would be
+        // killed by a real scheduler the moment their task finished;
+        // charge each the time it ran before abandonment.
+        for (_, started) in &started_at {
+            report.attempt_costs.push(started.elapsed().as_secs_f64());
+        }
+        Ok((
+            results
+                .into_iter()
+                .map(|s| s.expect("missing task result"))
+                .collect(),
+            report,
+        ))
+    }
+}
+
+/// Least-loaded executor, preferring non-blacklisted executors not
+/// already running this task. Falls back progressively so a job can
+/// always make progress even with every executor blacklisted.
+fn pick_executor(inflight: &[usize], blacklisted: &[bool], running_on: &[usize]) -> usize {
+    let choose = |allow: &dyn Fn(usize) -> bool| -> Option<usize> {
+        (0..inflight.len())
+            .filter(|&e| allow(e))
+            .min_by_key(|&e| inflight[e])
+    };
+    choose(&|e| !blacklisted[e] && !running_on.contains(&e))
+        .or_else(|| choose(&|e| !blacklisted[e]))
+        .or_else(|| choose(&|e| !running_on.contains(&e)))
+        .unwrap_or(0)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked".to_string()
     }
 }
 
 impl Drop for Cluster {
     fn drop(&mut self) {
-        self.sender.take();
+        self.senders.clear();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -159,25 +615,33 @@ impl Drop for Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use seaice_faults::FaultAction;
+
+    fn spec(e: usize, c: usize) -> ClusterSpec {
+        ClusterSpec::new(e, c).unwrap()
+    }
 
     #[test]
     fn spec_slots() {
-        let s = ClusterSpec::new(4, 4);
+        let s = spec(4, 4);
         assert_eq!(s.total_slots(), 16);
         assert_eq!(s.slot(0), (0, 0));
         assert_eq!(s.slot(5), (1, 1));
         assert_eq!(s.slot(15), (3, 3));
+        assert_eq!(ClusterSpec::paper_max(), s);
     }
 
     #[test]
-    #[should_panic(expected = "empty cluster")]
-    fn zero_spec_panics() {
-        ClusterSpec::new(0, 4);
+    fn zero_spec_is_a_descriptive_error() {
+        let e = ClusterSpec::new(0, 4).unwrap_err();
+        assert!(e.to_string().contains("0 executors x 4 cores"), "{e}");
+        assert!(ClusterSpec::new(4, 0).is_err());
+        assert!(ClusterSpec::new(0, 0).is_err());
     }
 
     #[test]
     fn run_tasks_preserves_order() {
-        let cluster = Cluster::start(ClusterSpec::new(2, 2));
+        let cluster = Cluster::start(spec(2, 2));
         let out = cluster.run_tasks((0..50).collect(), |x: i64| x * 3);
         let values: Vec<i64> = out.iter().map(|(v, _)| *v).collect();
         assert_eq!(values, (0..50).map(|x| x * 3).collect::<Vec<_>>());
@@ -185,22 +649,22 @@ mod tests {
 
     #[test]
     fn run_tasks_measures_nonnegative_costs() {
-        let cluster = Cluster::start(ClusterSpec::new(1, 2));
+        let cluster = Cluster::start(spec(1, 2));
         let out = cluster.run_tasks(vec![1u8, 2, 3], |x| x);
         assert!(out.iter().all(|(_, secs)| *secs >= 0.0));
     }
 
     #[test]
     fn empty_input_is_fine() {
-        let cluster = Cluster::start(ClusterSpec::new(1, 1));
+        let cluster = Cluster::start(spec(1, 1));
         let out: Vec<(u8, f64)> = cluster.run_tasks(Vec::<u8>::new(), |x| x);
         assert!(out.is_empty());
     }
 
     #[test]
     fn executors_survive_panicking_tasks() {
-        let cluster = Cluster::start(ClusterSpec::new(1, 2));
-        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let cluster = Cluster::start(spec(1, 2));
+        let poisoned = catch_unwind(AssertUnwindSafe(|| {
             cluster.run_tasks(vec![0u8, 1, 2], |x| {
                 if x == 1 {
                     panic!("injected failure");
@@ -216,12 +680,157 @@ mod tests {
 
     #[test]
     fn workers_are_named_after_slots() {
-        let cluster = Cluster::start(ClusterSpec::new(2, 1));
+        let cluster = Cluster::start(spec(2, 1));
         let out = cluster.run_tasks(vec![(); 8], |_| {
             std::thread::current().name().unwrap_or("?").to_string()
         });
         for (name, _) in &out {
             assert!(name.starts_with("executor-"), "bad worker name {name}");
         }
+    }
+
+    #[test]
+    fn ft_without_faults_matches_strict_path() {
+        let cluster = Cluster::start(spec(2, 2));
+        let (out, report) = cluster
+            .run_tasks_ft(
+                (0..40).collect(),
+                |x: i64| x + 1,
+                RunPolicy::default(),
+                Arc::new(FaultPlan::disabled()),
+            )
+            .unwrap();
+        let values: Vec<i64> = out.iter().map(|(v, _)| *v).collect();
+        assert_eq!(values, (1..=40).collect::<Vec<_>>());
+        assert_eq!(report.tasks, 40);
+        assert_eq!(report.attempts, 40);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.failures, 0);
+        assert_eq!(report.speculative, 0);
+        assert!(report.blacklisted.is_empty());
+        assert_eq!(report.attempt_costs.len(), 40);
+    }
+
+    #[test]
+    fn injected_task_failures_are_retried_to_success() {
+        let cluster = Cluster::start(spec(2, 2));
+        // Tasks 3 and 7 fail on their first attempt only.
+        let plan = FaultPlan::seeded(1).fail_keys(
+            "mapreduce.task",
+            &[mix(3, 0), mix(7, 0)],
+            FaultAction::Error,
+        );
+        let (out, report) = cluster
+            .run_tasks_ft(
+                (0..10).collect(),
+                |x: i64| x * 2,
+                RunPolicy::resilient(),
+                Arc::new(plan),
+            )
+            .unwrap();
+        let values: Vec<i64> = out.iter().map(|(v, _)| *v).collect();
+        assert_eq!(values, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(report.failures, 2);
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.attempts, 12);
+        assert_eq!(report.attempt_costs.len(), 12);
+    }
+
+    #[test]
+    fn down_executor_is_blacklisted_and_job_completes() {
+        let cluster = Cluster::start(spec(2, 1));
+        // Executor 1 is down: every attempt scheduled there panics.
+        let plan = FaultPlan::seeded(2).fail_keys("mapreduce.executor", &[1], FaultAction::Panic);
+        let (out, report) = cluster
+            .run_tasks_ft(
+                (0..16).collect(),
+                |x: i64| x,
+                RunPolicy {
+                    max_attempts: 4,
+                    blacklist_after: 2,
+                    speculation: None,
+                },
+                Arc::new(plan),
+            )
+            .unwrap();
+        assert_eq!(
+            out.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
+            (0..16).collect::<Vec<_>>()
+        );
+        assert_eq!(report.blacklisted, vec![1]);
+        assert!(report.failures >= 2);
+        assert!(report.failures_per_executor[1] >= 2);
+        assert_eq!(report.failures_per_executor[0], 0);
+    }
+
+    #[test]
+    fn exhausted_attempts_fail_the_job_descriptively() {
+        let cluster = Cluster::start(spec(1, 2));
+        // Task 2 fails on every attempt.
+        let plan = FaultPlan::seeded(3).fail_keys(
+            "mapreduce.task",
+            &[mix(2, 0), mix(2, 1)],
+            FaultAction::Panic,
+        );
+        let err = cluster
+            .run_tasks_ft(
+                (0..4).collect(),
+                |x: i64| x,
+                RunPolicy {
+                    max_attempts: 2,
+                    blacklist_after: u32::MAX,
+                    speculation: None,
+                },
+                Arc::new(plan),
+            )
+            .unwrap_err();
+        match err {
+            JobError::TaskFailed { task, attempts, .. } => {
+                assert_eq!(task, 2);
+                assert_eq!(attempts, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn straggler_gets_a_speculative_twin_and_job_finishes_early() {
+        let cluster = Cluster::start(spec(2, 2));
+        // Task 5's first attempt sleeps 400 ms; everything else is
+        // instant, so the quantile threshold trips quickly and a twin
+        // (attempt 1, un-delayed) wins.
+        let plan = FaultPlan::seeded(4).fail_keys(
+            "mapreduce.task",
+            &[mix(5, 0)],
+            FaultAction::Delay(Duration::from_millis(400)),
+        );
+        let t0 = Instant::now();
+        let (out, report) = cluster
+            .run_tasks_ft(
+                (0..12).collect(),
+                |x: i64| x + 100,
+                RunPolicy {
+                    max_attempts: 2,
+                    blacklist_after: u32::MAX,
+                    speculation: Some(SpeculationPolicy {
+                        quantile: 0.75,
+                        multiplier: 2.0,
+                        min_completed: 3,
+                    }),
+                },
+                Arc::new(plan),
+            )
+            .unwrap();
+        assert_eq!(
+            out.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
+            (100..112).collect::<Vec<_>>()
+        );
+        assert!(report.speculative >= 1, "straggler must spawn a twin");
+        assert!(report.speculative_wins >= 1, "the twin must win");
+        assert!(
+            t0.elapsed() < Duration::from_millis(390),
+            "speculation must beat the 400 ms straggler"
+        );
+        // Both the straggler and its twin are charged.
+        assert_eq!(report.attempt_costs.len(), report.attempts);
     }
 }

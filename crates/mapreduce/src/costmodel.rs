@@ -105,7 +105,7 @@ mod tests {
     const N_TILES: usize = 4224;
 
     fn spec(e: usize, c: usize) -> ClusterSpec {
-        ClusterSpec::new(e, c)
+        ClusterSpec::new(e, c).unwrap()
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! The distributed-collection API: load → lazy map (UDF) → reduce/collect,
 //! mirroring the PySpark dataframe workflow of §III-B.
 
-use crate::cluster::{Cluster, ClusterSpec};
+use crate::cluster::{Cluster, ClusterSpec, FtReport, JobError, RunPolicy};
 use crate::costmodel::CostModel;
+use seaice_faults::FaultPlan;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
@@ -179,6 +180,50 @@ impl<T: Send + 'static, U: Send + 'static> LazyFrame<T, U> {
         )
     }
 
+    /// Fault-tolerant [`collect`](LazyFrame::collect): failed tasks are
+    /// retried per `policy`, repeatedly failing executors blacklisted,
+    /// and stragglers speculatively re-executed. The stage report's
+    /// simulated clock charges **every** attempt — retries and
+    /// speculative duplicates included — so Table II-style numbers stay
+    /// honest about what the cluster burned. `faults` is the chaos hook
+    /// (pass `FaultPlan::disabled()` outside tests).
+    ///
+    /// # Errors
+    /// [`JobError`] when some task exhausts its attempt budget.
+    pub fn collect_ft(
+        self,
+        session: &Session,
+        result_bytes_per_item: f64,
+        policy: RunPolicy,
+        faults: Arc<FaultPlan>,
+    ) -> Result<(Vec<U>, StageReport, FtReport), JobError>
+    where
+        T: Clone + Sync,
+    {
+        let t0 = Instant::now();
+        let n = self.items.len();
+        let udf = self.udf;
+        let (results, ft) =
+            session
+                .cluster
+                .run_tasks_ft(self.items, move |item| udf(item), policy, faults)?;
+        let measured = t0.elapsed().as_secs_f64();
+        let simulated = session.cost.reduce_time(
+            &session.spec(),
+            &ft.attempt_costs,
+            result_bytes_per_item * n as f64,
+        );
+        Ok((
+            results.into_iter().map(|(v, _)| v).collect(),
+            StageReport {
+                simulated_secs: simulated,
+                measured_secs: measured,
+                tasks: n,
+            },
+            ft,
+        ))
+    }
+
     /// Executes the chain and folds results pairwise with `merge`
     /// (associative). Only the merged value crosses the simulated driver
     /// link.
@@ -199,7 +244,7 @@ mod tests {
     use super::*;
 
     fn session(e: usize, c: usize) -> Session {
-        Session::new(ClusterSpec::new(e, c), CostModel::gcd_n2())
+        Session::new(ClusterSpec::new(e, c).unwrap(), CostModel::gcd_n2())
     }
 
     #[test]
@@ -287,6 +332,35 @@ mod tests {
             speedup > 4.0,
             "simulated reduce speedup at 16 slots: {speedup:.2}"
         );
+    }
+
+    #[test]
+    fn collect_ft_matches_collect_and_charges_retries() {
+        use crate::cluster::RunPolicy;
+        use seaice_faults::{mix, FaultAction, FaultPlan};
+
+        let clean = {
+            let s = session(2, 2);
+            let (df, _) = s.read((0..30).collect::<Vec<i64>>(), 8.0);
+            let (lazy, _) = df.map(&s, |x| x * 7);
+            lazy.collect(&s, 8.0).0
+        };
+        let s = session(2, 2);
+        let (df, _) = s.read((0..30).collect::<Vec<i64>>(), 8.0);
+        let (lazy, _) = df.map(&s, |x| x * 7);
+        // First attempts of tasks 4 and 9 fail.
+        let plan = FaultPlan::seeded(11).fail_keys(
+            "mapreduce.task",
+            &[mix(4, 0), mix(9, 0)],
+            FaultAction::Error,
+        );
+        let (out, stage, ft) = lazy
+            .collect_ft(&s, 8.0, RunPolicy::resilient(), Arc::new(plan))
+            .unwrap();
+        assert_eq!(out, clean, "faulted run must still produce clean results");
+        assert_eq!(ft.retries, 2);
+        assert_eq!(ft.attempt_costs.len(), 32, "all attempts are charged");
+        assert!(stage.simulated_secs > 0.0);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! ```
 //! use seaice_mapreduce::{ClusterSpec, CostModel, Session};
 //!
-//! let session = Session::new(ClusterSpec::new(2, 2), CostModel::gcd_n2());
+//! let session = Session::new(ClusterSpec::new(2, 2).unwrap(), CostModel::gcd_n2());
 //! let (df, load) = session.read((0..100i64).collect(), 8.0);
 //! let (lazy, _) = df.map(&session, |x| x * x);          // lazy, like PySpark
 //! let (sum, reduce) = lazy.reduce(&session, |a, b| a + b); // executes here
@@ -41,7 +41,9 @@ pub mod costmodel;
 pub mod dataset;
 pub mod simsched;
 
-pub use cluster::{Cluster, ClusterSpec};
+pub use cluster::{
+    Cluster, ClusterSpec, FtReport, JobError, RunPolicy, SpecError, SpeculationPolicy,
+};
 pub use costmodel::CostModel;
 pub use dataset::{DataFrame, JobReport, LazyFrame, Session, StageReport};
 pub use simsched::{makespan, makespan_detailed};

@@ -58,9 +58,9 @@ proptest! {
         e1 in 1usize..5, c1 in 1usize..5,
     ) {
         let m = CostModel::gcd_n2();
-        let base = m.load_time(&ClusterSpec::new(e1, c1), bytes);
-        let more_exec = m.load_time(&ClusterSpec::new(e1 + 1, c1), bytes);
-        let more_cores = m.load_time(&ClusterSpec::new(e1, c1 + 1), bytes);
+        let base = m.load_time(&ClusterSpec::new(e1, c1).unwrap(), bytes);
+        let more_exec = m.load_time(&ClusterSpec::new(e1 + 1, c1).unwrap(), bytes);
+        let more_cores = m.load_time(&ClusterSpec::new(e1, c1 + 1).unwrap(), bytes);
         prop_assert!(more_exec < base);
         prop_assert!(more_cores < base);
     }
@@ -70,7 +70,7 @@ proptest! {
         data in proptest::collection::vec(0i64..1000, 1..200),
         e in 1usize..4, c in 1usize..4,
     ) {
-        let session = Session::new(ClusterSpec::new(e, c), CostModel::gcd_n2());
+        let session = Session::new(ClusterSpec::new(e, c).unwrap(), CostModel::gcd_n2());
         let (df, _) = session.read(data.clone(), 8.0);
         let (lazy, _) = df.map(&session, |x| x * 3 - 1);
         let (sum, _) = lazy.reduce(&session, |a, b| a + b);
@@ -82,7 +82,7 @@ proptest! {
     fn engine_collect_preserves_order(
         data in proptest::collection::vec(any::<u32>(), 0..150),
     ) {
-        let session = Session::new(ClusterSpec::new(2, 2), CostModel::gcd_n2());
+        let session = Session::new(ClusterSpec::new(2, 2).unwrap(), CostModel::gcd_n2());
         let (df, _) = session.read(data.clone(), 4.0);
         let (lazy, _) = df.map(&session, |x| x);
         let (out, report) = lazy.collect(&session, 4.0);

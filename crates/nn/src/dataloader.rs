@@ -41,6 +41,19 @@ impl Sample {
         );
     }
 
+    /// True when the buffers match the declared dimensions — the
+    /// non-panicking form of [`validate`](Sample::validate), used to
+    /// *skip* corrupt or truncated samples instead of crashing a run.
+    pub fn is_consistent(&self) -> bool {
+        self.image.len() == self.channels * self.height * self.width
+            && self.mask.len() == self.height * self.width
+    }
+
+    /// The `(channels, height, width)` tuple.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+
     /// Horizontal mirror of the sample.
     pub fn flip_horizontal(&self) -> Sample {
         let (c, h, w) = (self.channels, self.height, self.width);
@@ -119,32 +132,57 @@ pub struct DataLoader {
     samples: Vec<Sample>,
     batch_size: usize,
     shuffle_seed: Option<u64>,
+    skipped: usize,
 }
 
 impl DataLoader {
     /// Creates a loader. `shuffle_seed: Some(s)` reshuffles every epoch
     /// deterministically; `None` keeps input order.
     ///
+    /// Corrupt samples — truncated buffers, or shapes that disagree with
+    /// the first consistent sample — are **skipped and counted** (see
+    /// [`skipped`](DataLoader::skipped)) rather than crashing the run: a
+    /// handful of bad tiles must not kill hours of training.
+    ///
     /// # Panics
-    /// Panics if `batch_size == 0`, samples are inconsistent, or sample
-    /// shapes differ.
+    /// Panics if `batch_size == 0` or no usable sample remains after
+    /// skipping.
     pub fn new(samples: Vec<Sample>, batch_size: usize, shuffle_seed: Option<u64>) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
-        assert!(!samples.is_empty(), "no samples");
-        let (c, h, w) = (samples[0].channels, samples[0].height, samples[0].width);
-        for s in &samples {
-            s.validate();
-            assert_eq!(
-                (s.channels, s.height, s.width),
-                (c, h, w),
-                "all samples must share a shape"
-            );
-        }
+        let total = samples.len();
+        let mut shape: Option<(usize, usize, usize)> = None;
+        let samples: Vec<Sample> = samples
+            .into_iter()
+            .filter(|s| {
+                if !s.is_consistent() {
+                    return false;
+                }
+                match shape {
+                    None => {
+                        shape = Some(s.shape());
+                        true
+                    }
+                    Some(sh) => s.shape() == sh,
+                }
+            })
+            .collect();
+        assert!(
+            !samples.is_empty(),
+            "no usable samples (all corrupt or empty input)"
+        );
+        let skipped = total - samples.len();
         Self {
             samples,
             batch_size,
             shuffle_seed,
+            skipped,
         }
+    }
+
+    /// Number of input samples dropped at construction because they were
+    /// corrupt (inconsistent buffers) or mismatched the dataset's shape.
+    pub fn skipped(&self) -> usize {
+        self.skipped
     }
 
     /// Number of samples.
@@ -294,12 +332,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "share a shape")]
-    fn mixed_shapes_panic() {
+    fn mixed_shapes_are_skipped_and_counted() {
+        // Self-consistent but a different shape than the first sample.
         let mut odd = sample(0.0);
         odd.height = 1;
         odd.image.truncate(6);
         odd.mask.truncate(2);
-        let _ = DataLoader::new(vec![sample(0.0), odd], 2, None);
+        let dl = DataLoader::new(vec![sample(0.0), odd, sample(1.0)], 2, None);
+        assert_eq!(dl.len(), 2);
+        assert_eq!(dl.skipped(), 1);
+    }
+
+    #[test]
+    fn corrupt_samples_are_skipped_and_counted() {
+        // Truncated image buffer: internally inconsistent.
+        let mut short = sample(9.0);
+        short.image.truncate(5);
+        // Truncated mask.
+        let mut torn = sample(8.0);
+        torn.mask.clear();
+        let dl = DataLoader::new(vec![short, sample(0.0), torn, sample(1.0)], 2, None);
+        assert_eq!(dl.len(), 2);
+        assert_eq!(dl.skipped(), 2);
+        // Batches come only from the survivors.
+        let total: usize = dl.epoch(0).iter().map(|b| b.len()).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no usable samples")]
+    fn all_corrupt_still_panics() {
+        let mut bad = sample(0.0);
+        bad.image.clear();
+        let _ = DataLoader::new(vec![bad], 2, None);
     }
 }

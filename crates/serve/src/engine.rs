@@ -10,7 +10,9 @@
 //!                │  pop_batch(max_batch, max_wait)
 //!                ▼
 //!     worker 0..W  (one UNet replica each, reusable NCHW buffers)
-//!                │  predict_into([n,3,s,s])
+//!                │  predict_into([n,3,s,s])  — supervised: a panicking
+//!                │  replica is rebuilt from the checkpoint and the batch
+//!                │  retried, so accepted requests are never lost
 //!                ▼
 //!        per-request ticket + cache insert + latency record
 //! ```
@@ -18,13 +20,20 @@
 //! Every worker restores its replica from the same
 //! [`Checkpoint`](seaice_unet::checkpoint::Checkpoint), and every op in
 //! the network treats batch items independently, so a tile's mask is
-//! bit-identical whether it was served alone, in a batch of any size, or
-//! by `core::classify_scene` — the property `tests/parallel_consistency.rs`
-//! pins.
+//! bit-identical whether it was served alone, in a batch of any size, by
+//! a freshly restarted replica, or by `core::classify_scene` — the
+//! property `tests/parallel_consistency.rs` pins.
+//!
+//! Overload control sheds on two axes with distinct errors: a full
+//! admission queue sheds *new* work ([`ServeError::Overloaded`]), and an
+//! optional per-request deadline sheds *stale* work at dequeue time
+//! ([`ServeError::DeadlineExceeded`]) rather than burning a forward pass
+//! on an answer the client has stopped waiting for.
 
 use crate::cache::{tile_key, LruCache};
 use crate::queue::{BoundedQueue, QueueError};
 use seaice_core::adapters::image_to_chw_into;
+use seaice_faults::FaultPlan;
 use seaice_imgproc::buffer::Image;
 use seaice_label::cloudshadow::{CloudShadowFilter, FilterConfig};
 use seaice_metrics::latency::{LatencyHistogram, LatencySnapshot};
@@ -36,6 +45,10 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How many times a worker may retry one batch (restoring a fresh replica
+/// before each retry) before answering `Internal`.
+const MAX_BATCH_ATTEMPTS: u64 = 3;
 
 /// Engine tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -57,6 +70,11 @@ pub struct EngineConfig {
     /// Apply the thin-cloud/shadow pre-filter before inference (must
     /// match how the model was trained/used; `classify_scene` parity).
     pub filter: bool,
+    /// Per-request deadline, measured from submission: a request still
+    /// queued past it is shed with [`ServeError::DeadlineExceeded`] at
+    /// dequeue time instead of computed late. `None` (the default) never
+    /// sheds on age.
+    pub deadline: Option<Duration>,
 }
 
 impl EngineConfig {
@@ -70,6 +88,7 @@ impl EngineConfig {
             queue_capacity: 256,
             cache_capacity: 1024,
             filter: false,
+            deadline: None,
         }
     }
 }
@@ -79,11 +98,18 @@ impl EngineConfig {
 pub enum ServeError {
     /// Admission queue full: the request was shed (HTTP 503).
     Overloaded,
+    /// The request sat in the queue past its deadline and was shed before
+    /// compute (HTTP 504).
+    DeadlineExceeded,
     /// Engine shut down; no new requests.
     Closed,
     /// Malformed request (wrong tile shape, not RGB, …).
     BadRequest(String),
-    /// A worker failed to answer (response channel dropped).
+    /// Degenerate engine configuration (zero workers, incompatible tile
+    /// size, …) — reported by the constructor, never by a request.
+    BadConfig(String),
+    /// A worker failed to answer (response channel dropped, or a replica
+    /// kept crashing past its retry budget).
     Internal(String),
 }
 
@@ -91,8 +117,10 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Overloaded => write!(f, "overloaded: request shed"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded: request shed unserved"),
             ServeError::Closed => write!(f, "engine closed"),
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::BadConfig(m) => write!(f, "bad config: {m}"),
             ServeError::Internal(m) => write!(f, "internal: {m}"),
         }
     }
@@ -141,11 +169,27 @@ struct StatsInner {
     computed: AtomicU64,
     cache_hits: AtomicU64,
     shed: AtomicU64,
+    shed_deadline: AtomicU64,
     rejected: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
     max_batch_seen: AtomicU64,
+    worker_restarts: AtomicU64,
+    batch_retries: AtomicU64,
     latency: Mutex<LatencyHistogram>,
+}
+
+/// Fault-tolerance counters: the `/stats` robustness section.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RobustnessSnapshot {
+    /// Replicas rebuilt from the checkpoint after a worker panic.
+    pub worker_restarts: u64,
+    /// Batches re-run on a fresh replica after a panic.
+    pub batch_retries: u64,
+    /// Requests shed because the admission queue was full.
+    pub shed_overload: u64,
+    /// Requests shed because they aged past their deadline in queue.
+    pub shed_deadline: u64,
 }
 
 /// A point-in-time view of the engine (what `GET /stats` serves).
@@ -185,6 +229,8 @@ pub struct StatsSnapshot {
     pub queue_capacity: usize,
     /// Worker replica count.
     pub workers: usize,
+    /// Retries, restarts, and shed reasons.
+    pub robustness: RobustnessSnapshot,
     /// End-to-end request latency (submit → response ready).
     pub latency: LatencySnapshot,
     /// `ok / uptime` — the engine's lifetime throughput in requests/s.
@@ -203,40 +249,78 @@ pub struct Engine {
 
 impl Engine {
     /// Spawns the worker pool, each worker restoring a replica from
-    /// `ckpt`.
+    /// `ckpt`. Fault injection is disabled; see
+    /// [`with_faults`](Engine::with_faults).
     ///
-    /// # Panics
-    /// Panics if the config is degenerate (zero workers/batch/queue) or
-    /// `tile_size` is incompatible with the checkpointed architecture.
-    pub fn new(ckpt: &Checkpoint, cfg: EngineConfig) -> Self {
-        assert!(cfg.workers >= 1, "engine needs at least one worker");
-        assert!(cfg.max_batch_size >= 1, "max batch size must be positive");
-        ckpt.config.assert_input_side(cfg.tile_size);
+    /// # Errors
+    /// [`ServeError::BadConfig`] when the config is degenerate (zero
+    /// workers/batch/queue) or `tile_size` is incompatible with the
+    /// checkpointed architecture.
+    pub fn new(ckpt: &Checkpoint, cfg: EngineConfig) -> Result<Self, ServeError> {
+        Self::with_faults(ckpt, cfg, Arc::new(FaultPlan::disabled()))
+    }
+
+    /// [`new`](Engine::new) with a [`FaultPlan`] armed at the
+    /// `"serve.worker"` site (keyed by `mix(first-request-key, attempt)`)
+    /// — the chaos-test entry point.
+    ///
+    /// # Errors
+    /// As [`new`](Engine::new).
+    pub fn with_faults(
+        ckpt: &Checkpoint,
+        cfg: EngineConfig,
+        faults: Arc<FaultPlan>,
+    ) -> Result<Self, ServeError> {
+        if cfg.workers == 0 {
+            return Err(ServeError::BadConfig(
+                "engine needs at least one worker (got 0)".into(),
+            ));
+        }
+        if cfg.max_batch_size == 0 {
+            return Err(ServeError::BadConfig(
+                "max batch size must be at least 1 (got 0)".into(),
+            ));
+        }
+        if cfg.queue_capacity == 0 {
+            return Err(ServeError::BadConfig(
+                "queue capacity must be at least 1 (got 0)".into(),
+            ));
+        }
+        ckpt.config.check_input_side(cfg.tile_size).map_err(|e| {
+            ServeError::BadConfig(format!("tile size incompatible with checkpoint: {e}"))
+        })?;
+
         let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
         let cache = Arc::new(Mutex::new(LruCache::new(cfg.cache_capacity)));
         let stats = Arc::new(StatsInner::default());
+        // Workers keep the checkpoint so a panicking replica can be
+        // rebuilt in place.
+        let ckpt = Arc::new(ckpt.clone());
 
         let mut workers = Vec::with_capacity(cfg.workers);
         for w in 0..cfg.workers {
             let queue = Arc::clone(&queue);
             let cache = Arc::clone(&cache);
             let stats = Arc::clone(&stats);
-            let mut model = seaice_unet::checkpoint::restore(ckpt);
+            let ckpt = Arc::clone(&ckpt);
+            let faults = Arc::clone(&faults);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("seaice-serve-{w}"))
-                    .spawn(move || worker_loop(&queue, &cache, &stats, &mut model, cfg))
-                    .expect("failed to spawn serve worker"),
+                    .spawn(move || worker_loop(&queue, &cache, &stats, &ckpt, &faults, cfg))
+                    .map_err(|e| {
+                        ServeError::Internal(format!("failed to spawn serve worker: {e}"))
+                    })?,
             );
         }
-        Self {
+        Ok(Self {
             cfg,
             queue,
             cache,
             stats,
             workers: Mutex::new(workers),
             started: Instant::now(),
-        }
+        })
     }
 
     /// The engine's configuration.
@@ -346,6 +430,7 @@ impl Engine {
         let hits = self.stats.cache_hits.load(Ordering::Relaxed);
         let batches = self.stats.batches.load(Ordering::Relaxed);
         let batched = self.stats.batched_requests.load(Ordering::Relaxed);
+        let shed = self.stats.shed.load(Ordering::Relaxed);
         let ok = computed + hits;
         let uptime = self.started.elapsed().as_secs_f64();
         StatsSnapshot {
@@ -358,7 +443,7 @@ impl Engine {
             cache_hit_rate: cache.hit_rate(),
             cache_len: cache.len(),
             cache_capacity: cache.capacity(),
-            shed: self.stats.shed.load(Ordering::Relaxed),
+            shed,
             rejected: self.stats.rejected.load(Ordering::Relaxed),
             batches,
             mean_batch_size: if batches == 0 {
@@ -370,6 +455,12 @@ impl Engine {
             queue_depth: self.queue.len(),
             queue_capacity: self.queue.capacity(),
             workers: self.cfg.workers,
+            robustness: RobustnessSnapshot {
+                worker_restarts: self.stats.worker_restarts.load(Ordering::Relaxed),
+                batch_retries: self.stats.batch_retries.load(Ordering::Relaxed),
+                shed_overload: shed,
+                shed_deadline: self.stats.shed_deadline.load(Ordering::Relaxed),
+            },
             latency,
             throughput_rps: if uptime > 0.0 {
                 ok as f64 / uptime
@@ -405,15 +496,37 @@ enum Admitted {
     Miss(Request, Ticket),
 }
 
-/// One worker: pop a micro-batch, assemble the NCHW tensor in a reused
-/// buffer, forward once, slice the masks back out, answer + cache.
+/// Assembles the NCHW input planes for a batch into `input` (one
+/// `3·plane` slice per request, optionally pre-filtered).
+fn stage_inputs(
+    batch: &[Request],
+    filter: Option<&CloudShadowFilter>,
+    plane: usize,
+    input: &mut [f32],
+) {
+    for (i, req) in batch.iter().enumerate() {
+        let dst = &mut input[i * 3 * plane..(i + 1) * 3 * plane];
+        match filter {
+            Some(f) => image_to_chw_into(&f.apply(&req.tile).filtered, dst),
+            None => image_to_chw_into(&req.tile, dst),
+        }
+    }
+}
+
+/// One worker: pop a micro-batch, shed anything past its deadline,
+/// assemble the NCHW tensor in a reused buffer, forward once (supervised:
+/// a panicking replica — injected fault or real bug — is rebuilt from the
+/// checkpoint and the batch retried), slice the masks back out, answer +
+/// cache.
 fn worker_loop(
     queue: &BoundedQueue<Request>,
     cache: &Mutex<LruCache<Arc<Vec<u8>>>>,
     stats: &StatsInner,
-    model: &mut seaice_unet::UNet,
+    ckpt: &Checkpoint,
+    faults: &FaultPlan,
     cfg: EngineConfig,
 ) {
+    let mut model = seaice_unet::checkpoint::restore(ckpt);
     let s = cfg.tile_size;
     let plane = s * s;
     let filter_impl = cfg
@@ -425,6 +538,26 @@ fn worker_loop(
     let mut preds: Vec<u8> = Vec::new();
 
     while let Some(batch) = queue.pop_batch(cfg.max_batch_size, cfg.max_wait) {
+        // Deadline check happens at dequeue: a request that aged out while
+        // queued is shed with a distinct error instead of computed late.
+        let batch: Vec<Request> = match cfg.deadline {
+            Some(deadline) => batch
+                .into_iter()
+                .filter_map(|req| {
+                    if req.submitted.elapsed() > deadline {
+                        stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                        req.tx.send(Err(ServeError::DeadlineExceeded)).ok();
+                        None
+                    } else {
+                        Some(req)
+                    }
+                })
+                .collect(),
+            None => batch,
+        };
+        if batch.is_empty() {
+            continue;
+        }
         let n = batch.len();
         stats.batches.fetch_add(1, Ordering::Relaxed);
         stats
@@ -433,16 +566,48 @@ fn worker_loop(
         stats.max_batch_seen.fetch_max(n as u64, Ordering::Relaxed);
 
         input.resize(n * 3 * plane, 0.0);
-        for (i, req) in batch.iter().enumerate() {
-            let dst = &mut input[i * 3 * plane..(i + 1) * 3 * plane];
-            match &filter_impl {
-                Some(f) => image_to_chw_into(&f.apply(&req.tile).filtered, dst),
-                None => image_to_chw_into(&req.tile, dst),
+        stage_inputs(&batch, filter_impl.as_ref(), plane, &mut input);
+
+        // Supervised compute: a replica panic loses nothing — the worker
+        // restores a fresh replica from the checkpoint and re-runs the
+        // same batch (bit-identical answers, since every replica is the
+        // same weights). The attempt number feeds the injection key so a
+        // targeted fault fires once, not on every retry.
+        let mut attempt: u64 = 0;
+        let computed = loop {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                faults.maybe_panic("serve.worker", seaice_faults::mix(batch[0].key, attempt));
+                let x = Tensor::from_vec(&[n, 3, s, s], std::mem::take(&mut input));
+                model.predict_into(&x, &mut preds);
+                input = x.into_vec();
+            }));
+            match outcome {
+                Ok(()) => break true,
+                Err(_) => {
+                    stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                    model = seaice_unet::checkpoint::restore(ckpt);
+                    attempt += 1;
+                    if attempt >= MAX_BATCH_ATTEMPTS {
+                        break false;
+                    }
+                    stats.batch_retries.fetch_add(1, Ordering::Relaxed);
+                    // The unwound attempt consumed the staged input;
+                    // rebuild it for the retry.
+                    input.resize(n * 3 * plane, 0.0);
+                    stage_inputs(&batch, filter_impl.as_ref(), plane, &mut input);
+                }
             }
+        };
+        if !computed {
+            for req in batch {
+                req.tx
+                    .send(Err(ServeError::Internal(format!(
+                        "replica crashed on this batch {MAX_BATCH_ATTEMPTS} attempts in a row"
+                    ))))
+                    .ok();
+            }
+            continue;
         }
-        let x = Tensor::from_vec(&[n, 3, s, s], std::mem::take(&mut input));
-        model.predict_into(&x, &mut preds);
-        input = x.into_vec();
 
         let mut cache_guard = cache.lock().unwrap();
         let mut latency_guard = stats.latency.lock().unwrap();
@@ -460,6 +625,7 @@ fn worker_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use seaice_faults::{mix, FaultAction, FaultRule};
     use seaice_s2::synth::{generate, SceneConfig};
     use seaice_unet::checkpoint::snapshot;
     use seaice_unet::{UNet, UNetConfig};
@@ -494,7 +660,7 @@ mod tests {
     #[test]
     fn classify_matches_a_direct_forward_pass() {
         let ckpt = tiny_ckpt();
-        let engine = Engine::new(&ckpt, quiet_cfg());
+        let engine = Engine::new(&ckpt, quiet_cfg()).unwrap();
         let t = tile(1);
         let got = engine.classify(t.clone()).unwrap();
 
@@ -507,7 +673,7 @@ mod tests {
 
     #[test]
     fn repeat_tiles_hit_the_cache() {
-        let engine = Engine::new(&tiny_ckpt(), quiet_cfg());
+        let engine = Engine::new(&tiny_ckpt(), quiet_cfg()).unwrap();
         let t = tile(2);
         let a = engine.classify(t.clone()).unwrap();
         let b = engine.classify(t).unwrap();
@@ -522,7 +688,7 @@ mod tests {
 
     #[test]
     fn wrong_shape_is_a_bad_request_not_a_panic() {
-        let engine = Engine::new(&tiny_ckpt(), quiet_cfg());
+        let engine = Engine::new(&tiny_ckpt(), quiet_cfg()).unwrap();
         let wrong = Image::<u8>::new(8, 8, 3);
         match engine.classify(wrong) {
             Err(ServeError::BadRequest(m)) => assert!(m.contains("16x16"), "{m}"),
@@ -532,8 +698,47 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_configs_are_descriptive_errors() {
+        let ckpt = tiny_ckpt();
+        for (cfg, expect) in [
+            (
+                EngineConfig {
+                    workers: 0,
+                    ..quiet_cfg()
+                },
+                "at least one worker",
+            ),
+            (
+                EngineConfig {
+                    max_batch_size: 0,
+                    ..quiet_cfg()
+                },
+                "max batch size",
+            ),
+            (
+                EngineConfig {
+                    queue_capacity: 0,
+                    ..quiet_cfg()
+                },
+                "queue capacity",
+            ),
+            // depth-1 checkpoint wants an even tile side; 15 is not.
+            (EngineConfig::for_tile(15), "tile size incompatible"),
+        ] {
+            let e = match Engine::new(&ckpt, cfg) {
+                Err(e) => e,
+                Ok(_) => panic!("expected BadConfig for {expect:?}"),
+            };
+            match &e {
+                ServeError::BadConfig(m) => assert!(m.contains(expect), "{m}"),
+                other => panic!("expected BadConfig, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn shutdown_drains_queued_work_then_refuses_new() {
-        let engine = Engine::new(&tiny_ckpt(), quiet_cfg());
+        let engine = Engine::new(&tiny_ckpt(), quiet_cfg()).unwrap();
         // Queue several distinct tiles, then shut down immediately: every
         // accepted ticket must still resolve.
         let tickets: Vec<Ticket> = (0..8)
@@ -552,7 +757,7 @@ mod tests {
 
     #[test]
     fn batches_form_under_concurrent_load() {
-        let engine = Arc::new(Engine::new(&tiny_ckpt(), quiet_cfg()));
+        let engine = Arc::new(Engine::new(&tiny_ckpt(), quiet_cfg()).unwrap());
         let mut clients = Vec::new();
         for c in 0..4u64 {
             let engine = Arc::clone(&engine);
@@ -572,5 +777,90 @@ mod tests {
         assert!(s.batches >= 1 && s.batches <= 24);
         assert!(s.mean_batch_size >= 1.0);
         assert!(s.max_batch_seen as usize <= engine.config().max_batch_size);
+    }
+
+    #[test]
+    fn stale_requests_are_shed_with_deadline_exceeded() {
+        let engine = Engine::new(
+            &tiny_ckpt(),
+            EngineConfig {
+                workers: 1,
+                deadline: Some(Duration::from_nanos(1)),
+                ..quiet_cfg()
+            },
+        )
+        .unwrap();
+        match engine.classify(tile(40)) {
+            Err(ServeError::DeadlineExceeded) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let s = engine.stats();
+        assert_eq!(s.robustness.shed_deadline, 1);
+        assert_eq!(s.computed, 0);
+        // Overload shedding is counted separately.
+        assert_eq!(s.robustness.shed_overload, 0);
+    }
+
+    #[test]
+    fn injected_replica_panic_is_supervised_and_answers_bit_identically() {
+        let ckpt = tiny_ckpt();
+        let t = tile(50);
+        let key = tile_key(&t);
+        // Kill the replica on this request's first attempt only.
+        let faults = Arc::new(FaultPlan::seeded(7).fail_keys(
+            "serve.worker",
+            &[mix(key, 0)],
+            FaultAction::Panic,
+        ));
+        let engine = Engine::with_faults(
+            &ckpt,
+            EngineConfig {
+                workers: 1,
+                ..quiet_cfg()
+            },
+            faults,
+        )
+        .unwrap();
+        let got = engine.classify(t.clone()).unwrap();
+
+        let mut model = seaice_unet::checkpoint::restore(&ckpt);
+        let chw = seaice_core::adapters::image_to_chw(&t);
+        let x = Tensor::from_vec(&[1, 3, 16, 16], chw);
+        assert_eq!(
+            *got,
+            model.predict(&x),
+            "restarted replica must answer bit-identically"
+        );
+
+        let s = engine.stats();
+        assert_eq!(s.robustness.worker_restarts, 1);
+        assert_eq!(s.robustness.batch_retries, 1);
+        assert_eq!(s.ok, 1);
+        // The engine still serves after the restart.
+        assert_eq!(engine.classify(tile(51)).unwrap().len(), 256);
+    }
+
+    #[test]
+    fn permanently_crashing_replica_reports_internal_after_retries() {
+        let faults =
+            Arc::new(FaultPlan::seeded(3).with_rule("serve.worker", FaultRule::panics(1.0)));
+        let engine = Engine::with_faults(
+            &tiny_ckpt(),
+            EngineConfig {
+                workers: 1,
+                ..quiet_cfg()
+            },
+            faults,
+        )
+        .unwrap();
+        match engine.classify(tile(60)) {
+            Err(ServeError::Internal(m)) => assert!(m.contains("attempts"), "{m}"),
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        let s = engine.stats();
+        assert_eq!(s.robustness.worker_restarts, 3);
+        assert_eq!(s.robustness.batch_retries, 2);
+        // Graceful shutdown still works: the worker caught every panic.
+        engine.shutdown();
     }
 }

@@ -7,7 +7,8 @@
 //! * `POST /classify` — body is one raw RGB tile (`3·s·s` bytes,
 //!   row-major interleaved, `s` = the engine's tile size); the response
 //!   body is the `s·s`-byte class mask. `503` when admission control
-//!   sheds, `400` on a malformed body.
+//!   sheds, `504` when a per-request deadline expires in queue, `400` on
+//!   a malformed body.
 //! * `GET /stats` — the engine's [`StatsSnapshot`] as JSON.
 //! * `GET /healthz` — liveness probe.
 //!
@@ -142,9 +143,17 @@ fn handle(engine: &Engine, stream: TcpStream) -> io::Result<()> {
                 Err(ServeError::Overloaded) => {
                     respond(stream, 503, "text/plain", b"overloaded: request shed")
                 }
+                Err(ServeError::DeadlineExceeded) => respond(
+                    stream,
+                    504,
+                    "text/plain",
+                    b"deadline exceeded: request shed",
+                ),
                 Err(ServeError::Closed) => respond(stream, 503, "text/plain", b"shutting down"),
                 Err(ServeError::BadRequest(m)) => respond(stream, 400, "text/plain", m.as_bytes()),
-                Err(ServeError::Internal(m)) => respond(stream, 500, "text/plain", m.as_bytes()),
+                Err(ServeError::BadConfig(m)) | Err(ServeError::Internal(m)) => {
+                    respond(stream, 500, "text/plain", m.as_bytes())
+                }
             }
         }
         ("GET", "/stats") => {
@@ -162,6 +171,7 @@ fn respond(mut stream: TcpStream, status: u16, content_type: &str, body: &[u8]) 
         400 => "Bad Request",
         404 => "Not Found",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Internal Server Error",
     };
     let head = format!(
@@ -189,13 +199,16 @@ mod tests {
             seed: 31,
             ..UNetConfig::paper()
         });
-        Arc::new(Engine::new(
-            &snapshot(&mut model),
-            EngineConfig {
-                workers: 1,
-                ..EngineConfig::for_tile(16)
-            },
-        ))
+        Arc::new(
+            Engine::new(
+                &snapshot(&mut model),
+                EngineConfig {
+                    workers: 1,
+                    ..EngineConfig::for_tile(16)
+                },
+            )
+            .unwrap(),
+        )
     }
 
     /// A bare-bones HTTP client: one request, returns (status, body).
@@ -248,6 +261,10 @@ mod tests {
         let text = String::from_utf8(body).unwrap();
         assert!(text.contains("\"p99_us\""), "{text}");
         assert!(text.contains("\"cache_hit_rate\""), "{text}");
+        // The robustness section rides along in the same snapshot.
+        assert!(text.contains("\"robustness\""), "{text}");
+        assert!(text.contains("\"worker_restarts\""), "{text}");
+        assert!(text.contains("\"shed_deadline\""), "{text}");
 
         let (status, body) = request(addr, "GET", "/healthz", b"");
         assert_eq!(status, 200);

@@ -30,7 +30,7 @@ pub mod queue;
 pub mod scene;
 
 pub use cache::{tile_key, LruCache};
-pub use engine::{Engine, EngineConfig, ServeError, StatsSnapshot, Ticket};
+pub use engine::{Engine, EngineConfig, RobustnessSnapshot, ServeError, StatsSnapshot, Ticket};
 pub use http::HttpServer;
 pub use queue::{BoundedQueue, QueueError};
 pub use scene::classify_scene_engine;

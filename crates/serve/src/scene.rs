@@ -106,7 +106,8 @@ mod tests {
                     filter,
                     ..EngineConfig::for_tile(16)
                 },
-            );
+            )
+            .unwrap();
             let got = classify_scene_engine(&engine, &scene.rgb).unwrap();
             assert_eq!(got.mask, want.mask, "filter={filter}");
             assert_eq!(got.color, want.color);
@@ -123,7 +124,8 @@ mod tests {
                 cache_capacity: 64,
                 ..EngineConfig::for_tile(16)
             },
-        );
+        )
+        .unwrap();
         let scene = generate(&SceneConfig::tiny(48), 5);
         let a = classify_scene_engine(&engine, &scene.rgb).unwrap();
         let before = engine.stats();

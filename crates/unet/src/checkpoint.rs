@@ -9,7 +9,7 @@ use std::io;
 use std::path::Path;
 
 /// On-disk checkpoint payload.
-#[derive(Serialize, Deserialize)]
+#[derive(Clone, Serialize, Deserialize)]
 pub struct Checkpoint {
     /// Architecture the weights belong to.
     pub config: UNetConfig,

@@ -74,13 +74,30 @@ impl UNetConfig {
     /// Validates an input side length.
     ///
     /// # Panics
-    /// Panics if the side is not divisible by `2^depth`.
+    /// Panics if the side is not divisible by `2^depth`; use
+    /// [`check_input_side`](Self::check_input_side) to handle the
+    /// mismatch instead.
     pub fn assert_input_side(&self, side: usize) {
-        assert!(
-            side.is_multiple_of(self.min_input_side()) && side > 0,
-            "input side {side} must be a positive multiple of {}",
-            self.min_input_side()
-        );
+        if let Err(e) = self.check_input_side(side) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`assert_input_side`](Self::assert_input_side): reports
+    /// why a side length is incompatible instead of panicking.
+    ///
+    /// # Errors
+    /// A description of the divisibility requirement the side violates.
+    pub fn check_input_side(&self, side: usize) -> Result<(), String> {
+        if side > 0 && side.is_multiple_of(self.min_input_side()) {
+            Ok(())
+        } else {
+            Err(format!(
+                "input side {side} must be a positive multiple of {} (depth {} network)",
+                self.min_input_side(),
+                self.depth
+            ))
+        }
     }
 
     /// Filter count of encoder level `i` (0-based).

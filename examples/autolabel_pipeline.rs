@@ -65,7 +65,7 @@ fn main() {
     println!("worker pool (4): {:.2}s", t0.elapsed().as_secs_f64());
 
     // 3c. Map-reduce engine on a virtual 2×2 cluster.
-    let session = Session::new(ClusterSpec::new(2, 2), CostModel::gcd_n2());
+    let session = Session::new(ClusterSpec::new(2, 2).unwrap(), CostModel::gcd_n2());
     let (df, load) = session.read(tiles.clone(), (tile_size * tile_size * 3) as f64);
     let (lazy, map) = df.map(&session, move |img| {
         auto_label_batch(&[img], &cfg).remove(0)

@@ -14,6 +14,7 @@
 //! | [`label`] | `seaice-label` | thin-cloud/shadow filter + HSV auto-labeling |
 //! | [`metrics`] | `seaice-metrics` | accuracy / P / R / F1, confusion matrix, SSIM |
 //! | [`mapreduce`] | `seaice-mapreduce` | mini map-reduce engine (PySpark replacement) |
+//! | [`faults`] | `seaice-faults` | deterministic fault injection for chaos testing |
 //! | [`nn`] | `seaice-nn` | from-scratch deep-learning stack |
 //! | [`unet`] | `seaice-unet` | U-Net segmentation model |
 //! | [`distrib`] | `seaice-distrib` | ring all-reduce data-parallel training (Horovod replacement) |
@@ -24,6 +25,7 @@
 
 pub use seaice_core as core;
 pub use seaice_distrib as distrib;
+pub use seaice_faults as faults;
 pub use seaice_imgproc as imgproc;
 pub use seaice_label as label;
 pub use seaice_mapreduce as mapreduce;

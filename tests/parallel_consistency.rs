@@ -30,7 +30,7 @@ fn all_labeling_backends_agree_bit_for_bit() {
         let ray = auto_label_batch_rayon(&imgs, &cfg);
         let pool = WorkerPool::new(3);
         let pooled = auto_label_batch_pool(&pool, imgs.clone(), cfg);
-        let session = Session::new(ClusterSpec::new(2, 2), CostModel::gcd_n2());
+        let session = Session::new(ClusterSpec::new(2, 2).unwrap(), CostModel::gcd_n2());
         let (df, _) = session.read(imgs.clone(), 1.0);
         let (lazy, _) = df.map(&session, move |img| {
             seaice::label::autolabel::auto_label(&img, &cfg).class_mask
@@ -57,7 +57,7 @@ fn all_labeling_backends_agree_bit_for_bit() {
 
 #[test]
 fn mapreduce_reduce_matches_sequential_fold() {
-    let session = Session::new(ClusterSpec::new(4, 2), CostModel::gcd_n2());
+    let session = Session::new(ClusterSpec::new(4, 2).unwrap(), CostModel::gcd_n2());
     let data: Vec<u64> = (0..1000).collect();
     let (df, _) = session.read(data.clone(), 8.0);
     let (lazy, _) = df.map(&session, |x| x * x + 1);
@@ -153,7 +153,8 @@ fn micro_batched_serving_is_bit_identical_to_sequential_classification() {
                 filter: true,
                 ..EngineConfig::for_tile(16)
             },
-        );
+        )
+        .unwrap();
         let got = classify_scene_engine(&engine, &scene.rgb).unwrap();
         assert_eq!(got.mask, want.mask, "batch size {max_batch} diverged");
         assert_eq!(got.color, want.color, "batch size {max_batch} diverged");

@@ -28,18 +28,21 @@ fn tile(seed: u64) -> Image<u8> {
 
 #[test]
 fn engine_serves_64_tiles_under_concurrency_with_sane_stats() {
-    let engine = Arc::new(Engine::new(
-        &tiny_ckpt(11),
-        EngineConfig {
-            workers: 2,
-            max_batch_size: 4,
-            max_wait: Duration::from_millis(1),
-            queue_capacity: 64,
-            cache_capacity: 64,
-            filter: false,
-            ..EngineConfig::for_tile(16)
-        },
-    ));
+    let engine = Arc::new(
+        Engine::new(
+            &tiny_ckpt(11),
+            EngineConfig {
+                workers: 2,
+                max_batch_size: 4,
+                max_wait: Duration::from_millis(1),
+                queue_capacity: 64,
+                cache_capacity: 64,
+                filter: false,
+                ..EngineConfig::for_tile(16)
+            },
+        )
+        .unwrap(),
+    );
 
     // 4 clients x 16 tiles; every 4th tile repeats so the cache sees
     // traffic too.
@@ -94,7 +97,8 @@ fn overload_burst_sheds_instead_of_queuing_without_bound() {
             filter: false,
             ..EngineConfig::for_tile(16)
         },
-    );
+    )
+    .unwrap();
 
     // Fire a burst far beyond queue capacity without waiting: the engine
     // must answer what it admitted and shed the rest with Overloaded.
@@ -131,7 +135,8 @@ fn graceful_shutdown_drains_accepted_work_and_then_refuses() {
             filter: false,
             ..EngineConfig::for_tile(16)
         },
-    );
+    )
+    .unwrap();
     let tickets: Vec<Ticket> = (0..12u64)
         .map(|i| engine.submit_blocking(tile(3000 + i)).unwrap())
         .collect();
@@ -141,4 +146,71 @@ fn graceful_shutdown_drains_accepted_work_and_then_refuses() {
         assert_eq!(t.wait().unwrap().len(), 256);
     }
     assert!(matches!(engine.classify(tile(1)), Err(ServeError::Closed)));
+}
+
+#[test]
+fn push_wait_under_concurrent_shutdown_drains_inflight_and_refuses_new() {
+    // A 2-slot queue with one slow-ish worker: backpressure producers
+    // spend most of their time blocked inside `queue::push_wait`, which
+    // is exactly where shutdown must find them.
+    let engine = Arc::new(
+        Engine::new(
+            &tiny_ckpt(14),
+            EngineConfig {
+                workers: 1,
+                max_batch_size: 2,
+                max_wait: Duration::from_millis(1),
+                queue_capacity: 2,
+                cache_capacity: 0,
+                filter: false,
+                ..EngineConfig::for_tile(16)
+            },
+        )
+        .unwrap(),
+    );
+
+    let mut producers = Vec::new();
+    for p in 0..4u64 {
+        let engine = Arc::clone(&engine);
+        producers.push(std::thread::spawn(move || {
+            let mut answered = 0usize;
+            let mut refused = 0usize;
+            for i in 0..8u64 {
+                match engine.submit_blocking(tile(4000 + p * 100 + i)) {
+                    // Accepted before the close: the ticket must resolve
+                    // even though shutdown is racing this thread.
+                    Ok(t) => {
+                        assert_eq!(t.wait().unwrap().len(), 256);
+                        answered += 1;
+                    }
+                    // Woken out of push_wait (or refused at the door) by
+                    // the close: a clean rejection, not a hang or a panic.
+                    Err(ServeError::Closed) => refused += 1,
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            (answered, refused)
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(5));
+    engine.shutdown();
+
+    let (mut answered, mut refused) = (0usize, 0usize);
+    for p in producers {
+        let (a, r) = p.join().unwrap();
+        answered += a;
+        refused += r;
+    }
+    assert_eq!(
+        answered + refused,
+        32,
+        "every push either drains to an answer or is refused — none lost"
+    );
+    // After the drain, new pushes are refused outright.
+    assert!(matches!(
+        engine.submit_blocking(tile(1)),
+        Err(ServeError::Closed)
+    ));
+    // Everything admitted was actually computed (cache disabled).
+    assert_eq!(engine.stats().ok, answered as u64);
 }
