@@ -21,6 +21,7 @@
 //! Accuracy experiments (Tables IV–V, Figs. 11, 13, 14) involve no
 //! hardware substitution: they run the real pipeline end to end at a
 //! reduced scale and report real numbers.
+#![forbid(unsafe_code)]
 
 pub mod ablation;
 pub mod chaosbench;

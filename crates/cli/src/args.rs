@@ -1,7 +1,11 @@
 //! A small, dependency-free argument parser: `--key value` pairs and
 //! `--flag` booleans after a subcommand.
+//!
+//! Options live in a `BTreeMap` so that iteration (e.g. the first-unknown
+//! check in [`Parsed::expect_options`]) reports the same option first on
+//! every run — error messages are part of the byte-stable surface too.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Argument-parsing failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -37,7 +41,7 @@ impl std::error::Error for ArgError {}
 pub struct Parsed {
     /// The subcommand name.
     pub command: String,
-    options: HashMap<String, String>,
+    options: BTreeMap<String, String>,
     flags: Vec<String>,
     allowed: Vec<&'static str>,
 }
@@ -49,7 +53,7 @@ impl Parsed {
     pub fn parse(args: &[String], flag_names: &[&str]) -> Result<Parsed, ArgError> {
         let mut it = args.iter();
         let command = it.next().ok_or(ArgError::MissingCommand)?.clone();
-        let mut options = HashMap::new();
+        let mut options = BTreeMap::new();
         let mut flags = Vec::new();
         while let Some(a) = it.next() {
             let Some(key) = a.strip_prefix("--") else {

@@ -9,7 +9,7 @@ fn main() {
         println!("{USAGE}");
         return;
     }
-    let parsed = match Parsed::parse(&args, &["no-filter", "parallel", "engine", "smoke"]) {
+    let parsed = match Parsed::parse(&args, &["no-filter", "parallel", "engine", "smoke", "json"]) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");

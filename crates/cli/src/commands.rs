@@ -62,7 +62,8 @@ pub const USAGE: &str = "usage: seaice <synth|filter|label|calibrate|train|class
   classify    --model model.json --in scene.ppm --out pred.ppm [--tile 32] [--no-filter] [--parallel | --engine [--workers N] [--batch 8]]
   analyze     --labels labels.ppm
   serve       --model model.json [--addr 127.0.0.1:8080] [--tile 32] [--workers N] [--batch 8] [--queue 256] [--cache 1024] [--no-filter] [--smoke]
-  serve-bench [--scale small|medium|large] [--scenes N] [--scene-size N] [--tile N] [--passes N] [--clients N]";
+  serve-bench [--scale small|medium|large] [--scenes N] [--scene-size N] [--tile N] [--passes N] [--clients N]
+  lint        [--root DIR] [--json]";
 
 /// Dispatches a parsed command.
 pub fn run(mut p: Parsed) -> Result<String, CliError> {
@@ -76,6 +77,7 @@ pub fn run(mut p: Parsed) -> Result<String, CliError> {
         "analyze" => analyze(&mut p),
         "serve" => serve(&mut p),
         "serve-bench" => serve_bench(&mut p),
+        "lint" => lint(&mut p),
         other => Err(CliError::Msg(format!("unknown command '{other}'\n{USAGE}"))),
     }
 }
@@ -240,6 +242,7 @@ fn run_train(p: &mut Parsed) -> Result<String, CliError> {
         .collect();
     let loader = DataLoader::new(samples, 8, Some(seed));
     let mut model = UNet::new(cfg.unet);
+    // seaice-lint: allow(wallclock-in-deterministic-path) reason="elapsed seconds appear only in the human-readable summary string; nothing downstream orders or hashes on it"
     let t0 = std::time::Instant::now();
     let report = train(&mut model, &loader, &cfg.train);
     checkpoint::save(&mut model, &model_path)?;
@@ -379,6 +382,31 @@ fn serve_bench(p: &mut Parsed) -> Result<String, CliError> {
     cfg.passes = p.get_or("passes", cfg.passes)?;
     cfg.clients = p.get_or("clients", cfg.clients)?;
     Ok(seaice_bench::servebench::run_config(cfg).render())
+}
+
+fn lint(p: &mut Parsed) -> Result<String, CliError> {
+    p.expect_options(&["root", "json"])?;
+    let root = std::path::PathBuf::from(p.optional("root").unwrap_or_else(|| ".".into()));
+    let cfg = seaice_lint::LintConfig::default();
+    let diags = seaice_lint::lint_workspace(&root, &cfg)?;
+    if p.flag("json") {
+        return if diags.is_empty() {
+            Ok(seaice_lint::render_json(&diags))
+        } else {
+            Err(CliError::Msg(seaice_lint::render_json(&diags)))
+        };
+    }
+    if diags.is_empty() {
+        Ok("seaice-lint: clean".into())
+    } else {
+        let mut s = String::new();
+        for d in &diags {
+            s.push_str(&d.to_string());
+            s.push('\n');
+        }
+        s.push_str(&format!("seaice-lint: {} diagnostic(s)", diags.len()));
+        Err(CliError::Msg(s))
+    }
 }
 
 fn analyze(p: &mut Parsed) -> Result<String, CliError> {

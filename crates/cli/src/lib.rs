@@ -17,10 +17,12 @@
 //! seaice classify  --model model.json --in scene.ppm --out pred.ppm
 //!                  [--tile 32] [--no-filter] [--parallel]
 //! seaice analyze   --labels labels.ppm
+//! seaice lint      [--root DIR] [--json]
 //! ```
 //!
 //! Label images use the paper's color code: red = thick ice, blue = thin
 //! ice, green = open water.
+#![forbid(unsafe_code)]
 
 pub mod args;
 pub mod commands;

@@ -69,6 +69,7 @@ pub fn tile_image(tile: &Tile, variant: InputVariant, label_cfg: &AutoLabelConfi
         InputVariant::Clean => tile
             .clean_rgb
             .clone()
+            // seaice-lint: allow(panic-in-library) reason="Clean is only reachable from configs that set keep_clean at dataset build; the message names the misconfiguration, and threading a Result through every sample-builder would bury it"
             .expect("tile was built without clean pixels (set keep_clean)"),
     }
 }

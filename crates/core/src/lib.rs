@@ -16,6 +16,7 @@
 //!    Fig. 13;
 //! 6. **Infer** over fresh scenes: tile → filter → predict → stitch
 //!    (Fig. 9).
+#![forbid(unsafe_code)]
 
 pub mod adapters;
 pub mod analysis;

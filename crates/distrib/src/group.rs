@@ -50,6 +50,7 @@ impl ProcessGroup {
     /// Panics if `n == 0`.
     #[allow(clippy::new_ret_no_self)] // `ProcessGroup` is a namespace; ranks are the product
     pub fn new(n: usize) -> Vec<Rank> {
+        // seaice-lint: allow(panic-in-library) reason="documented panicking constructor (# Panics above); try_new is the fallible path for callers with dynamic group sizes"
         Self::try_new(n).expect("process group needs at least one rank")
     }
 
@@ -77,6 +78,7 @@ impl ProcessGroup {
             receivers.into_iter().map(Some).collect();
         for (r, to_next) in senders.into_iter().enumerate() {
             let prev = (r + n - 1) % n;
+            // seaice-lint: allow(panic-in-library) reason="each ring index is visited exactly once by this loop, so the Option is always Some; a None would be a construction bug worth crashing on"
             let from_prev = receivers[prev].take().expect("receiver used twice");
             ranks.push(Rank {
                 rank: r,
@@ -124,6 +126,7 @@ impl Rank {
     /// when peers are allowed to fail.
     pub fn all_reduce_sum(&self, buf: &mut [f32]) {
         if let Err(e) = self.try_all_reduce_sum(buf) {
+            // seaice-lint: allow(panic-in-library) reason="documented panicking collective (# Panics above); try_all_reduce_sum is the fallible path used by the elastic trainer"
             panic!("{e}");
         }
     }
@@ -208,6 +211,12 @@ impl Rank {
 
     /// Broadcast from `root`: after the call every rank's buffer equals
     /// the root's (ring pipeline; `hvd.BroadcastGlobalVariables` analog).
+    ///
+    /// # Panics
+    /// Panics if a ring neighbour disconnects mid-broadcast (a peer rank
+    /// panicked). Broadcast happens at generation start, before any rank
+    /// can fail under the elastic trainer's fault model, so there is no
+    /// fallible variant.
     pub fn broadcast(&self, buf: &mut [f32], root: usize) {
         let n = self.size;
         if n == 1 {
@@ -220,16 +229,19 @@ impl Rank {
         if self.rank == root {
             self.to_next
                 .send(buf.to_vec())
+                // seaice-lint: allow(panic-in-library) reason="documented panicking collective (# Panics above); neighbours cannot fail before the first broadcast under the elastic fault model"
                 .expect("ring successor disconnected");
         } else {
             let incoming = self
                 .from_prev
                 .recv()
+                // seaice-lint: allow(panic-in-library) reason="documented panicking collective (# Panics above); neighbours cannot fail before the first broadcast under the elastic fault model"
                 .expect("ring predecessor disconnected");
             buf.copy_from_slice(&incoming);
             if !is_last {
                 self.to_next
                     .send(incoming)
+                    // seaice-lint: allow(panic-in-library) reason="documented panicking collective (# Panics above); neighbours cannot fail before the first broadcast under the elastic fault model"
                     .expect("ring successor disconnected");
             }
         }

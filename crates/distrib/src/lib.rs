@@ -36,6 +36,7 @@
 //!     assert_eq!(h.join().unwrap(), 1.5); // mean of 0,1,2,3
 //! }
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod group;
 pub mod optimizer;

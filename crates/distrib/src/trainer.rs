@@ -216,6 +216,7 @@ pub fn train_distributed(
         Arc::new(FaultPlan::disabled()),
     ) {
         Ok(out) => out,
+        // seaice-lint: allow(panic-in-library) reason="legacy infallible wrapper kept for the non-elastic API; it runs with FaultPlan::disabled(), so the only reachable errors are unusable configs worth crashing on"
         Err(e) => panic!("{e}"),
     }
 }
@@ -243,6 +244,7 @@ pub fn train_distributed_elastic(
     if cfg.ranks == 0 {
         return Err(TrainError::NoRanks);
     }
+    // seaice-lint: allow(wallclock-in-deterministic-path) reason="wall time feeds only DistTrainReport.wall_secs, a diagnostic; training order and outputs key off the simulated clock"
     let t0 = std::time::Instant::now();
     let checkpoint_every = elastic.checkpoint_every_epochs.max(1);
     let max_generations = if elastic.max_generations == 0 {
@@ -415,6 +417,7 @@ pub fn train_distributed_elastic(
 
         let mut outcomes = Vec::with_capacity(world);
         for h in handles {
+            // seaice-lint: allow(panic-in-library) reason="rank bodies catch injected faults and return RankOutcome::Died; a panic escaping to join() means the containment itself broke, which must not be silently absorbed"
             outcomes.push(h.join().expect("a rank panicked"));
         }
 
@@ -443,6 +446,7 @@ pub fn train_distributed_elastic(
                         }
                     }
                 }
+                // seaice-lint: allow(panic-in-library) reason="in a clean generation every rank Finished, and rank 0 always attaches its snapshot to Finished; a None is a coordinator bug, not a runtime condition"
                 let model = checkpoint::restore(&rank0_model.expect("rank 0 snapshot missing"));
                 simulated_secs += perf.total_time(world, cfg.epochs - start_epoch);
                 let epoch_losses: Vec<f32> = prior_losses.into_iter().chain(rank0_losses).collect();

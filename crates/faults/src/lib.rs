@@ -24,8 +24,9 @@
 //! [`FaultAction::None`] for everything in a handful of instructions, so
 //! production paths thread a plan through unconditionally and the happy
 //! path stays bit-identical (pinned by the existing differential tests).
+#![forbid(unsafe_code)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -90,9 +91,12 @@ impl FaultRule {
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     seed: u64,
-    rules: HashMap<String, FaultRule>,
+    // BTreeMaps, not HashMaps: the derived Debug on a plan appears in
+    // chaos-test failure output, and that output must be byte-stable
+    // across runs to diff cleanly.
+    rules: BTreeMap<String, FaultRule>,
     /// Exact `(site, key)` → action injections, checked before rules.
-    targeted: HashMap<(String, u64), FaultAction>,
+    targeted: BTreeMap<(String, u64), FaultAction>,
     /// Number of injections fired (actions other than `None`).
     fired: AtomicU64,
 }
@@ -187,6 +191,7 @@ impl FaultPlan {
             FaultAction::None => {}
             FaultAction::Delay(d) => std::thread::sleep(d),
             FaultAction::Panic | FaultAction::Error => {
+                // seaice-lint: allow(panic-in-library) reason="panicking is this function's documented purpose (# Panics above): it simulates a crash for the chaos harness, and callers opt in by arming a plan"
                 panic!("injected fault at {site} (key {key})")
             }
         }
@@ -211,6 +216,7 @@ impl FaultPlan {
                 std::io::ErrorKind::Interrupted,
                 format!("injected transient fault at {site} (key {key})"),
             )),
+            // seaice-lint: allow(panic-in-library) reason="panicking is this function's documented purpose (# Panics above): it simulates a crash for the chaos harness, and callers opt in by arming a plan"
             FaultAction::Panic => panic!("injected fault at {site} (key {key})"),
         }
     }

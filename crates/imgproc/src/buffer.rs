@@ -36,6 +36,7 @@ impl<T: Copy + Default> Image<T> {
         let len = width
             .checked_mul(height)
             .and_then(|p| p.checked_mul(channels))
+            // seaice-lint: allow(panic-in-library) reason="documented panicking constructor (# Panics above); an overflowing allocation request has no sane recovery and the checked_mul makes it loud instead of UB-adjacent"
             .expect("image dimensions overflow");
         Self {
             width,

@@ -25,6 +25,7 @@
 //! let hsv = rgb_to_hsv(&img);
 //! assert_eq!(hsv.channels(), 3);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod buffer;
 pub mod color;

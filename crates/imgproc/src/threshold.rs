@@ -119,6 +119,7 @@ pub fn otsu_threshold(src: &Image<u8>) -> u8 {
         let between = w_bg * w_fg * (mean_bg - mean_fg).powi(2);
         if between > best_var {
             best_var = between;
+            // seaice-lint: allow(narrowing-cast-in-kernel) reason="t indexes the 256-bin histogram, so t <= 255 always fits u8"
             best_t = t as u8;
         }
     }
@@ -128,6 +129,7 @@ pub fn otsu_threshold(src: &Image<u8>) -> u8 {
         best_t = hist
             .iter()
             .position(|&c| c > 0)
+            // seaice-lint: allow(panic-in-library) reason="the entry assert (total > 0) guarantees the histogram has at least one occupied bin"
             .expect("nonempty histogram") as u8;
     }
     best_t

@@ -133,6 +133,7 @@ pub fn calibrate(samples: &[(&Image<u8>, &Image<u8>)]) -> Calibration {
                 + (cdf[thin][thick_lo - 1] - cdf[thin][water_hi])
                 + (total(thick) - cdf[thick][thick_lo - 1]);
             if correct > best.2 {
+                // seaice-lint: allow(narrowing-cast-in-kernel) reason="loop bounds pin water_hi <= 253 and thick_lo <= 255, both within u8"
                 best = (water_hi as u8, thick_lo as u8, correct);
             }
         }

@@ -45,8 +45,10 @@ impl ClassLut {
         let mut v = [0u8; 256];
         for class in IceClass::ALL {
             let r = ranges.range(class);
+            // seaice-lint: allow(narrowing-cast-in-kernel) reason="IceClass has three discriminants (0..=2), well within u8"
             let bit = 1u8 << (class as u8);
             for x in 0..=255usize {
+                // seaice-lint: allow(narrowing-cast-in-kernel) reason="the loop bound pins x <= 255, exactly the u8 range"
                 let xv = x as u8;
                 if xv >= r.lo[0] && xv <= r.hi[0] {
                     h[x] |= bit;
@@ -81,6 +83,7 @@ impl ClassLut {
                     best = class;
                 }
             }
+            // seaice-lint: allow(narrowing-cast-in-kernel) reason="IceClass has three discriminants (0..=2), well within u8"
             *slot = best as u8;
         }
         Self { h, s, v, fallback }

@@ -27,6 +27,7 @@
 //! let out = auto_label(&img, &AutoLabelConfig::default());
 //! assert!(out.class_mask.as_slice().iter().all(|&c| c == IceClass::Thick as u8));
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod autolabel;
 pub mod calibrate;

@@ -42,6 +42,7 @@ impl WorkerPool {
                             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                         }
                     })
+                    // seaice-lint: allow(panic-in-library) reason="spawn fails only on OS thread exhaustion at pool construction; there is no pool to degrade to and crashing early is correct"
                     .expect("failed to spawn worker thread")
             })
             .collect();
@@ -60,8 +61,10 @@ impl WorkerPool {
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
         self.sender
             .as_ref()
+            // seaice-lint: allow(panic-in-library) reason="the sender is only taken in Drop, so it is Some for every live pool; a None means use-after-drop, a bug worth crashing on"
             .expect("pool is shutting down")
             .send(Box::new(job))
+            // seaice-lint: allow(panic-in-library) reason="workers hold their receiver for the pool's lifetime and catch job panics; a closed channel means every worker died, i.e. supervision itself broke"
             .expect("worker channel closed");
     }
 
@@ -98,11 +101,13 @@ impl WorkerPool {
             // loudly rather than returning partial results.
             let (i, out) = rx
                 .recv()
+                // seaice-lint: allow(panic-in-library) reason="the comment above documents the fail-loudly contract: a closed channel means a job panicked and partial results must not be returned"
                 .expect("a worker job panicked; result set is incomplete");
             slots[i] = Some(out);
         }
         slots
             .into_iter()
+            // seaice-lint: allow(panic-in-library) reason="the loop above received exactly one result per index, so every slot is Some; a None is a pool bug, not a runtime condition"
             .map(|s| s.expect("missing result slot"))
             .collect()
     }

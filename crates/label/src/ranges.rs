@@ -156,6 +156,7 @@ impl ClassRanges {
                     0
                 }
             })
+            // seaice-lint: allow(panic-in-library) reason="min_by_key runs over IceClass::ALL, a non-empty const array, so it is always Some"
             .expect("nonempty class list")
     }
 }

@@ -37,6 +37,7 @@ pub fn segment_classes(rgb: &Image<u8>, ranges: &ClassRanges) -> Image<u8> {
         .zip(hsv.as_slice().par_chunks_exact(w.max(1) * 3))
         .for_each(|(dst, src)| {
             for (d, px) in dst.iter_mut().zip(src.chunks_exact(3)) {
+                // seaice-lint: allow(narrowing-cast-in-kernel) reason="IceClass has three discriminants (0..=2), well within u8"
                 *d = ranges.classify(px) as u8;
             }
         });
@@ -53,6 +54,7 @@ pub fn segment_to_color(mask: &Image<u8>) -> Image<u8> {
     let (w, h) = mask.dimensions();
     let mut out = Image::<u8>::new(w, h, 3);
     for (dst, &c) in out.as_mut_slice().chunks_exact_mut(3).zip(mask.as_slice()) {
+        // seaice-lint: allow(panic-in-library) reason="documented panicking API (# Panics above): a mask with out-of-range classes is corrupt input, named in the message"
         let class = IceClass::from_index(c).expect("invalid class index in mask");
         dst.copy_from_slice(&class.color());
     }
@@ -73,6 +75,7 @@ pub fn color_to_classes(label: &Image<u8>) -> Image<u8> {
         .zip(label.as_slice().chunks_exact(3))
     {
         *d = match IceClass::from_color(px) {
+            // seaice-lint: allow(narrowing-cast-in-kernel) reason="IceClass has three discriminants (0..=2), well within u8"
             Some(c) => c as u8,
             None => IceClass::ALL
                 .into_iter()
@@ -83,6 +86,7 @@ pub fn color_to_classes(label: &Image<u8>) -> Image<u8> {
                         .map(|(&a, &b)| (a as i32 - b as i32).pow(2))
                         .sum::<i32>()
                 })
+                // seaice-lint: allow(panic-in-library, narrowing-cast-in-kernel) reason="min_by_key runs over IceClass::ALL, a non-empty const array, and its three discriminants (0..=2) fit u8"
                 .expect("nonempty class list") as u8,
         };
     }

@@ -1,0 +1,477 @@
+//! A lightweight Rust lexer: just enough token structure for invariant
+//! linting — identifiers, punctuation, numbers, and (crucially) correct
+//! classification of comments, string literals (escapes, raw strings with
+//! any `#` count, byte strings), char literals, and lifetimes, so that a
+//! rule looking for `unsafe` or `unwrap` never fires on text inside a
+//! string or a comment, and suppression comments can be recovered with
+//! their line numbers intact.
+//!
+//! The lexer is intentionally lossy about what rules do not need: numeric
+//! literal values are kept as raw text, and multi-character operators
+//! (`::`, `->`, `..`) arrive as consecutive single-character punctuation
+//! tokens — pattern matching over those is the rule engine's job.
+
+/// Token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `for`, `Instant`, …).
+    Ident,
+    /// A lifetime such as `'a` (text excludes the quote).
+    Lifetime,
+    /// Numeric literal, raw text (`0x1F`, `1.5e3`, `255u8`, …).
+    Number,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`. Text is the *content* (delimiters stripped).
+    Str,
+    /// Char or byte literal (`'a'`, `b'\n'`). Text is the raw content.
+    Char,
+    /// `// …` comment; text is everything after the slashes.
+    LineComment,
+    /// `/* … */` comment (nesting handled); text is the interior.
+    BlockComment,
+    /// Any other single character (`{`, `}`, `:`, `!`, …).
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what is included per kind).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// For `Punct`, the character; `'\0'` otherwise (fast matching).
+    pub ch: char,
+}
+
+impl Tok {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.ch == c
+    }
+
+    /// True for comment tokens of either flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Tokenizes `src`. Never fails: unterminated constructs simply run to
+/// end of input (the compiler is the authority on well-formedness; the
+/// linter only needs to stay in sync on valid code).
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        let ch = if kind == TokKind::Punct {
+            text.chars().next().unwrap_or('\0')
+        } else {
+            '\0'
+        };
+        self.out.push(Tok {
+            kind,
+            text,
+            line,
+            ch,
+        });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.bump();
+                    self.plain_string(line);
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if is_ident_start(c) => self.ident_or_prefixed_literal(line),
+                other => {
+                    self.bump();
+                    self.push(TokKind::Punct, other.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // the two slashes
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // "/*"
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    /// Plain `"…"` body; the opening quote is already consumed.
+    fn plain_string(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    // Keep the escape verbatim; its value is irrelevant.
+                    text.push(c);
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Raw string body after `r`/`br` and `hashes` `#`s and the opening
+    /// quote have been consumed: runs to `"` followed by `hashes` `#`s.
+    fn raw_string(&mut self, hashes: usize, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    break;
+                }
+                text.push('"');
+                for _ in 0..matched {
+                    text.push('#');
+                }
+            } else {
+                text.push(c);
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // opening quote
+        match self.peek(0) {
+            // Escape ⇒ definitely a char literal: '\n', '\'', '\u{1F}'.
+            Some('\\') => {
+                let mut text = String::new();
+                while let Some(c) = self.bump() {
+                    if c == '\\' {
+                        text.push(c);
+                        if let Some(e) = self.bump() {
+                            text.push(e);
+                        }
+                    } else if c == '\'' {
+                        break;
+                    } else {
+                        text.push(c);
+                    }
+                }
+                self.push(TokKind::Char, text, line);
+            }
+            // Identifier-ish start: lifetime `'a` unless a closing quote
+            // follows the ident run ('x' or '_' are char literals).
+            Some(c) if is_ident_start(c) => {
+                let mut text = String::new();
+                while let Some(c) = self.peek(0) {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                    self.push(TokKind::Char, text, line);
+                } else {
+                    self.push(TokKind::Lifetime, text, line);
+                }
+            }
+            // Anything else ('(', '9', …) is a char literal.
+            _ => {
+                let mut text = String::new();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                    text.push(c);
+                }
+                self.push(TokKind::Char, text, line);
+            }
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else if c == '.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && !text.contains('.')
+            {
+                // One decimal point, only when a digit follows — `0..n`
+                // range syntax stays two separate Punct dots.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Number, text, line);
+    }
+
+    fn ident_or_prefixed_literal(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let is_raw_prefix = matches!(text.as_str(), "r" | "br");
+        let is_str_prefix = matches!(text.as_str(), "b" | "r" | "br");
+        match self.peek(0) {
+            Some('"') if is_str_prefix => {
+                self.bump();
+                if is_raw_prefix {
+                    self.raw_string(0, line);
+                } else {
+                    self.plain_string(line);
+                }
+            }
+            Some('#') if is_raw_prefix => {
+                // Count hashes; only a quote after them makes it a raw
+                // string (otherwise `r#foo` raw identifiers, attrs, …).
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    for _ in 0..=hashes {
+                        self.bump();
+                    }
+                    self.raw_string(hashes, line);
+                } else {
+                    self.push(TokKind::Ident, text, line);
+                }
+            }
+            Some('\'') if text == "b" => {
+                self.char_or_lifetime(line);
+                // Reclassify: b'…' lexes as the inner char/lifetime; keep
+                // it a Char either way (a lifetime cannot follow `b`).
+                if let Some(last) = self.out.last_mut() {
+                    last.kind = TokKind::Char;
+                }
+            }
+            _ => self.push(TokKind::Ident, text, line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_punct_numbers() {
+        let toks = kinds("let x = 42u8 + 0x1F;");
+        assert_eq!(toks[0], (TokKind::Ident, "let".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+        assert_eq!(toks[3], (TokKind::Number, "42u8".into()));
+        assert_eq!(toks[5], (TokKind::Number, "0x1F".into()));
+    }
+
+    #[test]
+    fn floats_and_ranges() {
+        let toks = kinds("1.5e3 0..10");
+        assert_eq!(toks[0], (TokKind::Number, "1.5e3".into()));
+        assert_eq!(toks[1], (TokKind::Number, "0".into()));
+        assert_eq!(toks[2].0, TokKind::Punct);
+        assert_eq!(toks[3].0, TokKind::Punct);
+        assert_eq!(toks[4], (TokKind::Number, "10".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "unsafe { unwrap() }";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("unsafe")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unsafe"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let toks = kinds(r#""a\"b" x"#);
+        assert_eq!(toks[0], (TokKind::Str, "a\\\"b".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"r#"contains "quotes" and unsafe"# end"###);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert!(toks[0].1.contains("\"quotes\""));
+        assert_eq!(toks[1], (TokKind::Ident, "end".into()));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"b"bytes" b'\n' b'x'"#);
+        assert_eq!(toks[0], (TokKind::Str, "bytes".into()));
+        assert_eq!(toks[1].0, TokKind::Char);
+        assert_eq!(toks[2].0, TokKind::Char);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("&'a str; 'x'; '_'; '\\''; &'_ T");
+        assert_eq!(toks[1], (TokKind::Lifetime, "a".into()));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "x"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "_"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "_"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still-comment */ b");
+        assert_eq!(toks[0], (TokKind::Ident, "a".into()));
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+        assert!(toks[1].1.contains("inner"));
+        assert!(toks[1].1.contains("still-comment"));
+        assert_eq!(toks[2], (TokKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn line_comments_capture_text_and_lines() {
+        let toks = tokenize("x\n// seaice-lint: allow(x) reason=\"y\"\nz");
+        assert_eq!(toks[1].kind, TokKind::LineComment);
+        assert_eq!(toks[1].line, 2);
+        assert!(toks[1].text.contains("seaice-lint"));
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn unsafe_inside_comment_is_not_an_ident() {
+        let toks = kinds("// unsafe unwrap\n/* unsafe */ code");
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && (t == "unsafe" || t == "unwrap")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "code"));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_string() {
+        let toks = kinds("r#match x");
+        // `r` + `#` + ident run: we keep `r` as an ident and let the rest
+        // lex normally — rules never match on raw identifiers anyway.
+        assert_eq!(toks[0].0, TokKind::Ident);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn multiline_string_tracks_lines() {
+        let toks = tokenize("\"a\nb\"\nnext");
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 3);
+    }
+}

@@ -1,0 +1,186 @@
+//! `seaice-lint` — a zero-dependency static analyzer for this workspace.
+//!
+//! The repo's correctness claims (bit-identical auto-labeling, engine-vs-
+//! sequential equality, chaos recovery byte-identity) rest on source-level
+//! invariants that `rustc` does not check: no wall-clock reads in
+//! deterministic paths, no hash-order leaking into ordered outputs, no
+//! panics in library code that `catch_unwind` supervision would mask, no
+//! unaudited `unsafe`, no silent narrowing casts in pixel kernels. This
+//! crate machine-checks them.
+//!
+//! It is deliberately a *lexer*-level tool, not a full parser: the rules
+//! only need token streams with strings/chars/comments classified (so
+//! `"unsafe"` in a string never fires) plus light structural passes
+//! (`#[cfg(test)]` regions, loop depth). That keeps it std-only and fast
+//! enough to run in tier-1 tests on every build.
+//!
+//! Entry points: [`lint_workspace`] (walks every workspace `.rs` file),
+//! [`lint_file`] (one file), [`rules::lint_source`] (in-memory source,
+//! used by the fixture tests). Diagnostics render as `file:line: [rule]
+//! message` or as JSON via [`render_json`].
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{lint_source, Diagnostic, FileKind, RULES};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Path allowlists steering rule applicability. Paths are
+/// workspace-relative prefixes compared with forward slashes.
+#[derive(Clone, Debug)]
+pub struct LintConfig {
+    /// Files where wall-clock reads are the point (timing modules).
+    pub wallclock_allow: Vec<String>,
+    /// Files where panics are acceptable library behaviour (the bench
+    /// harness aborts loudly by design).
+    pub panic_allow: Vec<String>,
+    /// Hot-loop kernel files where narrowing casts must be guarded.
+    pub kernel_paths: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            wallclock_allow: vec![
+                "crates/serve/".into(),
+                "crates/bench/".into(),
+                "crates/metrics/".into(),
+            ],
+            panic_allow: vec!["crates/bench/".into()],
+            kernel_paths: vec![
+                "crates/imgproc/src/".into(),
+                "crates/label/src/".into(),
+                "crates/unet/src/".into(),
+            ],
+        }
+    }
+}
+
+/// Lints a single file on disk. `rel_path` must be the workspace-relative
+/// path (it drives rule selection); `root` is the workspace root.
+pub fn lint_file(root: &Path, rel_path: &str, cfg: &LintConfig) -> io::Result<Vec<Diagnostic>> {
+    let src = fs::read_to_string(root.join(rel_path))?;
+    Ok(rules::lint_source(rel_path, &src, cfg))
+}
+
+/// Walks every `.rs` file in the workspace (crates/, src/, tests/,
+/// examples/, benches/ — skipping vendor/, target/, and dot-dirs) and
+/// lints each. Diagnostics are sorted by (file, line, rule) so output is
+/// byte-stable across runs and platforms.
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples", "benches"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut diags = Vec::new();
+    for f in &files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(f)?;
+        diags.extend(rules::lint_source(&rel, &src, cfg));
+    }
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(diags)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" || name == "vendor" {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Renders diagnostics as a JSON array (machine-readable CI output).
+/// Hand-rolled: the only JSON this crate ever emits is flat strings and
+/// integers, and the zero-dependency constraint is the point of the crate.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut s = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n  {\"rule\":\"");
+        s.push_str(&escape_json(d.rule));
+        s.push_str("\",\"file\":\"");
+        s.push_str(&escape_json(&d.file));
+        s.push_str("\",\"line\":");
+        s.push_str(&d.line.to_string());
+        s.push_str(",\"message\":\"");
+        s.push_str(&escape_json(&d.message));
+        s.push_str("\"}");
+    }
+    if !diags.is_empty() {
+        s.push('\n');
+    }
+    s.push(']');
+    s
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let b = c as u32;
+                for shift in [4u32, 0] {
+                    let nib = (b >> shift) & 0xf;
+                    out.push(char::from_digit(nib, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        let d = vec![Diagnostic {
+            rule: rules::PANIC_IN_LIB,
+            file: "a\\b\".rs".into(),
+            line: 3,
+            message: "tab\there".into(),
+        }];
+        let j = render_json(&d);
+        assert!(j.contains("a\\\\b\\\".rs"));
+        assert!(j.contains("tab\\there"));
+        assert!(j.starts_with('[') && j.ends_with(']'));
+    }
+
+    #[test]
+    fn empty_json_is_an_empty_array() {
+        assert_eq!(render_json(&[]), "[]");
+    }
+}

@@ -1,0 +1,99 @@
+//! `seaice-lint` binary: `cargo run -p seaice-lint -- --workspace`.
+//!
+//! Exit codes: 0 clean, 1 diagnostics found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use seaice_lint::{lint_file, lint_workspace, render_json, LintConfig};
+
+const USAGE: &str = "\
+seaice-lint: workspace static analyzer for determinism / panic-freedom / unsafe-audit invariants
+
+USAGE:
+    seaice-lint --workspace [--root <dir>] [--json] [--deny-all]
+    seaice-lint [--root <dir>] [--json] <file.rs>...
+
+OPTIONS:
+    --workspace   lint every .rs file under crates/, src/, tests/, examples/, benches/
+    --root <dir>  workspace root (default: current directory)
+    --json        emit diagnostics as a JSON array instead of file:line text
+    --deny-all    treat every diagnostic as fatal (the default; accepted so CI
+                  invocations state their intent explicitly)
+";
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--deny-all" => {} // all rules already deny; kept for explicit CI intent
+            "--root" => match args.next() {
+                Some(r) => root = PathBuf::from(r),
+                None => {
+                    eprintln!("error: --root needs a directory argument\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => {
+                eprintln!("error: unknown flag `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !workspace && files.is_empty() {
+        eprintln!("error: pass --workspace or one or more .rs files\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let cfg = LintConfig::default();
+    let mut diags = Vec::new();
+    if workspace {
+        match lint_workspace(&root, &cfg) {
+            Ok(d) => diags.extend(d),
+            Err(e) => {
+                eprintln!("error: failed to lint workspace at {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for f in &files {
+        match lint_file(&root, f, &cfg) {
+            Ok(d) => diags.extend(d),
+            Err(e) => {
+                eprintln!("error: failed to lint {f}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+
+    if json {
+        println!("{}", render_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            eprintln!("seaice-lint: clean");
+        } else {
+            eprintln!("seaice-lint: {} diagnostic(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

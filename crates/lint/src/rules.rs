@@ -1,0 +1,875 @@
+//! The rule engine: file classification, token annotation (test regions,
+//! loop depth), the five invariant rules, and the suppression protocol.
+//!
+//! Every rule reports [`Diagnostic`]s with a `file:line` span. A
+//! diagnostic can be silenced only by an inline comment of the form
+//!
+//! ```text
+//! // seaice-lint: allow(rule-name) reason="why this is sound"
+//! ```
+//!
+//! on the same line (trailing) or the line directly above (standalone).
+//! The reason is mandatory, and a suppression that silences nothing is
+//! itself an error — so stale suppressions cannot rot in the tree.
+
+use crate::lexer::{tokenize, Tok, TokKind};
+use crate::LintConfig;
+
+/// Rule identifiers (stable strings: they appear in suppressions, JSON
+/// output, and CI logs).
+pub const WALLCLOCK: &str = "wallclock-in-deterministic-path";
+/// See [`WALLCLOCK`].
+pub const PANIC_IN_LIB: &str = "panic-in-library";
+/// See [`WALLCLOCK`].
+pub const UNORDERED_ITER: &str = "unordered-iteration";
+/// See [`WALLCLOCK`].
+pub const UNSAFE_AUDIT: &str = "unsafe-without-audit";
+/// See [`WALLCLOCK`].
+pub const NARROWING_CAST: &str = "narrowing-cast-in-kernel";
+/// Meta-rule: a suppression that silenced nothing.
+pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
+/// Meta-rule: a suppression the engine could not parse.
+pub const MALFORMED_SUPPRESSION: &str = "malformed-suppression";
+
+/// Every suppressible rule.
+pub const RULES: &[&str] = &[
+    WALLCLOCK,
+    PANIC_IN_LIB,
+    UNORDERED_ITER,
+    UNSAFE_AUDIT,
+    NARROWING_CAST,
+];
+
+/// One finding, pointing at a workspace-relative `file:line`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired (one of the constants in this module).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// How a file participates in rule selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: every rule applies.
+    Library,
+    /// Binary entry points (`src/bin/`, `src/main.rs`): panic-freedom and
+    /// wall-clock rules are relaxed (a CLI may panic loudly and time
+    /// itself).
+    Binary,
+    /// Tests, benches, examples: panic-freedom and wall-clock rules are
+    /// relaxed; `unsafe` still demands an audit comment.
+    TestLike,
+}
+
+/// Classifies a workspace-relative path.
+pub fn classify(rel_path: &str) -> FileKind {
+    let p = rel_path.replace('\\', "/");
+    let test_like = ["/tests/", "/benches/", "/examples/"]
+        .iter()
+        .any(|m| p.contains(m))
+        || p.starts_with("tests/")
+        || p.starts_with("benches/")
+        || p.starts_with("examples/")
+        || p.ends_with("build.rs");
+    if test_like {
+        return FileKind::TestLike;
+    }
+    if p.contains("/bin/") || p.ends_with("/main.rs") || p == "main.rs" {
+        return FileKind::Binary;
+    }
+    FileKind::Library
+}
+
+/// Per-token annotations computed in a single structural pass.
+#[derive(Clone, Copy, Default)]
+struct Flags {
+    /// Inside an item annotated `#[cfg(test)]` / `#[test]`.
+    in_test: bool,
+    /// Number of enclosing `for`/`while`/`loop` bodies.
+    loop_depth: u16,
+}
+
+/// An inline `seaice-lint: allow(...)` comment.
+struct Suppression {
+    /// Rules it names.
+    rules: Vec<String>,
+    /// Line of the comment itself.
+    at_line: u32,
+    /// Line of code it covers.
+    covers: u32,
+    /// One usage flag per entry in `rules`.
+    used: Vec<bool>,
+}
+
+/// Lints one file's source text. `rel_path` is the workspace-relative
+/// path used both for reporting and for rule selection (allowlists,
+/// kernel paths, test/bin classification).
+pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let kind = classify(rel_path);
+    let toks = tokenize(src);
+    let code: Vec<&Tok> = toks.iter().filter(|t| !t.is_comment()).collect();
+    let comments: Vec<&Tok> = toks.iter().filter(|t| t.is_comment()).collect();
+    let flags = annotate(&code);
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut push = |rule: &'static str, line: u32, message: String| {
+        let d = Diagnostic {
+            rule,
+            file: rel_path.to_string(),
+            line,
+            message,
+        };
+        if !diags.contains(&d) {
+            diags.push(d);
+        }
+    };
+
+    let path_in = |prefixes: &[String]| prefixes.iter().any(|p| rel_path.starts_with(p.as_str()));
+
+    // --- wallclock-in-deterministic-path -------------------------------
+    if kind == FileKind::Library && !path_in(&cfg.wallclock_allow) {
+        for (i, t) in code.iter().enumerate() {
+            if flags[i].in_test {
+                continue;
+            }
+            if t.is_ident("Instant")
+                && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && code.get(i + 3).is_some_and(|t| t.is_ident("now"))
+            {
+                push(
+                    WALLCLOCK,
+                    t.line,
+                    "`Instant::now` in a deterministic path: wall-clock reads \
+                     must stay inside timing modules (serve/bench/metrics) or \
+                     carry a reasoned suppression"
+                        .into(),
+                );
+            }
+            if t.is_ident("SystemTime") && code.get(i + 1).is_some_and(|t| t.is_punct(':')) {
+                push(
+                    WALLCLOCK,
+                    t.line,
+                    "`SystemTime` in a deterministic path: wall-clock reads \
+                     must stay inside timing modules (serve/bench/metrics) or \
+                     carry a reasoned suppression"
+                        .into(),
+                );
+            }
+        }
+    }
+
+    // --- panic-in-library ----------------------------------------------
+    if kind == FileKind::Library && !path_in(&cfg.panic_allow) {
+        for (i, t) in code.iter().enumerate() {
+            if flags[i].in_test || t.kind != TokKind::Ident {
+                continue;
+            }
+            let method_call = |name: &str| {
+                t.is_ident(name)
+                    && i > 0
+                    && code[i - 1].is_punct('.')
+                    && code.get(i + 1).is_some_and(|t| t.is_punct('('))
+            };
+            let bang_macro =
+                |name: &str| t.is_ident(name) && code.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            if method_call("unwrap") || method_call("expect") {
+                push(
+                    PANIC_IN_LIB,
+                    t.line,
+                    format!(
+                        "`.{}()` in library code can panic past `catch_unwind` \
+                         supervision: propagate a `Result`, recover the poison, \
+                         or suppress with the documented invariant",
+                        t.text
+                    ),
+                );
+            } else if bang_macro("panic")
+                || bang_macro("unreachable")
+                || bang_macro("todo")
+                || bang_macro("unimplemented")
+            {
+                push(
+                    PANIC_IN_LIB,
+                    t.line,
+                    format!(
+                        "`{}!` in library code: return an error, or suppress \
+                         with the documented invariant that makes it impossible",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+
+    // --- unordered-iteration -------------------------------------------
+    if kind != FileKind::TestLike {
+        let unordered = unordered_bindings(&code);
+        for (i, t) in code.iter().enumerate() {
+            if flags[i].in_test {
+                continue;
+            }
+            // `<name>.iter()` / `.keys()` / `.values()` / `.drain()` /
+            // `.into_iter()` on a binding known to be a HashMap/HashSet.
+            if t.kind == TokKind::Ident
+                && unordered.contains(&t.text)
+                && code.get(i + 1).is_some_and(|t| t.is_punct('.'))
+                && code.get(i + 2).is_some_and(|t| {
+                    matches!(
+                        t.text.as_str(),
+                        "iter"
+                            | "iter_mut"
+                            | "keys"
+                            | "values"
+                            | "values_mut"
+                            | "drain"
+                            | "into_iter"
+                    )
+                })
+                && code.get(i + 3).is_some_and(|t| t.is_punct('('))
+            {
+                push(
+                    UNORDERED_ITER,
+                    t.line,
+                    format!(
+                        "iterating unordered `{}` ({}): hash iteration order \
+                         leaks into whatever this feeds — use BTreeMap/BTreeSet \
+                         or sort before consuming",
+                        t.text,
+                        code[i + 2].text
+                    ),
+                );
+            }
+            // `for x in [&[mut]] <name> {` — direct iteration.
+            if t.is_ident("for") {
+                let mut j = i + 1;
+                let mut found_in = false;
+                while j < code.len() && !code[j].is_punct('{') && j < i + 40 {
+                    if code[j].is_ident("in") {
+                        found_in = true;
+                        let mut k = j + 1;
+                        while k < code.len() && (code[k].is_punct('&') || code[k].is_ident("mut")) {
+                            k += 1;
+                        }
+                        if k + 1 < code.len()
+                            && code[k].kind == TokKind::Ident
+                            && unordered.contains(&code[k].text)
+                            && code[k + 1].is_punct('{')
+                        {
+                            push(
+                                UNORDERED_ITER,
+                                code[k].line,
+                                format!(
+                                    "iterating unordered `{}` in a `for` loop: \
+                                     hash iteration order leaks into whatever \
+                                     this feeds — use BTreeMap/BTreeSet or sort \
+                                     before consuming",
+                                    code[k].text
+                                ),
+                            );
+                        }
+                        break;
+                    }
+                    j += 1;
+                }
+                let _ = found_in;
+            }
+        }
+    }
+
+    // --- unsafe-without-audit ------------------------------------------
+    for t in &code {
+        if t.is_ident("unsafe") {
+            let audited = comments.iter().any(|c| {
+                c.text.contains("SAFETY:") && c.line <= t.line && t.line.saturating_sub(c.line) <= 3
+            });
+            if !audited {
+                push(
+                    UNSAFE_AUDIT,
+                    t.line,
+                    "`unsafe` without a `// SAFETY:` comment within the three \
+                     preceding lines: every unsafe block must state the \
+                     invariant that makes it sound"
+                        .into(),
+                );
+            }
+        }
+    }
+
+    // --- narrowing-cast-in-kernel --------------------------------------
+    if kind == FileKind::Library && path_in(&cfg.kernel_paths) {
+        for (i, t) in code.iter().enumerate() {
+            if flags[i].in_test || flags[i].loop_depth == 0 {
+                continue;
+            }
+            if t.is_ident("as")
+                && code
+                    .get(i + 1)
+                    .is_some_and(|t| matches!(t.text.as_str(), "u8" | "i8" | "u16" | "i16"))
+                && !cast_is_guarded(&code, i)
+            {
+                push(
+                    NARROWING_CAST,
+                    t.line,
+                    format!(
+                        "unguarded narrowing `as {}` in a kernel hot loop: \
+                         clamp/round/min the value first (silent wraparound \
+                         corrupts masks), or suppress with the range invariant",
+                        code[i + 1].text
+                    ),
+                );
+            }
+        }
+    }
+
+    // --- suppressions ---------------------------------------------------
+    let mut suppressions = Vec::new();
+    let code_lines: Vec<u32> = code.iter().map(|t| t.line).collect();
+    for c in &comments {
+        // Doc comments (`///`, `//!`, `/** */`, `/*! */`) are documentation,
+        // not directives: prose *describing* the suppression syntax must not
+        // parse as a suppression.
+        if c.text.starts_with('/') || c.text.starts_with('!') || c.text.starts_with('*') {
+            continue;
+        }
+        match parse_suppression(&c.text) {
+            None => {}
+            Some(Err(why)) => push(
+                MALFORMED_SUPPRESSION,
+                c.line,
+                format!("unparseable suppression: {why}"),
+            ),
+            Some(Ok(rules)) => {
+                let trailing = code_lines.contains(&c.line);
+                let covers = if trailing {
+                    c.line
+                } else {
+                    // Standalone comment: covers the next code line.
+                    code_lines
+                        .iter()
+                        .copied()
+                        .filter(|&l| l > c.line)
+                        .min()
+                        .unwrap_or(c.line + 1)
+                };
+                let used = vec![false; rules.len()];
+                suppressions.push(Suppression {
+                    rules,
+                    at_line: c.line,
+                    covers,
+                    used,
+                });
+            }
+        }
+    }
+    diags.retain(|d| {
+        if matches!(d.rule, UNUSED_SUPPRESSION | MALFORMED_SUPPRESSION) {
+            return true;
+        }
+        for s in &mut suppressions {
+            if s.covers == d.line {
+                if let Some(idx) = s.rules.iter().position(|r| r == d.rule) {
+                    s.used[idx] = true;
+                    return false;
+                }
+            }
+        }
+        true
+    });
+    for s in &suppressions {
+        for (idx, rule) in s.rules.iter().enumerate() {
+            if !s.used[idx] {
+                diags.push(Diagnostic {
+                    rule: UNUSED_SUPPRESSION,
+                    file: rel_path.to_string(),
+                    line: s.at_line,
+                    message: format!(
+                        "suppression of `{rule}` silences nothing on line {}: \
+                         remove it so stale allowances cannot rot in the tree",
+                        s.covers
+                    ),
+                });
+            }
+        }
+    }
+
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags
+}
+
+/// Parses a `seaice-lint:` comment. `None` when the marker is absent,
+/// `Some(Err)` when present but malformed, `Some(Ok(rules))` otherwise.
+#[allow(clippy::type_complexity)]
+fn parse_suppression(comment: &str) -> Option<Result<Vec<String>, String>> {
+    let rest = comment.split("seaice-lint:").nth(1)?;
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Some(Err(
+            "expected `allow(<rule>[, <rule>...]) reason=\"...\"` after `seaice-lint:`".into(),
+        ));
+    };
+    let Some((list, rest)) = rest.split_once(')') else {
+        return Some(Err("unclosed `allow(` rule list".into()));
+    };
+    let rules: Vec<String> = list
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Some(Err("empty rule list in `allow()`".into()));
+    }
+    for r in &rules {
+        if !RULES.contains(&r.as_str()) {
+            return Some(Err(format!("unknown rule `{r}` in `allow()`")));
+        }
+    }
+    let rest = rest.trim_start();
+    let Some(reason) = rest.strip_prefix("reason=\"") else {
+        return Some(Err(
+            "missing `reason=\"...\"` (a reason is mandatory)".into()
+        ));
+    };
+    let Some((reason, _)) = reason.split_once('"') else {
+        return Some(Err("unterminated reason string".into()));
+    };
+    if reason.trim().is_empty() {
+        return Some(Err(
+            "empty reason: state the invariant that makes this sound".into(),
+        ));
+    }
+    Some(Ok(rules))
+}
+
+/// Collects identifiers bound (via `: HashMap<…>` annotations, struct
+/// fields, fn params, or `= HashMap::new()`-style initializers) to
+/// `HashMap`/`HashSet` anywhere in the file. File-local and heuristic by
+/// design: a cross-module unordered binding still gets caught at its
+/// defining file, which is where the iteration almost always lives.
+fn unordered_bindings(code: &[&Tok]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over path/type prefix tokens to the `:` or `=` that
+        // links this type to a binding name.
+        let mut j = i;
+        let mut hops = 0;
+        while j > 0 && hops < 10 {
+            j -= 1;
+            hops += 1;
+            let p = code[j];
+            let path_part = p.is_punct(':')
+                || p.is_punct('&')
+                || p.is_punct('<')
+                || p.is_ident("std")
+                || p.is_ident("collections")
+                || p.is_ident("mut")
+                || p.kind == TokKind::Lifetime;
+            if p.is_punct('=')
+                || (p.is_punct(':')
+                    && !code.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                    && !code.get(j.wrapping_sub(1)).is_some_and(|n| n.is_punct(':')))
+            {
+                // `name = HashMap::new()` or `name: HashMap<..>` — the
+                // token before the separator is the binding name.
+                if j > 0 && code[j - 1].kind == TokKind::Ident {
+                    let name = code[j - 1].text.clone();
+                    if !names.contains(&name) {
+                        names.push(name);
+                    }
+                }
+                break;
+            }
+            if !path_part {
+                break;
+            }
+        }
+    }
+    names
+}
+
+/// True when the narrowing cast at `code[as_idx]` is preceded, within the
+/// same expression, by a range-guarding call (`clamp`, `min`, `round`,
+/// `floor`, …) or casts a bare literal.
+fn cast_is_guarded(code: &[&Tok], as_idx: usize) -> bool {
+    const GUARDS: &[&str] = &[
+        "clamp",
+        "min",
+        "max",
+        "round",
+        "floor",
+        "ceil",
+        "trunc",
+        "rem_euclid",
+        "from",
+    ];
+    if as_idx > 0 && code[as_idx - 1].kind == TokKind::Number {
+        return true;
+    }
+    let mut i = as_idx;
+    let mut steps = 0;
+    while i > 0 && steps < 60 {
+        i -= 1;
+        steps += 1;
+        let t = code[i];
+        if t.is_punct(')') {
+            // Skip the balanced group — but a guard *inside* it (e.g.
+            // `(x % 256) as u8`, `(x.min(255)) as u8`) still counts.
+            let mut depth = 1;
+            while i > 0 && depth > 0 {
+                i -= 1;
+                let g = code[i];
+                if g.is_punct(')') {
+                    depth += 1;
+                } else if g.is_punct('(') {
+                    depth -= 1;
+                } else if g.is_punct('%')
+                    || (g.kind == TokKind::Ident && GUARDS.contains(&g.text.as_str()))
+                {
+                    return true;
+                }
+            }
+            continue;
+        }
+        if t.kind == TokKind::Ident && GUARDS.contains(&t.text.as_str()) {
+            return true;
+        }
+        if t.is_punct(';')
+            || t.is_punct('{')
+            || t.is_punct('}')
+            || t.is_punct('=')
+            || t.is_punct(',')
+            || t.is_punct('(')
+            || t.is_punct('%')
+        {
+            // `%` bounds the value as surely as `min` does.
+            return t.is_punct('%');
+        }
+    }
+    false
+}
+
+/// Computes per-token flags (test regions, loop depth) in one pass.
+fn annotate(code: &[&Tok]) -> Vec<Flags> {
+    let mut flags = vec![Flags::default(); code.len()];
+    let mut brace_depth: usize = 0;
+    // Brace depth at which the innermost #[cfg(test)] item body opened.
+    let mut test_at: Option<usize> = None;
+    let mut pending_test = false;
+    // Brace depths at which loop bodies opened.
+    let mut loop_stack: Vec<usize> = Vec::new();
+    let mut pending_loop = false;
+
+    let mut i = 0;
+    while i < code.len() {
+        let t = code[i];
+        // Attributes: scan `#[...]`, checking for a `test` marker.
+        if t.is_punct('#') && code.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let start = i;
+            let mut depth = 0usize;
+            let mut saw_test = false;
+            let mut saw_not = false;
+            i += 1;
+            while i < code.len() {
+                let a = code[i];
+                if a.is_punct('[') {
+                    depth += 1;
+                } else if a.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if a.is_ident("test") {
+                    saw_test = true;
+                } else if a.is_ident("not") {
+                    saw_not = true;
+                }
+                i += 1;
+            }
+            if saw_test && !saw_not {
+                pending_test = true;
+            }
+            for f in flags.iter_mut().take(i.min(code.len() - 1) + 1).skip(start) {
+                f.in_test = test_at.is_some() || pending_test;
+            }
+            i += 1;
+            continue;
+        }
+
+        let starts_loop = (t.is_ident("for") && !code.get(i + 1).is_some_and(|t| t.is_punct('<')))
+            || t.is_ident("while")
+            || t.is_ident("loop");
+        if starts_loop {
+            pending_loop = true;
+        } else if t.is_punct(';') && pending_test && test_at.is_none() {
+            // `#[cfg(test)] mod tests;` — out-of-line test module.
+            pending_test = false;
+        } else if t.is_punct('{') {
+            if pending_test && test_at.is_none() {
+                test_at = Some(brace_depth);
+                pending_test = false;
+            }
+            if pending_loop {
+                loop_stack.push(brace_depth);
+                pending_loop = false;
+            }
+            brace_depth += 1;
+        } else if t.is_punct('}') {
+            brace_depth = brace_depth.saturating_sub(1);
+            flags[i].in_test = test_at.is_some() || pending_test;
+            flags[i].loop_depth = loop_stack.len() as u16;
+            if test_at == Some(brace_depth) {
+                test_at = None;
+            }
+            if loop_stack.last() == Some(&brace_depth) {
+                loop_stack.pop();
+            }
+            i += 1;
+            continue;
+        }
+
+        flags[i].in_test = test_at.is_some() || pending_test;
+        flags[i].loop_depth = loop_stack.len() as u16;
+        i += 1;
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LintConfig {
+        LintConfig::default()
+    }
+
+    fn lint(path: &str, src: &str) -> Vec<Diagnostic> {
+        lint_source(path, src, &cfg())
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(classify("crates/serve/src/engine.rs"), FileKind::Library);
+        assert_eq!(classify("crates/cli/src/bin/seaice.rs"), FileKind::Binary);
+        assert_eq!(classify("crates/lint/src/main.rs"), FileKind::Binary);
+        assert_eq!(classify("crates/nn/tests/gradcheck.rs"), FileKind::TestLike);
+        assert_eq!(
+            classify("crates/bench/benches/unet_step.rs"),
+            FileKind::TestLike
+        );
+        assert_eq!(classify("examples/quickstart.rs"), FileKind::TestLike);
+        assert_eq!(classify("tests/chaos.rs"), FileKind::TestLike);
+        assert_eq!(classify("src/lib.rs"), FileKind::Library);
+    }
+
+    #[test]
+    fn unwrap_in_library_fires_with_correct_span() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+        let d = lint("crates/core/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, PANIC_IN_LIB);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn unwrap_variants_do_not_fire() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap_or(0)\n}\nfn g(x: Option<u8>) -> u8 {\n    x.unwrap_or_default()\n}\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panics_in_tests_bins_and_bench_are_fine() {
+        let src = "fn f() { panic!(\"x\") }\n";
+        assert!(lint("crates/core/tests/t.rs", src).is_empty());
+        assert!(lint("crates/cli/src/bin/seaice.rs", src).is_empty());
+        assert!(lint("crates/bench/src/table1.rs", src).is_empty());
+        assert_eq!(lint("crates/core/src/f.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); panic!(\"boom\") }\n}\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src =
+            "#[cfg(not(test))]\nmod real {\n    pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n}\n";
+        let d = lint("crates/core/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, PANIC_IN_LIB);
+    }
+
+    #[test]
+    fn wallclock_fires_outside_allowlist_only() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); let _ = t; }\n";
+        let d = lint("crates/mapreduce/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, WALLCLOCK);
+        assert_eq!(d[0].line, 2);
+        assert!(lint("crates/serve/src/x.rs", src).is_empty());
+        assert!(lint("crates/bench/src/x.rs", src).is_empty());
+        assert!(lint("crates/metrics/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn systemtime_usage_fires_but_import_does_not() {
+        let src = "use std::time::SystemTime;\nfn f() -> SystemTime { SystemTime::now() }\n";
+        let d = lint("crates/core/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn hashmap_iteration_fires() {
+        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n    m.keys().copied().collect()\n}\n";
+        let d = lint("crates/core/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, UNORDERED_ITER);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn hashmap_for_loop_fires() {
+        let src = "use std::collections::HashSet;\nfn f(s: HashSet<u32>) {\n    for x in &s {\n        let _ = x;\n    }\n}\n";
+        let d = lint("crates/core/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, UNORDERED_ITER);
+    }
+
+    #[test]
+    fn hashmap_keyed_lookup_is_fine() {
+        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) -> Option<u32> {\n    m.get(&1).copied()\n}\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn btreemap_iteration_is_fine() {
+        let src = "use std::collections::BTreeMap;\nfn f(m: &BTreeMap<u32, u32>) -> Vec<u32> {\n    m.keys().copied().collect()\n}\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_without_audit_fires_everywhere() {
+        let src = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
+        let d = lint("crates/core/src/x.rs", src);
+        assert!(d.iter().any(|d| d.rule == UNSAFE_AUDIT));
+        // Even in tests: unsafe always needs an audit.
+        let d = lint("crates/core/tests/t.rs", src);
+        assert!(d.iter().any(|d| d.rule == UNSAFE_AUDIT));
+    }
+
+    #[test]
+    fn safety_comment_satisfies_the_audit() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid (fn contract above).\n    unsafe { *p }\n}\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_a_string_or_comment_is_invisible() {
+        let src =
+            "fn f() -> &'static str {\n    // unsafe in prose is fine\n    \"unsafe { }\"\n}\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+        let src = "fn f() -> &'static str { r#\"unsafe { unwrap() }\"# }\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn narrowing_cast_in_kernel_loop_fires() {
+        let src = "pub fn k(v: &mut [u8], x: f32) {\n    for p in v.iter_mut() {\n        *p = x as u8;\n    }\n}\n";
+        let d = lint("crates/imgproc/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, NARROWING_CAST);
+        assert_eq!(d[0].line, 3);
+        // Same code outside a kernel path: no rule.
+        assert!(lint("crates/serve/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn guarded_casts_are_fine() {
+        let src = "pub fn k(v: &mut [u8], x: f32) {\n    for p in v.iter_mut() {\n        *p = x.round().clamp(0.0, 255.0) as u8;\n    }\n}\n";
+        assert!(lint("crates/imgproc/src/x.rs", src).is_empty());
+        let src = "pub fn k(v: &mut [u8], x: usize) {\n    for p in v.iter_mut() {\n        *p = (x % 256) as u8;\n    }\n}\n";
+        assert!(lint("crates/imgproc/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cast_outside_a_loop_is_fine() {
+        let src = "pub fn k(x: f32) -> u8 {\n    x as u8\n}\n";
+        assert!(lint("crates/imgproc/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_on_same_line_works_and_is_used() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // seaice-lint: allow(panic-in-library) reason=\"caller checked is_some\"\n}\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_on_previous_line_works() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // seaice-lint: allow(panic-in-library) reason=\"caller checked is_some\"\n    x.unwrap()\n}\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unused_suppression_is_an_error() {
+        let src = "fn f() -> u8 {\n    // seaice-lint: allow(panic-in-library) reason=\"stale\"\n    3\n}\n";
+        let d = lint("crates/core/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, UNUSED_SUPPRESSION);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn suppression_without_reason_is_malformed() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // seaice-lint: allow(panic-in-library)\n}\n";
+        let d = lint("crates/core/src/x.rs", src);
+        assert!(d.iter().any(|d| d.rule == MALFORMED_SUPPRESSION));
+        // The malformed suppression does NOT silence the finding.
+        assert!(d.iter().any(|d| d.rule == PANIC_IN_LIB));
+    }
+
+    #[test]
+    fn doc_comments_never_parse_as_suppressions() {
+        let src =
+            "/// Use `// seaice-lint: allow(rule-name) reason=\"...\"` to suppress.\nfn f() {}\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+        let src = "//! // seaice-lint: allow(panic-in-library) reason=\"doc prose\"\nfn f() {}\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_of_unknown_rule_is_malformed() {
+        let src = "// seaice-lint: allow(no-such-rule) reason=\"x\"\nfn f() {}\n";
+        let d = lint("crates/core/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, MALFORMED_SUPPRESSION);
+    }
+
+    #[test]
+    fn suppression_covers_only_its_rule() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // seaice-lint: allow(wallclock-in-deterministic-path) reason=\"wrong rule\"\n    x.unwrap()\n}\n";
+        let d = lint("crates/core/src/x.rs", src);
+        assert!(d.iter().any(|d| d.rule == PANIC_IN_LIB));
+        assert!(d.iter().any(|d| d.rule == UNUSED_SUPPRESSION));
+    }
+}

@@ -1,0 +1,216 @@
+//! Fixture corpus: tricky sources the lexer must classify correctly, the
+//! suppression protocol end to end, a disk-level scratch-fixture check
+//! (seeded violations must fail with correct file:line spans), and the
+//! self-test that lints the lint crate with its own rules.
+
+use seaice_lint::rules::{
+    MALFORMED_SUPPRESSION, NARROWING_CAST, PANIC_IN_LIB, UNORDERED_ITER, UNSAFE_AUDIT,
+    UNUSED_SUPPRESSION, WALLCLOCK,
+};
+use seaice_lint::{lint_source, Diagnostic, LintConfig};
+
+fn lint(path: &str, src: &str) -> Vec<Diagnostic> {
+    lint_source(path, src, &LintConfig::default())
+}
+
+// --- tricky sources ------------------------------------------------------
+
+#[test]
+fn raw_strings_hide_their_contents() {
+    let src = r####"
+fn f() -> &'static str {
+    r#"Instant::now() unsafe { x.unwrap() } panic!("boom")"#
+}
+fn g() -> &'static str {
+    r###"nested "#hashes"## and SystemTime::now()"###
+}
+"####;
+    assert!(lint("crates/core/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn nested_block_comments_hide_their_contents() {
+    let src = "/* outer /* inner unsafe { } */ still comment x.unwrap() */\nfn f() {}\n";
+    assert!(lint("crates/core/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn unsafe_in_a_plain_string_is_invisible() {
+    let src = "fn f() -> &'static str {\n    \"unsafe { std::mem::transmute(0) }\"\n}\n";
+    assert!(lint("crates/core/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn byte_and_char_literals_do_not_confuse_the_lexer() {
+    let src = "fn f() -> (u8, char, &'static [u8]) {\n    (b'\\'', 'x', b\"unsafe\")\n}\n";
+    assert!(lint("crates/core/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src =
+        "struct S<'a> {\n    r: &'a str,\n}\nfn f<'b>(s: &'b S<'b>) -> &'b str {\n    s.r\n}\n";
+    assert!(lint("crates/core/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn violation_after_a_raw_string_still_has_the_right_line() {
+    // The multi-line raw string must not desynchronize line tracking.
+    let src = "fn f() -> &'static str {\n    r#\"line2\nline3\nline4\"#\n}\nfn g(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+    let d = lint("crates/core/src/x.rs", src);
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].rule, PANIC_IN_LIB);
+    assert_eq!(d[0].line, 7);
+}
+
+// --- every rule fires with a correct span --------------------------------
+
+#[test]
+fn each_rule_fires_at_its_exact_line() {
+    let cases: &[(&str, &str, &str, u32)] = &[
+        (
+            WALLCLOCK,
+            "crates/mapreduce/src/x.rs",
+            "use std::time::Instant;\nfn f() -> Instant {\n    Instant::now()\n}\n",
+            3,
+        ),
+        (
+            PANIC_IN_LIB,
+            "crates/core/src/x.rs",
+            "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+            2,
+        ),
+        (
+            UNORDERED_ITER,
+            "crates/core/src/x.rs",
+            "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n    m.keys().copied().collect()\n}\n",
+            3,
+        ),
+        (
+            UNSAFE_AUDIT,
+            "crates/core/src/x.rs",
+            "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+            2,
+        ),
+        (
+            NARROWING_CAST,
+            "crates/imgproc/src/x.rs",
+            "pub fn k(v: &mut [u8], x: f32) {\n    for p in v.iter_mut() {\n        *p = x as u8;\n    }\n}\n",
+            3,
+        ),
+    ];
+    for (rule, path, src, line) in cases {
+        let d = lint(path, src);
+        assert_eq!(d.len(), 1, "{rule}: expected exactly one diagnostic");
+        assert_eq!(d[0].rule, *rule);
+        assert_eq!(d[0].line, *line, "{rule}: wrong span");
+        assert_eq!(d[0].file, *path);
+    }
+}
+
+// --- suppression protocol ------------------------------------------------
+
+#[test]
+fn same_line_and_previous_line_suppressions_both_work() {
+    let trailing = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // seaice-lint: allow(panic-in-library) reason=\"fixture\"\n}\n";
+    assert!(lint("crates/core/src/x.rs", trailing).is_empty());
+    let standalone = "fn f(x: Option<u8>) -> u8 {\n    // seaice-lint: allow(panic-in-library) reason=\"fixture\"\n    x.unwrap()\n}\n";
+    assert!(lint("crates/core/src/x.rs", standalone).is_empty());
+}
+
+#[test]
+fn suppression_does_not_leak_to_other_lines() {
+    let src = "fn f(x: Option<u8>, y: Option<u8>) -> u8 {\n    // seaice-lint: allow(panic-in-library) reason=\"covers only the next line\"\n    let a = x.unwrap();\n    a + y.unwrap()\n}\n";
+    let d = lint("crates/core/src/x.rs", src);
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].rule, PANIC_IN_LIB);
+    assert_eq!(d[0].line, 4);
+}
+
+#[test]
+fn unused_and_malformed_suppressions_are_errors() {
+    let unused = "// seaice-lint: allow(unsafe-without-audit) reason=\"nothing here\"\nfn f() {}\n";
+    let d = lint("crates/core/src/x.rs", unused);
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].rule, UNUSED_SUPPRESSION);
+
+    let no_reason =
+        "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // seaice-lint: allow(panic-in-library)\n}\n";
+    let d = lint("crates/core/src/x.rs", no_reason);
+    assert!(d.iter().any(|d| d.rule == MALFORMED_SUPPRESSION));
+    assert!(
+        d.iter().any(|d| d.rule == PANIC_IN_LIB),
+        "a malformed suppression must not silence the finding"
+    );
+}
+
+#[test]
+fn one_comment_can_suppress_multiple_rules() {
+    let src = "pub fn k(v: &mut [u8], x: Option<usize>) {\n    for p in v.iter_mut() {\n        // seaice-lint: allow(panic-in-library, narrowing-cast-in-kernel) reason=\"fixture: both rules fire on the next line\"\n        *p = x.unwrap() as u8;\n    }\n}\n";
+    assert!(lint("crates/imgproc/src/x.rs", src).is_empty());
+}
+
+// --- scratch fixture on disk (acceptance criterion) ----------------------
+
+#[test]
+fn seeded_violation_in_a_scratch_file_fails_with_the_right_span() {
+    let root = std::env::temp_dir().join(format!("seaice-lint-scratch-{}", std::process::id()));
+    let dir = root.join("crates/core/src");
+    std::fs::create_dir_all(&dir).expect("create scratch dirs");
+    let rel = "crates/core/src/seeded.rs";
+    std::fs::write(
+        root.join(rel),
+        "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+    )
+    .expect("write scratch fixture");
+
+    let cfg = LintConfig::default();
+    let diags = seaice_lint::lint_file(&root, rel, &cfg).expect("lint scratch file");
+    std::fs::remove_dir_all(&root).ok();
+
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, PANIC_IN_LIB);
+    assert_eq!(diags[0].file, rel);
+    assert_eq!(diags[0].line, 2);
+}
+
+// --- self-test -----------------------------------------------------------
+
+#[test]
+fn the_lint_crate_is_clean_under_its_own_rules() {
+    // CARGO_MANIFEST_DIR is crates/lint; the workspace root is two up.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let cfg = LintConfig::default();
+    let diags: Vec<_> = seaice_lint::lint_workspace(root, &cfg)
+        .expect("workspace walk failed")
+        .into_iter()
+        .filter(|d| d.file.starts_with("crates/lint/"))
+        .collect();
+    assert!(
+        diags.is_empty(),
+        "the linter must satisfy its own rules:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+// --- output format -------------------------------------------------------
+
+#[test]
+fn json_output_is_machine_parseable_shape() {
+    let d = lint(
+        "crates/core/src/x.rs",
+        "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+    );
+    let json = seaice_lint::render_json(&d);
+    assert!(json.contains("\"rule\":\"panic-in-library\""));
+    assert!(json.contains("\"file\":\"crates/core/src/x.rs\""));
+    assert!(json.contains("\"line\":2"));
+    assert!(json.starts_with('[') && json.ends_with(']'));
+}

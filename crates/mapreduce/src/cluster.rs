@@ -261,6 +261,7 @@ impl Cluster {
                                 task();
                             }
                         })
+                        // seaice-lint: allow(panic-in-library) reason="spawn fails only on OS thread exhaustion at cluster construction; there is no cluster to degrade to and crashing early is correct"
                         .expect("failed to spawn executor thread"),
                 );
             }
@@ -303,6 +304,7 @@ impl Cluster {
             let executor = i % self.spec.executors;
             self.senders[executor]
                 .send(Box::new(move || {
+                    // seaice-lint: allow(wallclock-in-deterministic-path) reason="the measured attempt duration is itself the reported value (Completion.secs); it never orders results, which are keyed by task index"
                     let t0 = Instant::now();
                     let outcome = catch_unwind(AssertUnwindSafe(|| f(item)));
                     let _ = done.send(Completion {
@@ -313,21 +315,25 @@ impl Cluster {
                         secs: t0.elapsed().as_secs_f64(),
                     });
                 }))
+                // seaice-lint: allow(panic-in-library) reason="executor threads hold their receivers for the cluster's lifetime and never unwind (tasks are caught); a closed channel means the worker loop itself died"
                 .expect("executor channel closed");
         }
         drop(done_tx);
         let mut results: Vec<Option<(U, f64)>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
+            // seaice-lint: allow(panic-in-library) reason="every task sends exactly one Completion and the executors outlive the loop, so n receives always succeed; a closed channel means the workers themselves died"
             let c = done_rx.recv().expect("executor workers vanished");
             match c.outcome {
                 Ok(v) => results[c.task] = Some((v, c.secs)),
                 Err(msg) => {
+                    // seaice-lint: allow(panic-in-library) reason="run_tasks is the fail-fast API: a panicked task must re-panic on the driver rather than return partial results; collect_ft is the fault-tolerant path"
                     panic!("a task panicked on an executor; job results are incomplete: {msg}")
                 }
             }
         }
         results
             .into_iter()
+            // seaice-lint: allow(panic-in-library) reason="the receive loop above stored one result per task index before reaching here, so every slot is Some; a None is a driver bug"
             .map(|s| s.expect("missing task result"))
             .collect()
     }
@@ -408,6 +414,7 @@ impl Cluster {
             state.attempts_started += 1;
             state.running.push(executor);
             inflight[executor] += 1;
+            // seaice-lint: allow(wallclock-in-deterministic-path) reason="start stamps feed only the speculative-launch quantile and FtReport.attempt_costs, which are accounting outputs, never result ordering"
             started_at.push((task, Instant::now()));
             report.attempts += 1;
             if speculative {
@@ -421,6 +428,7 @@ impl Cluster {
             let done = done_tx.clone();
             self.senders[executor]
                 .send(Box::new(move || {
+                    // seaice-lint: allow(wallclock-in-deterministic-path) reason="the measured attempt duration is itself the reported value (Completion.secs); results are keyed by task index"
                     let t0 = Instant::now();
                     let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<U, String> {
                         faults
@@ -442,6 +450,7 @@ impl Cluster {
                         secs: t0.elapsed().as_secs_f64(),
                     });
                 }))
+                // seaice-lint: allow(panic-in-library) reason="executor threads hold their receivers for the cluster's lifetime and never unwind (tasks are caught); a closed channel means the worker loop itself died"
                 .expect("executor channel closed");
         };
 
@@ -463,6 +472,7 @@ impl Cluster {
                 Ok(c) => Some(c),
                 Err(RecvTimeoutError::Timeout) => None,
                 Err(RecvTimeoutError::Disconnected) => {
+                    // seaice-lint: allow(panic-in-library) reason="done_tx lives in this scope until the loop ends, so the channel cannot disconnect while receiving; this encodes that invariant"
                     unreachable!("driver holds a completion sender")
                 }
             };
@@ -570,6 +580,7 @@ impl Cluster {
         Ok((
             results
                 .into_iter()
+                // seaice-lint: allow(panic-in-library) reason="the retry loop only exits once done_count == n with every slot filled, so every slot is Some; a None is a driver bug"
                 .map(|s| s.expect("missing task result"))
                 .collect(),
             report,

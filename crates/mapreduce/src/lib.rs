@@ -35,6 +35,7 @@
 //! assert_eq!(sum, Some((0..100i64).map(|x| x * x).sum()));
 //! assert!(load.simulated_secs > 0.0 && reduce.tasks == 100);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod cluster;
 pub mod costmodel;

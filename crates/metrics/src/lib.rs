@@ -23,6 +23,7 @@
 //! assert!(report.macro_f1 > 0.7);
 //! assert!(mean_iou(&m) > 0.6);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod classification;
 pub mod confusion;

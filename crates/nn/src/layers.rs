@@ -111,6 +111,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // seaice-lint: allow(panic-in-library) reason="the Layer trait contract requires forward before backward (training loop enforces it); calling order violation is a programming error worth crashing on"
         let x = self.cached_input.as_ref().expect("backward before forward");
         let (dx, dw, db) = ops::conv2d_backward(x, &self.weight.value, grad_out, &self.shape);
         self.weight.grad.add_assign(&dw);
@@ -171,6 +172,7 @@ impl Layer for ConvTranspose2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // seaice-lint: allow(panic-in-library) reason="the Layer trait contract requires forward before backward (training loop enforces it); calling order violation is a programming error worth crashing on"
         let x = self.cached_input.as_ref().expect("backward before forward");
         let (dx, dw, db) = crate::ops::convtranspose::conv_transpose2d_backward(
             x,
@@ -201,6 +203,7 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // seaice-lint: allow(panic-in-library) reason="the Layer trait contract requires forward before backward (training loop enforces it); calling order violation is a programming error worth crashing on"
         let x = self.cached_input.as_ref().expect("backward before forward");
         ops::relu_backward(x, grad_out)
     }

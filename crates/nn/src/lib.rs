@@ -37,6 +37,7 @@
 //! let dx = conv.backward(&Tensor::zeros(y.shape()));
 //! assert_eq!(dx.shape(), x.shape());
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod dataloader;
 pub mod init;

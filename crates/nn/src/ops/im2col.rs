@@ -19,11 +19,13 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, stride: usize, pad: usize) -
     assert!(stride > 0, "stride must be positive");
     let oh = (h + 2 * pad)
         .checked_sub(kh)
+        // seaice-lint: allow(panic-in-library) reason="a kernel larger than its padded input is a mis-built architecture; UNetConfig validates shapes up front, and the checked_sub turns what would be a wrapping underflow into a named crash"
         .expect("kernel taller than padded input")
         / stride
         + 1;
     let ow = (w + 2 * pad)
         .checked_sub(kw)
+        // seaice-lint: allow(panic-in-library) reason="a kernel larger than its padded input is a mis-built architecture; UNetConfig validates shapes up front, and the checked_sub turns what would be a wrapping underflow into a named crash"
         .expect("kernel wider than padded input")
         / stride
         + 1;

@@ -37,6 +37,7 @@
 //! let degraded = clouds.apply(&scene.rgb);
 //! assert_eq!(degraded.dimensions(), scene.truth.dimensions());
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod catalog;
 pub mod classes;

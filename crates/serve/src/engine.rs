@@ -344,7 +344,7 @@ impl Engine {
         self.stats.submitted.fetch_add(1, Ordering::Relaxed);
         let submitted = Instant::now();
         let key = tile_key(&tile);
-        let cached = self.cache.lock().unwrap().get(key);
+        let cached = crate::sync::lock(&self.cache).get(key);
         let (tx, rx) = mpsc::channel();
         let ticket = Ticket { rx };
         if let Some(mask) = cached {
@@ -419,13 +419,13 @@ impl Engine {
     }
 
     fn record_latency(&self, d: Duration) {
-        self.stats.latency.lock().unwrap().record(d);
+        crate::sync::lock(&self.stats.latency).record(d);
     }
 
     /// A point-in-time stats snapshot.
     pub fn stats(&self) -> StatsSnapshot {
-        let cache = self.cache.lock().unwrap();
-        let latency = self.stats.latency.lock().unwrap().snapshot();
+        let cache = crate::sync::lock(&self.cache);
+        let latency = crate::sync::lock(&self.stats.latency).snapshot();
         let computed = self.stats.computed.load(Ordering::Relaxed);
         let hits = self.stats.cache_hits.load(Ordering::Relaxed);
         let batches = self.stats.batches.load(Ordering::Relaxed);
@@ -476,8 +476,9 @@ impl Engine {
     /// queued still get answers.
     pub fn shutdown(&self) {
         self.queue.close();
-        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        let handles: Vec<_> = crate::sync::lock(&self.workers).drain(..).collect();
         for h in handles {
+            // seaice-lint: allow(panic-in-library) reason="worker_loop supervises replica panics with catch_unwind; a panic escaping to join() means supervision itself is broken, and crashing loudly here is the contract"
             h.join().expect("serve worker panicked");
         }
     }
@@ -609,8 +610,8 @@ fn worker_loop(
             continue;
         }
 
-        let mut cache_guard = cache.lock().unwrap();
-        let mut latency_guard = stats.latency.lock().unwrap();
+        let mut cache_guard = crate::sync::lock(cache);
+        let mut latency_guard = crate::sync::lock(&stats.latency);
         for (i, req) in batch.into_iter().enumerate() {
             let mask = Arc::new(preds[i * plane..(i + 1) * plane].to_vec());
             cache_guard.insert(req.key, Arc::clone(&mask));

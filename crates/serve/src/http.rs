@@ -83,6 +83,7 @@ impl HttpServer {
         // Unblock the acceptor with a wake-up connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.acceptor.take() {
+            // seaice-lint: allow(panic-in-library) reason="the acceptor loop catches per-connection errors; a panic reaching join() is a bug in the loop itself and must crash the shutdown loudly, not be swallowed"
             h.join().expect("http acceptor panicked");
         }
         self.engine.shutdown();

@@ -22,12 +22,14 @@
 //!
 //! Everything is `std` + the workspace's own crates: no async runtime, no
 //! external registry dependencies.
+#![forbid(unsafe_code)]
 
 pub mod cache;
 pub mod engine;
 pub mod http;
 pub mod queue;
 pub mod scene;
+pub(crate) mod sync;
 
 pub use cache::{tile_key, LruCache};
 pub use engine::{Engine, EngineConfig, RobustnessSnapshot, ServeError, StatsSnapshot, Ticket};

@@ -16,6 +16,8 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::sync::{lock, wait, wait_timeout};
+
 /// Why an enqueue was refused.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum QueueError {
@@ -74,7 +76,7 @@ impl<T> BoundedQueue<T> {
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+        lock(&self.inner).items.len()
     }
 
     /// True when nothing is queued.
@@ -90,7 +92,7 @@ impl<T> BoundedQueue<T> {
     ///
     /// [`close`]: BoundedQueue::close
     pub fn try_push(&self, item: T) -> Result<(), (T, QueueError)> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock(&self.inner);
         if inner.closed {
             return Err((item, QueueError::Closed));
         }
@@ -109,9 +111,9 @@ impl<T> BoundedQueue<T> {
     /// # Errors
     /// `(item, Closed)` if the queue closes before space frees up.
     pub fn push_wait(&self, item: T) -> Result<(), (T, QueueError)> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock(&self.inner);
         while !inner.closed && inner.items.len() >= self.capacity {
-            inner = self.not_full.wait(inner).unwrap();
+            inner = wait(&self.not_full, inner);
         }
         if inner.closed {
             return Err((item, QueueError::Closed));
@@ -131,16 +133,19 @@ impl<T> BoundedQueue<T> {
     /// Panics if `max_batch == 0`.
     pub fn pop_batch(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<T>> {
         assert!(max_batch > 0, "batch size must be positive");
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock(&self.inner);
         // Wait for the head-of-batch item.
-        while inner.items.is_empty() {
+        let head = loop {
+            if let Some(item) = inner.items.pop_front() {
+                break item;
+            }
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).unwrap();
-        }
-        let mut batch = Vec::with_capacity(max_batch.min(inner.items.len()));
-        batch.push(inner.items.pop_front().unwrap());
+            inner = wait(&self.not_empty, inner);
+        };
+        let mut batch = Vec::with_capacity(max_batch.min(inner.items.len() + 1));
+        batch.push(head);
         // Coalesce: drain what is already here, then linger for late
         // arrivals until the deadline.
         let deadline = Instant::now() + max_wait;
@@ -156,7 +161,7 @@ impl<T> BoundedQueue<T> {
             if now >= deadline {
                 break;
             }
-            let (guard, timeout) = self.not_empty.wait_timeout(inner, deadline - now).unwrap();
+            let (guard, timeout) = wait_timeout(&self.not_empty, inner, deadline - now);
             inner = guard;
             if timeout.timed_out() && inner.items.is_empty() {
                 break;
@@ -172,7 +177,7 @@ impl<T> BoundedQueue<T> {
     /// Closes admissions. Queued items remain poppable (drain); blocked
     /// producers and idle consumers wake up.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        lock(&self.inner).closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
@@ -181,7 +186,7 @@ impl<T> BoundedQueue<T> {
     ///
     /// [`close`]: BoundedQueue::close
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().unwrap().closed
+        lock(&self.inner).closed
     }
 }
 

@@ -1,0 +1,56 @@
+//! Poison-recovering lock helpers.
+//!
+//! The engine supervises worker panics with `catch_unwind` and restores
+//! the replica from its checkpoint — which means a `Mutex` here *can* be
+//! poisoned while the process (deliberately) lives on. `lock().unwrap()`
+//! would then convert one supervised worker panic into an unsupervised
+//! crash of every other thread touching the queue or stats.
+//!
+//! Recovery is sound for every mutex in this crate because each critical
+//! section leaves the protected state consistent at every point a panic
+//! can originate: queue state mutates via single `push_back`/`pop_front`
+//! calls, cache and histogram updates are applied field-by-field with no
+//! intermediate invariant, and counters are plain integers. Discarding
+//! the poison flag therefore cannot expose a torn state.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on `cv`, recovering the reacquired guard from poison.
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on `cv` up to `dur`, recovering the reacquired guard from poison.
+pub(crate) fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, dur)
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn lock_recovers_after_a_panicked_holder() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 7);
+    }
+}

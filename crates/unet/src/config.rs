@@ -79,6 +79,7 @@ impl UNetConfig {
     /// mismatch instead.
     pub fn assert_input_side(&self, side: usize) {
         if let Err(e) = self.check_input_side(side) {
+            // seaice-lint: allow(panic-in-library) reason="documented panicking assertion (# Panics above); check_input_side is the fallible path for dynamic side lengths"
             panic!("{e}");
         }
     }

@@ -22,6 +22,7 @@
 //! let logits = net.forward(&x, false);
 //! assert_eq!(logits.shape(), &[1, 3, 16, 16]); // per-pixel class logits
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod checkpoint;
 pub mod config;

@@ -352,6 +352,7 @@ impl UNet {
                     let v = data[base + c * plane];
                     if v > best {
                         best = v;
+                        // seaice-lint: allow(narrowing-cast-in-kernel) reason="c indexes the class channels (3 for this workflow's masks); the u8 mask format caps class counts at 256 by contract"
                         arg = c as u8;
                     }
                 }

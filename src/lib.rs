@@ -22,6 +22,7 @@
 //! | [`serve`] | `seaice-serve` | batched, cache-aware inference serving engine |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
+#![forbid(unsafe_code)]
 
 pub use seaice_core as core;
 pub use seaice_distrib as distrib;

@@ -1,0 +1,27 @@
+//! Tier-1 gate: the workspace must be lint-clean.
+//!
+//! `seaice-lint` machine-checks the source-level invariants every
+//! correctness claim in this repo rests on (no wall-clock in
+//! deterministic paths, no panics in library code, no hash-order leaks,
+//! no unaudited `unsafe`, no unguarded narrowing casts in kernels). Any
+//! diagnostic — including an unused or malformed suppression — fails the
+//! build here, so violations cannot land.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cfg = seaice_lint::LintConfig::default();
+    let diags = seaice_lint::lint_workspace(root, &cfg).expect("workspace walk failed");
+    assert!(
+        diags.is_empty(),
+        "workspace has {} lint diagnostic(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
