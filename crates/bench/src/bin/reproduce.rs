@@ -14,6 +14,7 @@
 //!   fig14    prediction panels                       (Fig. 14)
 //!   scenes   66-scene labeling time                  (§IV-B)
 //!   serve    serving-engine load generator           (DESIGN.md §4.2)
+//!   infer    f32 vs int8 inference comparison        (DESIGN.md §4.5; writes BENCH_infer.json)
 //!   chaos    fault-injection / recovery demo         (DESIGN.md §4.3)
 //!   ablation cloud/shadow-filter design ablations    (DESIGN.md §6)
 //!   sweep    batch-size / dropout exploration        (§IV-A)
@@ -78,7 +79,7 @@ fn parse_args() -> Args {
 
 fn print_usage() {
     eprintln!(
-        "usage: reproduce <table1|table2|table3|table4|table5|fig11|fig13|fig14|scenes|serve|chaos|ablation|sweep|night|all> [--scale small|medium|large] [--out DIR]"
+        "usage: reproduce <table1|table2|table3|table4|table5|fig11|fig13|fig14|scenes|serve|infer|chaos|ablation|sweep|night|all> [--scale small|medium|large] [--out DIR]"
     );
 }
 
@@ -104,6 +105,7 @@ fn main() {
         "fig14" => run_fig14(args.scale, &args.out),
         "scenes" => println!("{}", table45::scenes_timing(args.scale).render()),
         "serve" => println!("{}", seaice_bench::servebench::run(args.scale).render()),
+        "infer" => run_infer(args.scale),
         "chaos" => println!("{}", seaice_bench::chaosbench::run(args.scale).render()),
         "ablation" => {
             println!("{}", seaice_bench::ablation::run(args.scale).render());
@@ -125,6 +127,7 @@ fn main() {
             run_fig11(args.scale, &args.out);
             println!("{}", table45::scenes_timing(args.scale).render());
             println!("{}", seaice_bench::servebench::run(args.scale).render());
+            run_infer(args.scale);
             println!("{}", seaice_bench::chaosbench::run(args.scale).render());
             println!("{}", seaice_bench::ablation::run(args.scale).render());
             println!("{}", seaice_bench::night::run(args.scale).render());
@@ -140,6 +143,16 @@ fn main() {
         args.target,
         t0.elapsed().as_secs_f64()
     );
+}
+
+/// Runs the f32/int8 comparison and records it as `BENCH_infer.json` in
+/// the working directory (the repo root in CI).
+fn run_infer(scale: Scale) {
+    let b = seaice_bench::infer::run(scale);
+    println!("{}", b.render());
+    let path = Path::new("BENCH_infer.json");
+    std::fs::write(path, b.to_json()).expect("write BENCH_infer.json");
+    println!("wrote {}\n", path.display());
 }
 
 fn run_table1(scale: Scale) {

@@ -25,6 +25,7 @@
 
 pub mod ablation;
 pub mod chaosbench;
+pub mod infer;
 pub mod night;
 pub mod scale;
 pub mod servebench;

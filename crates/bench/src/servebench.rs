@@ -29,7 +29,7 @@ use seaice_s2::tiler::tile_anchors;
 use seaice_serve::engine::{Engine, EngineConfig, ServeError};
 use seaice_serve::scene::classify_scene_engine;
 use seaice_unet::checkpoint::{snapshot, Checkpoint};
-use seaice_unet::{UNet, UNetConfig};
+use seaice_unet::{InferBackend, UNet, UNetConfig};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -47,10 +47,12 @@ pub struct ServeBenchConfig {
     pub passes: usize,
     /// Concurrent closed-loop clients.
     pub clients: usize,
+    /// Forward implementation for both the baseline and the engine rows.
+    pub backend: InferBackend,
 }
 
 impl ServeBenchConfig {
-    /// The preset workload for `scale`.
+    /// The preset workload for `scale` (f32 backend).
     pub fn from_scale(scale: Scale) -> Self {
         let (scenes, scene_side, tile_size, passes, clients) = scale.serve_workload();
         Self {
@@ -59,6 +61,7 @@ impl ServeBenchConfig {
             tile_size,
             passes,
             clients,
+            backend: InferBackend::F32,
         }
     }
 }
@@ -166,14 +169,15 @@ pub fn run_config(cfg: ServeBenchConfig) -> ServeBench {
     // Per-tile latency is attributed as scene wall time / tiles per scene
     // (classify_scene is monolithic), so the distribution is across
     // scenes and passes rather than individual tiles.
-    let mut model = seaice_unet::checkpoint::restore(&ckpt);
+    let mut model = seaice_core::restore_backend(&ckpt, cfg.backend, cfg.tile_size)
+        .expect("bench checkpoint must restore on the requested backend");
     let mut seq_hist = LatencyHistogram::new();
     let mut baseline = Vec::with_capacity(cfg.scenes);
     let t0 = Instant::now();
     for pass in 0..cfg.passes {
         for rgb in &scene_rgbs {
             let s0 = Instant::now();
-            let result = seaice_core::classify_scene(&mut model, rgb, cfg.tile_size, false);
+            let result = seaice_core::classify_scene_with(&mut model, rgb, cfg.tile_size, false);
             let per_tile_us =
                 (s0.elapsed().as_secs_f64() / tiles_per_scene as f64 * 1e6).round() as u64;
             for _ in 0..tiles_per_scene {
@@ -208,6 +212,7 @@ pub fn run_config(cfg: ServeBenchConfig) -> ServeBench {
             queue_capacity: 256,
             cache_capacity: 2 * tiles_per_pass,
             filter: false,
+            backend: cfg.backend,
             ..EngineConfig::for_tile(cfg.tile_size)
         },
     )
@@ -263,6 +268,7 @@ pub fn run_config(cfg: ServeBenchConfig) -> ServeBench {
             queue_capacity: 8,
             cache_capacity: 0,
             filter: false,
+            backend: cfg.backend,
             ..EngineConfig::for_tile(cfg.tile_size)
         },
     )
@@ -328,14 +334,15 @@ impl ServeBench {
     pub fn render(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!(
-            "SERVE BENCH: {} scenes of {}x{}, tile {} ({} tiles/pass), {} passes, {} clients\n",
+            "SERVE BENCH: {} scenes of {}x{}, tile {} ({} tiles/pass), {} passes, {} clients, backend {}\n",
             self.cfg.scenes,
             self.cfg.scene_side,
             self.cfg.scene_side,
             self.cfg.tile_size,
             self.tiles_per_pass,
             self.cfg.passes,
-            self.cfg.clients
+            self.cfg.clients,
+            self.cfg.backend
         ));
         s.push_str(
             "mode               |  reqs | wall s |  req/s | p50 ms | p95 ms | p99 ms | hit % | shed | batch\n",

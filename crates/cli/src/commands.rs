@@ -17,7 +17,7 @@ use seaice_s2::clouds::{self, CloudConfig};
 use seaice_s2::dataset::Dataset;
 use seaice_s2::synth::{generate, SceneConfig};
 use seaice_serve::{classify_scene_engine, Engine, EngineConfig, HttpServer};
-use seaice_unet::{checkpoint, train, UNet};
+use seaice_unet::{checkpoint, train, InferBackend, UNet};
 use std::sync::Arc;
 
 /// Top-level error type for command execution.
@@ -59,10 +59,10 @@ pub const USAGE: &str = "usage: seaice <synth|filter|label|calibrate|train|class
   label       --in scene.ppm --out labels.ppm [--no-filter] [--cuts WATER_HI,THICK_LO]
   calibrate   --image scene.ppm --labels labels.ppm
   train       --model model.json [--scenes 6] [--scene-size 256] [--tile 32] [--epochs 12] [--labels auto|manual] [--seed 2019]
-  classify    --model model.json --in scene.ppm --out pred.ppm [--tile 32] [--no-filter] [--parallel | --engine [--workers N] [--batch 8]]
+  classify    --model model.json --in scene.ppm --out pred.ppm [--tile 32] [--backend f32|int8] [--no-filter] [--parallel | --engine [--workers N] [--batch 8]]
   analyze     --labels labels.ppm
-  serve       --model model.json [--addr 127.0.0.1:8080] [--tile 32] [--workers N] [--batch 8] [--queue 256] [--cache 1024] [--no-filter] [--smoke]
-  serve-bench [--scale small|medium|large] [--scenes N] [--scene-size N] [--tile N] [--passes N] [--clients N]
+  serve       --model model.json [--addr 127.0.0.1:8080] [--tile 32] [--backend f32|int8] [--workers N] [--batch 8] [--queue 256] [--cache 1024] [--no-filter] [--smoke]
+  serve-bench [--scale small|medium|large] [--scenes N] [--scene-size N] [--tile N] [--passes N] [--clients N] [--backend f32|int8]
   lint        [--root DIR] [--json]";
 
 /// Dispatches a parsed command.
@@ -264,12 +264,22 @@ fn read_checkpoint(path: &str) -> Result<checkpoint::Checkpoint, CliError> {
     serde_json::from_slice(&bytes).map_err(|e| CliError::Io(std::io::Error::other(e)))
 }
 
+/// Parses `--backend f32|int8` (default f32).
+fn backend_from(p: &Parsed) -> Result<InferBackend, CliError> {
+    match p.optional("backend") {
+        None => Ok(InferBackend::F32),
+        Some(v) => InferBackend::parse(&v)
+            .ok_or_else(|| CliError::Args(ArgError::Invalid("backend".into(), v))),
+    }
+}
+
 fn classify(p: &mut Parsed) -> Result<String, CliError> {
     p.expect_options(&[
         "model",
         "in",
         "out",
         "tile",
+        "backend",
         "no-filter",
         "parallel",
         "engine",
@@ -281,6 +291,7 @@ fn classify(p: &mut Parsed) -> Result<String, CliError> {
     let out_path = p.required("out")?;
     let tile = p.get_or("tile", 32usize)?;
     let filter = !p.flag("no-filter");
+    let backend = backend_from(p)?;
 
     let result = if p.flag("engine") {
         let ckpt = read_checkpoint(&model_path)?;
@@ -288,14 +299,31 @@ fn classify(p: &mut Parsed) -> Result<String, CliError> {
         cfg.filter = filter;
         cfg.workers = p.get_or("workers", cfg.workers)?;
         cfg.max_batch_size = p.get_or("batch", cfg.max_batch_size)?;
+        cfg.backend = backend;
         let engine = Engine::new(&ckpt, cfg).map_err(|e| CliError::Msg(e.to_string()))?;
         classify_scene_engine(&engine, &input).map_err(|e| CliError::Msg(e.to_string()))?
     } else if p.flag("parallel") {
+        if backend != InferBackend::F32 {
+            return Err(CliError::Msg(
+                "--parallel only supports the f32 backend; use --engine for int8".into(),
+            ));
+        }
         let ckpt = read_checkpoint(&model_path)?;
         classify_scene_parallel(&ckpt, &input, tile, filter)
     } else {
-        let mut model = checkpoint::load(&model_path)?;
-        seaice_core::classify_scene(&mut model, &input, tile, filter)
+        let mut model = match backend {
+            InferBackend::F32 => {
+                seaice_core::LoadedModel::F32(Box::new(checkpoint::load(&model_path)?))
+            }
+            InferBackend::Int8 => {
+                let calib = seaice_core::default_calibration(tile).map_err(CliError::Msg)?;
+                seaice_core::LoadedModel::Int8(Box::new(checkpoint::load_quantized(
+                    &model_path,
+                    &calib,
+                )?))
+            }
+        };
+        seaice_core::classify_scene_with(&mut model, &input, tile, filter)
     };
     write_ppm(&out_path, &result.color)?;
     Ok(format!(
@@ -314,6 +342,7 @@ fn serve(p: &mut Parsed) -> Result<String, CliError> {
         "model",
         "addr",
         "tile",
+        "backend",
         "workers",
         "batch",
         "queue",
@@ -329,6 +358,7 @@ fn serve(p: &mut Parsed) -> Result<String, CliError> {
     cfg.queue_capacity = p.get_or("queue", cfg.queue_capacity)?;
     cfg.cache_capacity = p.get_or("cache", cfg.cache_capacity)?;
     cfg.filter = !p.flag("no-filter");
+    cfg.backend = backend_from(p)?;
     let engine = Arc::new(Engine::new(&ckpt, cfg).map_err(|e| CliError::Msg(e.to_string()))?);
 
     if p.flag("smoke") {
@@ -342,9 +372,10 @@ fn serve(p: &mut Parsed) -> Result<String, CliError> {
         let stats = engine.stats();
         server.shutdown();
         return Ok(format!(
-            "serve smoke on {}: classified 1 tile ({} px mask), ok={}, p50={}us",
+            "serve smoke on {}: classified 1 tile ({} px mask) on {} backend, ok={}, p50={}us",
             server.addr(),
             mask.len(),
+            stats.backend,
             stats.ok,
             stats.latency.p50_us
         ));
@@ -355,8 +386,9 @@ fn serve(p: &mut Parsed) -> Result<String, CliError> {
         .unwrap_or_else(|| "127.0.0.1:8080".into());
     let server = HttpServer::start(engine, &addr)?;
     println!(
-        "seaice-serve listening on {} (tile {tile}, {} workers, batch {}, queue {}, cache {})",
+        "seaice-serve listening on {} (tile {tile}, backend {}, {} workers, batch {}, queue {}, cache {})",
         server.addr(),
+        cfg.backend,
         cfg.workers,
         cfg.max_batch_size,
         cfg.queue_capacity,
@@ -369,7 +401,15 @@ fn serve(p: &mut Parsed) -> Result<String, CliError> {
 }
 
 fn serve_bench(p: &mut Parsed) -> Result<String, CliError> {
-    p.expect_options(&["scale", "scenes", "scene-size", "tile", "passes", "clients"])?;
+    p.expect_options(&[
+        "scale",
+        "scenes",
+        "scene-size",
+        "tile",
+        "passes",
+        "clients",
+        "backend",
+    ])?;
     let scale = match p.optional("scale") {
         None => seaice_bench::scale::Scale::Small,
         Some(v) => seaice_bench::scale::Scale::parse(&v)
@@ -381,6 +421,7 @@ fn serve_bench(p: &mut Parsed) -> Result<String, CliError> {
     cfg.tile_size = p.get_or("tile", cfg.tile_size)?;
     cfg.passes = p.get_or("passes", cfg.passes)?;
     cfg.clients = p.get_or("clients", cfg.clients)?;
+    cfg.backend = backend_from(p)?;
     Ok(seaice_bench::servebench::run_config(cfg).render())
 }
 

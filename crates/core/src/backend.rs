@@ -1,0 +1,149 @@
+//! Inference-backend selection: restore a checkpoint as the f32 network
+//! or quantize it on load to the int8 twin, calibrated on a fixed
+//! held-out synthetic set.
+//!
+//! The calibration scenes use their own seed base ([`CALIBRATION_SEED`]),
+//! disjoint from every training, evaluation, and benchmark seed in the
+//! workspace — activation ranges are estimated on data the model never
+//! trained or is scored on, the usual PTQ held-out-set discipline.
+
+use crate::adapters::image_to_chw;
+use seaice_nn::Tensor;
+use seaice_s2::synth::{generate, SceneConfig};
+use seaice_unet::checkpoint::{self, Checkpoint};
+use seaice_unet::{CalibrationSet, InferBackend, QuantizedUNet, TileClassifier, UNet, UNetConfig};
+
+/// Seed base of the held-out calibration scenes.
+pub const CALIBRATION_SEED: u64 = 0xCA11B;
+
+/// Number of calibration tiles in [`default_calibration`].
+pub const CALIBRATION_TILES: u64 = 8;
+
+/// Builds the workflow's standard calibration set: [`CALIBRATION_TILES`]
+/// synthetic Sentinel-2 tiles of side `tile_size`, generated at
+/// consecutive seeds from [`CALIBRATION_SEED`]. Fully deterministic, so
+/// every process that quantizes the same checkpoint at the same tile size
+/// gets a bit-identical [`seaice_unet::QuantizedUNet`].
+///
+/// # Errors
+/// A description of why a calibration input is malformed (only reachable
+/// with a degenerate `tile_size`).
+pub fn default_calibration(tile_size: usize) -> Result<CalibrationSet, String> {
+    let cfg = SceneConfig::tiny(tile_size);
+    let inputs = (0..CALIBRATION_TILES)
+        .map(|i| {
+            let scene = generate(&cfg, CALIBRATION_SEED + i);
+            Tensor::from_vec(&[1, 3, tile_size, tile_size], image_to_chw(&scene.rgb))
+        })
+        .collect();
+    CalibrationSet::new(inputs)
+}
+
+/// A model restored for inference on a caller-selected backend. Both
+/// networks are boxed so the enum stays pointer-sized on the stack (the
+/// f32 network in particular carries the full training state).
+pub enum LoadedModel {
+    /// The full-precision network.
+    F32(Box<UNet>),
+    /// The post-training-quantized network.
+    Int8(Box<QuantizedUNet>),
+}
+
+impl LoadedModel {
+    /// Which backend this model runs.
+    pub fn backend(&self) -> InferBackend {
+        match self {
+            LoadedModel::F32(_) => InferBackend::F32,
+            LoadedModel::Int8(_) => InferBackend::Int8,
+        }
+    }
+}
+
+impl TileClassifier for LoadedModel {
+    fn predict_into(&mut self, x: &Tensor, out: &mut Vec<u8>) {
+        match self {
+            LoadedModel::F32(m) => m.predict_into(x, out),
+            LoadedModel::Int8(m) => m.predict_into(x, out),
+        }
+    }
+
+    fn config(&self) -> &UNetConfig {
+        match self {
+            LoadedModel::F32(m) => m.config(),
+            LoadedModel::Int8(m) => m.config(),
+        }
+    }
+}
+
+/// Restores a checkpoint on the requested backend. `Int8` quantizes on
+/// load against [`default_calibration`] at `tile_size` — the same f32
+/// checkpoint file serves both backends.
+///
+/// # Errors
+/// A description of the first payload mismatch or calibration
+/// incompatibility.
+pub fn restore_backend(
+    ckpt: &Checkpoint,
+    backend: InferBackend,
+    tile_size: usize,
+) -> Result<LoadedModel, String> {
+    match backend {
+        InferBackend::F32 => checkpoint::try_restore(ckpt)
+            .map(Box::new)
+            .map(LoadedModel::F32),
+        InferBackend::Int8 => {
+            let calib = default_calibration(tile_size)?;
+            checkpoint::try_restore_quantized(ckpt, &calib)
+                .map(Box::new)
+                .map(LoadedModel::Int8)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seaice_unet::checkpoint::snapshot;
+
+    fn tiny_ckpt() -> Checkpoint {
+        let mut model = UNet::new(UNetConfig {
+            depth: 1,
+            base_filters: 4,
+            dropout: 0.0,
+            seed: 5,
+            ..UNetConfig::paper()
+        });
+        snapshot(&mut model)
+    }
+
+    #[test]
+    fn default_calibration_is_deterministic_and_well_formed() {
+        let a = default_calibration(16).unwrap();
+        let b = default_calibration(16).unwrap();
+        assert_eq!(a.inputs().len(), CALIBRATION_TILES as usize);
+        for (x, y) in a.inputs().iter().zip(b.inputs()) {
+            assert_eq!(x, y, "calibration tiles must be reproducible");
+            assert_eq!(x.shape(), &[1, 3, 16, 16]);
+        }
+    }
+
+    #[test]
+    fn restore_backend_selects_the_requested_implementation() {
+        let ckpt = tiny_ckpt();
+        let f = restore_backend(&ckpt, InferBackend::F32, 16).unwrap();
+        assert_eq!(f.backend(), InferBackend::F32);
+        let q = restore_backend(&ckpt, InferBackend::Int8, 16).unwrap();
+        assert_eq!(q.backend(), InferBackend::Int8);
+    }
+
+    #[test]
+    fn int8_restore_is_bit_identical_across_processes_worth_of_calls() {
+        let ckpt = tiny_ckpt();
+        let a = restore_backend(&ckpt, InferBackend::Int8, 16).unwrap();
+        let b = restore_backend(&ckpt, InferBackend::Int8, 16).unwrap();
+        match (a, b) {
+            (LoadedModel::Int8(a), LoadedModel::Int8(b)) => assert_eq!(a, b),
+            _ => unreachable!("requested int8"),
+        }
+    }
+}

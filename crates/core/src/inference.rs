@@ -8,7 +8,7 @@ use seaice_imgproc::buffer::Image;
 use seaice_label::cloudshadow::{CloudShadowFilter, FilterConfig};
 use seaice_nn::Tensor;
 use seaice_s2::tiler::{stitch_tiles, tile_anchors};
-use seaice_unet::UNet;
+use seaice_unet::{TileClassifier, UNet};
 
 /// Full-scene classification output.
 #[derive(Clone, Debug)]
@@ -36,6 +36,23 @@ pub struct SceneClassification {
 /// incompatible with the model's input constraint.
 pub fn classify_scene(
     model: &mut UNet,
+    scene_rgb: &Image<u8>,
+    tile_size: usize,
+    filter: bool,
+) -> SceneClassification {
+    classify_scene_with(model, scene_rgb, tile_size, filter)
+}
+
+/// [`classify_scene`], generic over the inference backend: any
+/// [`TileClassifier`] — the f32 [`UNet`], its int8
+/// [`seaice_unet::QuantizedUNet`] twin, or a [`crate::backend::LoadedModel`]
+/// selected at runtime — runs the identical tile → filter → predict →
+/// stitch pipeline.
+///
+/// # Panics
+/// Same conditions as [`classify_scene`].
+pub fn classify_scene_with<M: TileClassifier>(
+    model: &mut M,
     scene_rgb: &Image<u8>,
     tile_size: usize,
     filter: bool,

@@ -55,6 +55,7 @@ impl Default for LintConfig {
                 "crates/imgproc/src/".into(),
                 "crates/label/src/".into(),
                 "crates/unet/src/".into(),
+                "crates/nn/src/ops/".into(),
             ],
         }
     }

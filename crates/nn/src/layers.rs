@@ -157,6 +157,17 @@ impl ConvTranspose2d {
     pub fn shape(&self) -> &crate::ops::convtranspose::ConvTranspose2dShape {
         &self.shape
     }
+
+    /// Immutable access to the weight parameter (for checkpointing and
+    /// quantized-model construction).
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Immutable access to the bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
 }
 
 impl Layer for ConvTranspose2d {

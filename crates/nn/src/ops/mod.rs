@@ -10,6 +10,7 @@ pub mod dropout;
 pub mod im2col;
 pub mod matmul;
 pub mod pool;
+pub mod quant;
 pub mod upsample;
 
 pub use activation::{relu, relu_backward, sigmoid};
@@ -20,4 +21,8 @@ pub use dropout::{dropout, dropout_backward};
 pub use im2col::{col2im, im2col};
 pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
 pub use pool::{maxpool2x2, maxpool2x2_backward};
+pub use quant::{
+    gemm_i8_i32, im2col_i8, qconv2d, quantize_into, quantize_weights, QuantParams, QuantScratch,
+    QuantizedWeights,
+};
 pub use upsample::{upsample2x, upsample2x_backward};

@@ -39,6 +39,7 @@ use seaice_label::cloudshadow::{CloudShadowFilter, FilterConfig};
 use seaice_metrics::latency::{LatencyHistogram, LatencySnapshot};
 use seaice_nn::Tensor;
 use seaice_unet::checkpoint::Checkpoint;
+use seaice_unet::{InferBackend, QuantizedUNet, UNet};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -75,6 +76,11 @@ pub struct EngineConfig {
     /// dequeue time instead of computed late. `None` (the default) never
     /// sheds on age.
     pub deadline: Option<Duration>,
+    /// Which forward implementation the replicas run. `Int8` quantizes
+    /// the checkpoint once at engine construction (calibrated on
+    /// `seaice_core`'s held-out set) and every replica shares the frozen
+    /// int8 network.
+    pub backend: InferBackend,
 }
 
 impl EngineConfig {
@@ -89,6 +95,7 @@ impl EngineConfig {
             cache_capacity: 1024,
             filter: false,
             deadline: None,
+            backend: InferBackend::F32,
         }
     }
 }
@@ -133,6 +140,41 @@ impl From<QueueError> for ServeError {
         match e {
             QueueError::Overloaded => ServeError::Overloaded,
             QueueError::Closed => ServeError::Closed,
+        }
+    }
+}
+
+/// What a worker needs to (re)build its replica: the f32 checkpoint, or
+/// the int8 network quantized once at engine construction (quantization
+/// is deterministic, so a rebuilt int8 replica is the clone — not merely
+/// an equivalent — of the crashed one).
+enum ReplicaSpec {
+    F32(Arc<Checkpoint>),
+    Int8(Arc<QuantizedUNet>),
+}
+
+impl ReplicaSpec {
+    fn build(&self) -> Replica {
+        match self {
+            ReplicaSpec::F32(ckpt) => {
+                Replica::F32(Box::new(seaice_unet::checkpoint::restore(ckpt)))
+            }
+            ReplicaSpec::Int8(q) => Replica::Int8(Box::new(QuantizedUNet::clone(q))),
+        }
+    }
+}
+
+/// One worker's model instance on the engine's configured backend.
+enum Replica {
+    F32(Box<UNet>),
+    Int8(Box<QuantizedUNet>),
+}
+
+impl Replica {
+    fn predict_into(&mut self, x: &Tensor, out: &mut Vec<u8>) {
+        match self {
+            Replica::F32(m) => m.predict_into(x, out),
+            Replica::Int8(m) => m.predict_into(x, out),
         }
     }
 }
@@ -229,6 +271,8 @@ pub struct StatsSnapshot {
     pub queue_capacity: usize,
     /// Worker replica count.
     pub workers: usize,
+    /// Forward implementation every replica runs (`"f32"` or `"int8"`).
+    pub backend: String,
     /// Retries, restarts, and shed reasons.
     pub robustness: RobustnessSnapshot,
     /// End-to-end request latency (submit → response ready).
@@ -293,21 +337,30 @@ impl Engine {
         let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
         let cache = Arc::new(Mutex::new(LruCache::new(cfg.cache_capacity)));
         let stats = Arc::new(StatsInner::default());
-        // Workers keep the checkpoint so a panicking replica can be
-        // rebuilt in place.
-        let ckpt = Arc::new(ckpt.clone());
+        // Workers keep the replica spec (checkpoint, or the once-quantized
+        // int8 network) so a panicking replica can be rebuilt in place.
+        let spec = Arc::new(match cfg.backend {
+            InferBackend::F32 => ReplicaSpec::F32(Arc::new(ckpt.clone())),
+            InferBackend::Int8 => {
+                let calib = seaice_core::default_calibration(cfg.tile_size)
+                    .map_err(|e| ServeError::BadConfig(format!("int8 calibration set: {e}")))?;
+                let q = seaice_unet::checkpoint::try_restore_quantized(ckpt, &calib)
+                    .map_err(|e| ServeError::BadConfig(format!("int8 quantization: {e}")))?;
+                ReplicaSpec::Int8(Arc::new(q))
+            }
+        });
 
         let mut workers = Vec::with_capacity(cfg.workers);
         for w in 0..cfg.workers {
             let queue = Arc::clone(&queue);
             let cache = Arc::clone(&cache);
             let stats = Arc::clone(&stats);
-            let ckpt = Arc::clone(&ckpt);
+            let spec = Arc::clone(&spec);
             let faults = Arc::clone(&faults);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("seaice-serve-{w}"))
-                    .spawn(move || worker_loop(&queue, &cache, &stats, &ckpt, &faults, cfg))
+                    .spawn(move || worker_loop(&queue, &cache, &stats, &spec, &faults, cfg))
                     .map_err(|e| {
                         ServeError::Internal(format!("failed to spawn serve worker: {e}"))
                     })?,
@@ -455,6 +508,7 @@ impl Engine {
             queue_depth: self.queue.len(),
             queue_capacity: self.queue.capacity(),
             workers: self.cfg.workers,
+            backend: self.cfg.backend.to_string(),
             robustness: RobustnessSnapshot {
                 worker_restarts: self.stats.worker_restarts.load(Ordering::Relaxed),
                 batch_retries: self.stats.batch_retries.load(Ordering::Relaxed),
@@ -523,11 +577,11 @@ fn worker_loop(
     queue: &BoundedQueue<Request>,
     cache: &Mutex<LruCache<Arc<Vec<u8>>>>,
     stats: &StatsInner,
-    ckpt: &Checkpoint,
+    spec: &ReplicaSpec,
     faults: &FaultPlan,
     cfg: EngineConfig,
 ) {
-    let mut model = seaice_unet::checkpoint::restore(ckpt);
+    let mut model = spec.build();
     let s = cfg.tile_size;
     let plane = s * s;
     let filter_impl = cfg
@@ -586,7 +640,7 @@ fn worker_loop(
                 Ok(()) => break true,
                 Err(_) => {
                     stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
-                    model = seaice_unet::checkpoint::restore(ckpt);
+                    model = spec.build();
                     attempt += 1;
                     if attempt >= MAX_BATCH_ATTEMPTS {
                         break false;
@@ -839,6 +893,49 @@ mod tests {
         assert_eq!(s.ok, 1);
         // The engine still serves after the restart.
         assert_eq!(engine.classify(tile(51)).unwrap().len(), 256);
+    }
+
+    #[test]
+    fn int8_backend_serves_and_survives_replica_restarts() {
+        let ckpt = tiny_ckpt();
+        let cfg = EngineConfig {
+            backend: InferBackend::Int8,
+            workers: 1,
+            ..quiet_cfg()
+        };
+
+        // The direct quantized forward the engine must reproduce.
+        let calib = seaice_core::default_calibration(16).unwrap();
+        let q = seaice_unet::checkpoint::try_restore_quantized(&ckpt, &calib).unwrap();
+        let t = tile(70);
+        let chw = seaice_core::adapters::image_to_chw(&t);
+        let want = q.predict(&Tensor::from_vec(&[1, 3, 16, 16], chw));
+
+        let engine = Engine::new(&ckpt, cfg).unwrap();
+        let got = engine.classify(t.clone()).unwrap();
+        assert_eq!(*got, want, "engine must match the direct int8 forward");
+        assert_eq!(engine.stats().backend, "int8");
+
+        // A panicking int8 replica is rebuilt and answers bit-identically.
+        let key = tile_key(&t);
+        let faults = Arc::new(FaultPlan::seeded(11).fail_keys(
+            "serve.worker",
+            &[mix(key, 0)],
+            FaultAction::Panic,
+        ));
+        let engine = Engine::with_faults(&ckpt, cfg, faults).unwrap();
+        let got = engine.classify(t).unwrap();
+        assert_eq!(
+            *got, want,
+            "restarted int8 replica must answer bit-identically"
+        );
+        assert_eq!(engine.stats().robustness.worker_restarts, 1);
+    }
+
+    #[test]
+    fn f32_backend_is_reported_in_stats() {
+        let engine = Engine::new(&tiny_ckpt(), quiet_cfg()).unwrap();
+        assert_eq!(engine.stats().backend, "f32");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::config::UNetConfig;
 use crate::model::UNet;
+use crate::quant::{CalibrationSet, QuantizedUNet};
 use seaice_nn::Tensor;
 use serde::{Deserialize, Serialize};
 use std::io;
@@ -71,6 +72,44 @@ pub fn try_restore(ckpt: &Checkpoint) -> Result<UNet, String> {
         }
     }
     Ok(model)
+}
+
+/// Quantize-on-load from an in-memory checkpoint: [`try_restore`] the f32
+/// network, then calibrate and quantize it over `calib`. The checkpoint
+/// format is unchanged — int8 serving reads the same f32 files, so every
+/// existing checkpoint works with either backend.
+///
+/// # Errors
+/// A description of the first payload mismatch or calibration
+/// incompatibility.
+pub fn try_restore_quantized(
+    ckpt: &Checkpoint,
+    calib: &CalibrationSet,
+) -> Result<QuantizedUNet, String> {
+    try_restore(ckpt)?.quantize(calib)
+}
+
+/// Loads an f32 checkpoint file and quantizes it to int8
+/// ([`try_restore_quantized`] over an on-disk payload).
+///
+/// # Errors
+/// I/O failures, and `InvalidData` with a descriptive message when the
+/// file is corrupt or the calibration set does not fit the architecture.
+pub fn load_quantized(path: impl AsRef<Path>, calib: &CalibrationSet) -> io::Result<QuantizedUNet> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)?;
+    let ckpt: Checkpoint = serde_json::from_slice(&bytes).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("corrupt checkpoint {}: {e}", path.display()),
+        )
+    })?;
+    try_restore_quantized(&ckpt, calib).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("corrupt checkpoint {}: {e}", path.display()),
+        )
+    })
 }
 
 /// Saves a model checkpoint as JSON.
@@ -197,6 +236,87 @@ mod tests {
         for f in [truncated, garbage, short, misshapen] {
             std::fs::remove_file(f).ok();
         }
+    }
+
+    fn calib() -> CalibrationSet {
+        CalibrationSet::new(vec![
+            uniform(&[1, 3, 8, 8], 0.0, 1.0, 71),
+            uniform(&[1, 3, 8, 8], 0.0, 1.0, 72),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn quantized_load_of_corrupt_checkpoints_errors_descriptively() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let mut model = tiny();
+        let good = serde_json::to_vec(&snapshot(&mut model)).unwrap();
+        let calib = calib();
+
+        // Truncated mid-JSON.
+        let truncated = dir.join(format!("seaice-qckpt-trunc-{pid}.json"));
+        std::fs::write(&truncated, &good[..good.len() / 2]).unwrap();
+        let e = load_quantized(&truncated, &calib).expect_err("truncated file must fail");
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("corrupt checkpoint"), "{e}");
+
+        // Valid JSON, short parameter list.
+        let mut ckpt: Checkpoint = serde_json::from_slice(&good).unwrap();
+        ckpt.params.pop();
+        let short = dir.join(format!("seaice-qckpt-short-{pid}.json"));
+        std::fs::write(&short, serde_json::to_vec(&ckpt).unwrap()).unwrap();
+        let e = load_quantized(&short, &calib).expect_err("short param list must fail");
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("parameter count mismatch"), "{e}");
+
+        // Intact checkpoint but incompatible calibration inputs.
+        let intact = dir.join(format!("seaice-qckpt-intact-{pid}.json"));
+        std::fs::write(&intact, &good).unwrap();
+        let bad_calib = CalibrationSet::new(vec![uniform(&[1, 2, 8, 8], 0.0, 1.0, 1)]).unwrap();
+        let e =
+            load_quantized(&intact, &bad_calib).expect_err("incompatible calibration must fail");
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("channels"), "{e}");
+
+        // A missing file is still a plain NotFound.
+        let missing = dir.join(format!("seaice-qckpt-missing-{pid}.json"));
+        assert_eq!(
+            load_quantized(&missing, &calib)
+                .expect_err("missing file must fail")
+                .kind(),
+            std::io::ErrorKind::NotFound
+        );
+
+        for f in [truncated, short, intact] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn quantized_restore_is_bit_identical_across_loads() {
+        let mut model = tiny();
+        let ckpt = snapshot(&mut model);
+        let calib = calib();
+        let a = try_restore_quantized(&ckpt, &calib).unwrap();
+        let b = try_restore_quantized(&ckpt, &calib).unwrap();
+        assert_eq!(
+            a, b,
+            "same checkpoint + calibration must quantize identically"
+        );
+
+        let x = uniform(&[1, 3, 8, 8], 0.0, 1.0, 9);
+        assert_eq!(a.forward(&x), b.forward(&x));
+
+        // And through the file path too.
+        let path = std::env::temp_dir().join(format!(
+            "seaice-qckpt-roundtrip-{}.json",
+            std::process::id()
+        ));
+        save(&mut model, &path).unwrap();
+        let c = load_quantized(&path, &calib).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(a, c, "on-disk load must match in-memory restore");
     }
 
     #[test]

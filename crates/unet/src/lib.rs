@@ -27,10 +27,12 @@
 pub mod checkpoint;
 pub mod config;
 pub mod model;
+pub mod quant;
 pub mod train;
 
 pub use config::{UNetConfig, UpMode};
 pub use model::UNet;
+pub use quant::{CalibrationSet, InferBackend, QuantizedUNet, TileClassifier};
 pub use train::{
     evaluate, train, train_validated, EvalReport, TrainConfig, TrainReport, ValidatedTrainConfig,
     ValidatedTrainReport,

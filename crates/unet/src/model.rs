@@ -13,11 +13,14 @@ use seaice_nn::Tensor;
 
 /// Two 3×3 "same" convolutions with ReLUs and dropout in between — the
 /// repeated building block of both U-Net paths.
-struct DoubleConv {
-    conv1: Conv2d,
+///
+/// Fields are crate-visible so [`crate::quant`] can read the trained
+/// weights when building the int8 twin of the network.
+pub(crate) struct DoubleConv {
+    pub(crate) conv1: Conv2d,
     relu1: Relu,
     drop: Dropout,
-    conv2: Conv2d,
+    pub(crate) conv2: Conv2d,
     relu2: Relu,
 }
 
@@ -65,7 +68,7 @@ impl DoubleConv {
 /// The resolution-doubling front of a decoder step: either nearest
 /// upsample + 3×3 convolution, or a true 2×2 stride-2 transposed
 /// convolution (the paper's "up-convolution").
-enum Up {
+pub(crate) enum Up {
     Resize { up: Upsample2x, conv: Conv2d },
     Transposed(ConvTranspose2d),
 }
@@ -123,10 +126,10 @@ impl Up {
 
 /// One decoder step: 2× up-path, skip concatenation, then a double
 /// convolution.
-struct Decoder {
-    up: Up,
+pub(crate) struct Decoder {
+    pub(crate) up: Up,
     up_relu: Relu,
-    block: DoubleConv,
+    pub(crate) block: DoubleConv,
     skip_channels: usize,
 }
 
@@ -173,11 +176,11 @@ impl Decoder {
 /// The full U-Net.
 pub struct UNet {
     config: UNetConfig,
-    encoders: Vec<DoubleConv>,
+    pub(crate) encoders: Vec<DoubleConv>,
     pools: Vec<MaxPool2x2>,
-    bottleneck: DoubleConv,
-    decoders: Vec<Decoder>,
-    head: Conv2d,
+    pub(crate) bottleneck: DoubleConv,
+    pub(crate) decoders: Vec<Decoder>,
+    pub(crate) head: Conv2d,
     /// Cached skip activations from the most recent forward pass.
     skips: Vec<Tensor>,
 }
@@ -338,26 +341,34 @@ impl UNet {
     /// to the same tile classified alone.
     pub fn predict_into(&mut self, x: &Tensor, out: &mut Vec<u8>) {
         let logits = self.forward(x, false);
-        let (n, k, h, w) = logits.nchw();
-        let plane = h * w;
-        let data = logits.as_slice();
-        out.clear();
-        out.resize(n * plane, 0u8);
-        for b in 0..n {
-            for p in 0..plane {
-                let base = b * k * plane + p;
-                let mut best = f32::NEG_INFINITY;
-                let mut arg = 0u8;
-                for c in 0..k {
-                    let v = data[base + c * plane];
-                    if v > best {
-                        best = v;
-                        // seaice-lint: allow(narrowing-cast-in-kernel) reason="c indexes the class channels (3 for this workflow's masks); the u8 mask format caps class counts at 256 by contract"
-                        arg = c as u8;
-                    }
+        argmax_classes(&logits, out);
+    }
+}
+
+/// Per-pixel argmax over `[n, classes, h, w]` logits into a reused mask
+/// buffer — shared by the f32 and the int8
+/// ([`crate::quant::QuantizedUNet`]) prediction paths so both backends
+/// break logit ties identically (first-best wins).
+pub(crate) fn argmax_classes(logits: &Tensor, out: &mut Vec<u8>) {
+    let (n, k, h, w) = logits.nchw();
+    let plane = h * w;
+    let data = logits.as_slice();
+    out.clear();
+    out.resize(n * plane, 0u8);
+    for b in 0..n {
+        for p in 0..plane {
+            let base = b * k * plane + p;
+            let mut best = f32::NEG_INFINITY;
+            let mut arg = 0u8;
+            for c in 0..k {
+                let v = data[base + c * plane];
+                if v > best {
+                    best = v;
+                    // seaice-lint: allow(narrowing-cast-in-kernel) reason="c indexes the class channels (3 for this workflow's masks); the u8 mask format caps class counts at 256 by contract"
+                    arg = c as u8;
                 }
-                out[b * plane + p] = arg;
             }
+            out[b * plane + p] = arg;
         }
     }
 }

@@ -1,0 +1,203 @@
+//! f32-vs-int8 differential: the post-training-quantized backend must
+//! track the f32 network within explicit error bounds on a *trained*
+//! model (the unit tests in `seaice-unet` cover random init; this is the
+//! end-to-end contract the int8 backend ships under):
+//!
+//! * per-logit error bounded relative to the f32 logit range;
+//! * argmax flip rate below a hard ceiling;
+//! * Table-IV style metrics (accuracy, macro P/R/F1 vs scene truth)
+//!   within 0.5 % of the f32 backend's;
+//! * int8 outputs byte-stable across repeat runs, engine worker counts,
+//!   and batch sizes (the determinism guarantee of
+//!   `tests/parallel_consistency.rs`, extended to the quantized path).
+
+use seaice::core::adapters::{image_to_chw, tile_to_sample, InputVariant, LabelSource};
+use seaice::core::config::WorkflowConfig;
+use seaice::core::{classify_scene_with, default_calibration, LoadedModel};
+use seaice::label::autolabel::AutoLabelConfig;
+use seaice::metrics::{classification_report, ClassificationReport, ConfusionMatrix};
+use seaice::nn::dataloader::DataLoader;
+use seaice::nn::Tensor;
+use seaice::s2::synth::{generate, SceneConfig};
+use seaice::s2::tiler::tile_scene;
+use seaice::serve::{classify_scene_engine, Engine, EngineConfig};
+use seaice::unet::{checkpoint, train, InferBackend, QuantizedUNet, UNet};
+
+const TILE: usize = 16;
+
+/// Trains the small model every differential below runs against (same
+/// recipe as the `seaice-core` inference tests: one synthetic scene,
+/// manual labels, 20 epochs).
+fn trained_model() -> UNet {
+    let cfg = WorkflowConfig::smoke();
+    let scene = generate(&SceneConfig::tiny(64), 3);
+    let tiles = tile_scene(
+        seaice::s2::geo::SceneId(1),
+        &scene.rgb,
+        None,
+        &scene.truth,
+        None,
+        TILE,
+    );
+    let samples: Vec<_> = tiles
+        .iter()
+        .map(|t| {
+            tile_to_sample(
+                t,
+                InputVariant::Original,
+                LabelSource::Manual,
+                &AutoLabelConfig::unfiltered(),
+            )
+        })
+        .collect();
+    let loader = DataLoader::new(samples, 4, Some(1));
+    let mut model = UNet::new(cfg.unet);
+    train(
+        &mut model,
+        &loader,
+        &seaice::unet::TrainConfig {
+            epochs: 20,
+            learning_rate: 1e-2,
+            ..Default::default()
+        },
+    );
+    model
+}
+
+fn quantized(model: &UNet) -> QuantizedUNet {
+    let calib = default_calibration(TILE).expect("calibration set");
+    model.quantize(&calib).expect("trained model quantizes")
+}
+
+/// Tile-sized probe inputs the training never saw.
+fn probes(n: usize) -> Vec<Tensor> {
+    (0..n)
+        .map(|i| {
+            let rgb = generate(&SceneConfig::tiny(TILE), 7000 + i as u64).rgb;
+            Tensor::from_vec(&[1, 3, TILE, TILE], image_to_chw(&rgb))
+        })
+        .collect()
+}
+
+#[test]
+fn int8_logits_and_argmax_track_f32_within_bounds() {
+    let mut f32_model = trained_model();
+    let q = quantized(&f32_model);
+
+    let mut max_err = 0f32;
+    let mut logit_range = 0f32;
+    let mut flips = 0usize;
+    let mut pixels = 0usize;
+    let mut fp = Vec::new();
+    let mut qp = Vec::new();
+    for x in &probes(8) {
+        let fl = f32_model.forward(x, false);
+        let ql = q.forward(x);
+        assert_eq!(fl.shape(), ql.shape());
+        for (&a, &b) in fl.as_slice().iter().zip(ql.as_slice()) {
+            max_err = max_err.max((a - b).abs());
+            logit_range = logit_range.max(a.abs());
+        }
+        f32_model.predict_into(x, &mut fp);
+        q.predict_into(x, &mut qp);
+        flips += fp.iter().zip(&qp).filter(|(a, b)| a != b).count();
+        pixels += fp.len();
+    }
+
+    // Per-logit bound: quantization noise must stay a fraction of the
+    // trained network's logit scale.
+    assert!(logit_range > 0.0, "degenerate f32 logits");
+    assert!(
+        max_err < 0.25 * logit_range,
+        "per-logit error {max_err} exceeds bound (logit range {logit_range})"
+    );
+    // Argmax flip ceiling: at most 2 % of pixels may change class.
+    let flip_rate = flips as f64 / pixels as f64;
+    assert!(
+        flip_rate < 0.02,
+        "argmax flip rate {flip_rate:.4} over {pixels} pixels"
+    );
+}
+
+#[test]
+fn int8_scene_metrics_stay_within_half_a_percent_of_f32() {
+    let model = trained_model();
+    let mut int8_model = LoadedModel::Int8(Box::new(quantized(&model)));
+    let mut f32_model = LoadedModel::F32(Box::new(model));
+
+    // Accumulate Table-IV style metrics against scene truth over held-out
+    // scenes, one confusion matrix per backend.
+    let mut cm_f32 = ConfusionMatrix::new(3);
+    let mut cm_int8 = ConfusionMatrix::new(3);
+    for seed in [21u64, 22, 23] {
+        let scene = generate(&SceneConfig::tiny(48), seed);
+        let a = classify_scene_with(&mut f32_model, &scene.rgb, TILE, false);
+        let b = classify_scene_with(&mut int8_model, &scene.rgb, TILE, false);
+        cm_f32.record_masks(&a.mask, &scene.truth);
+        cm_int8.record_masks(&b.mask, &scene.truth);
+    }
+    let rf: ClassificationReport = classification_report(&cm_f32);
+    let rq: ClassificationReport = classification_report(&cm_int8);
+
+    let close = |name: &str, a: f64, b: f64| {
+        assert!(
+            (a - b).abs() < 0.005,
+            "{name}: f32 {a:.4} vs int8 {b:.4} differ by more than 0.5%"
+        );
+    };
+    close("accuracy", rf.accuracy, rq.accuracy);
+    close("macro precision", rf.macro_precision, rq.macro_precision);
+    close("macro recall", rf.macro_recall, rq.macro_recall);
+    close("macro F1", rf.macro_f1, rq.macro_f1);
+}
+
+#[test]
+fn int8_outputs_are_byte_stable_across_runs_workers_and_batches() {
+    let mut model = trained_model();
+    let ckpt = checkpoint::snapshot(&mut model);
+    let mut int8_model = LoadedModel::Int8(Box::new(quantized(&model)));
+
+    // 40 % 16 != 0: overlapping edge anchors are part of what must stay
+    // stable, exactly as in parallel_consistency.rs.
+    let scene = generate(&SceneConfig::tiny(40), 77);
+    let want = classify_scene_with(&mut int8_model, &scene.rgb, TILE, true);
+
+    // Run-to-run: the same loaded model must reproduce itself bit for bit.
+    let again = classify_scene_with(&mut int8_model, &scene.rgb, TILE, true);
+    assert_eq!(want.mask, again.mask, "repeat run diverged");
+    assert_eq!(want.color, again.color);
+
+    // A freshly quantized model (new calibration pass, new im2col/GEMM
+    // scratch) must also agree byte for byte.
+    let mut fresh = LoadedModel::Int8(Box::new(quantized(&model)));
+    let refreshed = classify_scene_with(&mut fresh, &scene.rgb, TILE, true);
+    assert_eq!(want.mask, refreshed.mask, "fresh quantization diverged");
+
+    // Worker-count and batch-size sweep through the serving engine: the
+    // int8 kernels parallelize over batch items and GEMM rows, so the
+    // engine output must not depend on how many threads computed it.
+    for workers in [1usize, 4] {
+        for max_batch in [1usize, 3, 8] {
+            let engine = Engine::new(
+                &ckpt,
+                EngineConfig {
+                    workers,
+                    max_batch_size: max_batch,
+                    max_wait: std::time::Duration::from_millis(1),
+                    filter: true,
+                    backend: InferBackend::Int8,
+                    ..EngineConfig::for_tile(TILE)
+                },
+            )
+            .unwrap();
+            let got = classify_scene_engine(&engine, &scene.rgb).unwrap();
+            assert_eq!(
+                got.mask, want.mask,
+                "workers={workers} batch={max_batch} diverged"
+            );
+            assert_eq!(got.fractions, want.fractions);
+            let stats = engine.stats();
+            assert_eq!(stats.backend, "int8");
+        }
+    }
+}

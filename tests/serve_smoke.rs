@@ -63,6 +63,7 @@ fn engine_serves_64_tiles_under_concurrency_with_sane_stats() {
     }
 
     let s = engine.stats();
+    assert_eq!(s.backend, "f32", "default backend must be reported");
     assert_eq!(s.submitted, 64);
     assert_eq!(s.ok, 64);
     assert_eq!(s.computed + s.cache_hits, 64);
@@ -82,6 +83,33 @@ fn engine_serves_64_tiles_under_concurrency_with_sane_stats() {
     assert!(s.mean_batch_size >= 1.0);
     assert!(s.max_batch_seen <= 4);
     assert!(s.throughput_rps > 0.0);
+}
+
+#[test]
+fn int8_engine_smokes_and_reports_its_backend() {
+    use seaice::unet::InferBackend;
+    let engine = Engine::new(
+        &tiny_ckpt(15),
+        EngineConfig {
+            workers: 2,
+            max_batch_size: 4,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 16,
+            cache_capacity: 8,
+            filter: false,
+            backend: InferBackend::Int8,
+            ..EngineConfig::for_tile(16)
+        },
+    )
+    .unwrap();
+    for i in 0..8u64 {
+        let mask = engine.classify_blocking(tile(500 + i)).unwrap();
+        assert_eq!(mask.len(), 256);
+        assert!(mask.iter().all(|&c| c < 3));
+    }
+    let s = engine.stats();
+    assert_eq!(s.backend, "int8", "/stats must report the int8 backend");
+    assert_eq!(s.ok, 8);
 }
 
 #[test]
