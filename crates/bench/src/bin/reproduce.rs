@@ -1,29 +1,36 @@
 //! `reproduce` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! reproduce <target> [--scale small|medium|large] [--out DIR]
+//! reproduce <target> [--scale small|medium|large] [--out DIR] [--trace FILE]
 //!
 //! targets:
-//!   table1   multiprocessing auto-label speedup      (Table I, Fig. 10)
-//!   table2   map-reduce cluster scaling              (Table II)
-//!   table3   distributed U-Net training              (Table III, Fig. 12)
-//!   table4   U-Net-Man vs U-Net-Auto accuracy        (Table IV)
-//!   table5   accuracy by cloud coverage              (Table V)
-//!   fig11    auto-label SSIM + qualitative panels    (Fig. 11)
-//!   fig13    confusion matrices                      (Fig. 13)
-//!   fig14    prediction panels                       (Fig. 14)
-//!   scenes   66-scene labeling time                  (§IV-B)
-//!   serve    serving-engine load generator           (DESIGN.md §4.2)
-//!   infer    f32 vs int8 inference comparison        (DESIGN.md §4.5; writes BENCH_infer.json)
-//!   chaos    fault-injection / recovery demo         (DESIGN.md §4.3)
-//!   ablation cloud/shadow-filter design ablations    (DESIGN.md §6)
-//!   sweep    batch-size / dropout exploration        (§IV-A)
-//!   night    season-transfer + threshold calibration (§IV-B-2)
-//!   all      everything above
+//!   table1      multiprocessing auto-label speedup      (Table I, Fig. 10; writes BENCH_label.json)
+//!   table2      map-reduce cluster scaling              (Table II)
+//!   table3      distributed U-Net training              (Table III, Fig. 12)
+//!   table4      U-Net-Man vs U-Net-Auto accuracy        (Table IV)
+//!   table5      accuracy by cloud coverage              (Table V)
+//!   fig11       auto-label SSIM + qualitative panels    (Fig. 11)
+//!   fig13       confusion matrices                      (Fig. 13)
+//!   fig14       prediction panels                       (Fig. 14)
+//!   scenes      66-scene labeling time                  (§IV-B)
+//!   serve       serving-engine load generator           (DESIGN.md §4.2; writes BENCH_serve.json)
+//!   infer       f32 vs int8 inference comparison        (DESIGN.md §4.5; writes BENCH_infer.json)
+//!   chaos       fault-injection / recovery demo         (DESIGN.md §4.3; writes BENCH_chaos.json)
+//!   ablation    cloud/shadow-filter design ablations    (DESIGN.md §6)
+//!   sweep       batch-size / dropout exploration        (§IV-A)
+//!   night       season-transfer + threshold calibration (§IV-B-2)
+//!   all         everything above
+//!   bench-check compare BENCH_*.json against baselines  [--current DIR] [--baseline DIR]
+//!   trace-check validate a Chrome trace_event JSON file  (positional: the file)
 //! ```
 //!
 //! PPM/PGM images for the figure targets land in `--out` (default
-//! `reproduce-out/`).
+//! `reproduce-out/`). Benchmark areas write `BENCH_<area>.json`
+//! perf-trajectory summaries (DESIGN.md §4.6) into the working directory;
+//! a failed write is reported on stderr and flips the exit code to 1
+//! instead of aborting the remaining targets. `--trace FILE` records
+//! structured spans for the run and exports them as Chrome `trace_event`
+//! JSON (`chrome://tracing` / Perfetto loadable).
 
 use seaice_bench::scale::Scale;
 use seaice_bench::{table1, table2, table3, table45};
@@ -33,19 +40,29 @@ use seaice_core::adapters::{
 use seaice_imgproc::io::write_ppm;
 use seaice_label::autolabel::{auto_label, AutoLabelConfig};
 use seaice_nn::Tensor;
+use seaice_obs::bench::Summary;
 use std::path::{Path, PathBuf};
 
 struct Args {
     target: String,
+    /// Second positional argument (the file for `trace-check`).
+    operand: Option<String>,
     scale: Scale,
     out: PathBuf,
+    trace: Option<PathBuf>,
+    current: PathBuf,
+    baseline: PathBuf,
 }
 
 fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
     let mut target = None;
+    let mut operand = None;
     let mut scale = Scale::Medium;
     let mut out = PathBuf::from("reproduce-out");
+    let mut trace = None;
+    let mut current = PathBuf::from(".");
+    let mut baseline = PathBuf::from(".");
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
@@ -56,11 +73,15 @@ fn parse_args() -> Args {
                 });
             }
             "--out" => out = PathBuf::from(args.next().unwrap_or_default()),
+            "--trace" => trace = Some(PathBuf::from(args.next().unwrap_or_default())),
+            "--current" => current = PathBuf::from(args.next().unwrap_or_default()),
+            "--baseline" => baseline = PathBuf::from(args.next().unwrap_or_default()),
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
             }
             t if target.is_none() => target = Some(t.to_string()),
+            t if operand.is_none() => operand = Some(t.to_string()),
             t => {
                 eprintln!("unexpected argument '{t}'");
                 std::process::exit(2);
@@ -72,22 +93,109 @@ fn parse_args() -> Args {
             print_usage();
             std::process::exit(2);
         }),
+        operand,
         scale,
         out,
+        trace,
+        current,
+        baseline,
     }
 }
 
 fn print_usage() {
     eprintln!(
-        "usage: reproduce <table1|table2|table3|table4|table5|fig11|fig13|fig14|scenes|serve|infer|chaos|ablation|sweep|night|all> [--scale small|medium|large] [--out DIR]"
+        "usage: reproduce <table1|table2|table3|table4|table5|fig11|fig13|fig14|scenes|serve|infer|chaos|ablation|sweep|night|all> [--scale small|medium|large] [--out DIR] [--trace FILE]\n\
+         \x20      reproduce bench-check [--current DIR] [--baseline DIR]\n\
+         \x20      reproduce trace-check <trace.json>"
     );
+}
+
+/// Writes one `BENCH_<area>.json` into the working directory; on failure
+/// reports to stderr and returns false instead of panicking, so the rest
+/// of a `reproduce all` run still executes (the exit code records it).
+fn write_summary(summary: &Summary) -> bool {
+    match summary.write_to_dir(Path::new(".")) {
+        Ok(path) => {
+            println!("wrote {}\n", path.display());
+            true
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            false
+        }
+    }
+}
+
+/// Diffs the current `BENCH_*.json` set against the baselines; exits
+/// nonzero on any regression (or an unreadable/empty baseline set).
+fn run_bench_check(current: &Path, baseline: &Path) -> ! {
+    match seaice_obs::bench::compare_dirs(current, baseline) {
+        Ok((checked, regressions)) => {
+            println!(
+                "bench-check: {} area(s) checked: {}",
+                checked.len(),
+                checked.join(", ")
+            );
+            if regressions.is_empty() {
+                println!("bench-check: OK (no regressions beyond tolerance)");
+                std::process::exit(0);
+            }
+            for r in &regressions {
+                eprintln!("bench-check: REGRESSION {r}");
+            }
+            eprintln!("bench-check: {} regression(s)", regressions.len());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("bench-check: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Validates a Chrome `trace_event` JSON file; exits nonzero when it is
+/// malformed or its begin/end spans do not balance.
+fn run_trace_check(file: Option<&str>) -> ! {
+    let Some(file) = file else {
+        eprintln!("trace-check: missing trace file argument");
+        std::process::exit(2);
+    };
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace-check: cannot read {file}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match seaice_obs::trace::validate_chrome_trace(&src) {
+        Ok(stats) => {
+            println!(
+                "trace-check: OK — {} events ({} span pairs, {} complete, {} instants)",
+                stats.events, stats.span_pairs, stats.complete, stats.instants
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("trace-check: {file}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
     let args = parse_args();
-    let t0 = std::time::Instant::now();
     match args.target.as_str() {
-        "table1" | "fig10" => run_table1(args.scale),
+        "bench-check" => run_bench_check(&args.current, &args.baseline),
+        "trace-check" => run_trace_check(args.operand.as_deref()),
+        _ => {}
+    }
+    if args.trace.is_some() {
+        seaice_obs::trace::enable();
+    }
+    let t0 = std::time::Instant::now();
+    let mut ok = true;
+    match args.target.as_str() {
+        "table1" | "fig10" => ok &= run_table1(args.scale),
         "table2" => run_table2(args.scale),
         "table3" | "fig12" => run_table3(args.scale),
         "table4" => {
@@ -104,9 +212,9 @@ fn main() {
         "fig13" => run_fig13(args.scale),
         "fig14" => run_fig14(args.scale, &args.out),
         "scenes" => println!("{}", table45::scenes_timing(args.scale).render()),
-        "serve" => println!("{}", seaice_bench::servebench::run(args.scale).render()),
-        "infer" => run_infer(args.scale),
-        "chaos" => println!("{}", seaice_bench::chaosbench::run(args.scale).render()),
+        "serve" => ok &= run_serve(args.scale),
+        "infer" => ok &= run_infer(args.scale),
+        "chaos" => ok &= run_chaos(args.scale),
         "ablation" => {
             println!("{}", seaice_bench::ablation::run(args.scale).render());
             println!("{}", seaice_bench::ablation::up_mode(args.scale).render());
@@ -114,7 +222,7 @@ fn main() {
         "sweep" => println!("{}", seaice_bench::sweep::run(args.scale).render()),
         "night" => println!("{}", seaice_bench::night::run(args.scale).render()),
         "all" => {
-            run_table1(args.scale);
+            ok &= run_table1(args.scale);
             run_table2(args.scale);
             run_table3(args.scale);
             // Train once, reuse for tables 4/5 and fig 13/14.
@@ -126,9 +234,9 @@ fn main() {
             write_fig14(&mut exp, &args.out);
             run_fig11(args.scale, &args.out);
             println!("{}", table45::scenes_timing(args.scale).render());
-            println!("{}", seaice_bench::servebench::run(args.scale).render());
-            run_infer(args.scale);
-            println!("{}", seaice_bench::chaosbench::run(args.scale).render());
+            ok &= run_serve(args.scale);
+            ok &= run_infer(args.scale);
+            ok &= run_chaos(args.scale);
             println!("{}", seaice_bench::ablation::run(args.scale).render());
             println!("{}", seaice_bench::night::run(args.scale).render());
         }
@@ -138,24 +246,46 @@ fn main() {
             std::process::exit(2);
         }
     }
+    if let Some(path) = &args.trace {
+        match std::fs::write(path, seaice_obs::trace::export_chrome_json()) {
+            Ok(()) => println!("wrote trace {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write trace {}: {e}", path.display());
+                ok = false;
+            }
+        }
+    }
     println!(
         "[reproduce {} done in {:.1}s]",
         args.target,
         t0.elapsed().as_secs_f64()
     );
+    if !ok {
+        std::process::exit(1);
+    }
 }
 
-/// Runs the f32/int8 comparison and records it as `BENCH_infer.json` in
-/// the working directory (the repo root in CI).
-fn run_infer(scale: Scale) {
+/// Runs the f32/int8 comparison and records `BENCH_infer.json` (common
+/// `seaice-bench/1` schema) in the working directory.
+fn run_infer(scale: Scale) -> bool {
     let b = seaice_bench::infer::run(scale);
     println!("{}", b.render());
-    let path = Path::new("BENCH_infer.json");
-    std::fs::write(path, b.to_json()).expect("write BENCH_infer.json");
-    println!("wrote {}\n", path.display());
+    write_summary(&b.summary())
 }
 
-fn run_table1(scale: Scale) {
+fn run_serve(scale: Scale) -> bool {
+    let b = seaice_bench::servebench::run(scale);
+    println!("{}", b.render());
+    write_summary(&b.summary())
+}
+
+fn run_chaos(scale: Scale) -> bool {
+    let b = seaice_bench::chaosbench::run(scale);
+    println!("{}", b.render());
+    write_summary(&b.summary())
+}
+
+fn run_table1(scale: Scale) -> bool {
     let t = table1::run(scale);
     println!("{}", t.render());
     println!(
@@ -165,6 +295,7 @@ fn run_table1(scale: Scale) {
             .map(|r| (r.processes, (r.speedup * 100.0).round() / 100.0))
             .collect::<Vec<_>>()
     );
+    write_summary(&t.summary())
 }
 
 fn run_table2(scale: Scale) {

@@ -300,6 +300,33 @@ pub fn run(scale: Scale) -> ChaosBench {
 }
 
 impl ChaosBench {
+    /// The `BENCH_chaos.json` perf-trajectory summary: one
+    /// zero-tolerance bit-identity claim per recovered layer, plus the
+    /// injection/recovery counts and wall time with tolerances loose
+    /// enough that only a collapse (a layer stops recovering, the run
+    /// takes twice as long) flags.
+    pub fn summary(&self) -> seaice_obs::bench::Summary {
+        let mut s = seaice_obs::bench::Summary::new("chaos");
+        let mut injections = 0u64;
+        let mut recoveries = 0u64;
+        let mut wall = 0.0f64;
+        for r in &self.rows {
+            s = s.metric(
+                &format!("{}_bit_identical", r.layer),
+                if r.bit_identical { 1.0 } else { 0.0 },
+                "bool",
+                true,
+                0.0,
+            );
+            injections += r.injections;
+            recoveries += r.recoveries;
+            wall += r.wall_secs;
+        }
+        s.metric("injections_fired", injections as f64, "count", true, 1.0)
+            .metric("recoveries", recoveries as f64, "count", true, 1.0)
+            .metric("wall_secs", wall, "s", false, 1.0)
+    }
+
     /// Renders the recovery table.
     pub fn render(&self) -> String {
         let mut s = String::new();

@@ -177,6 +177,41 @@ pub fn run_config(cfg: InferBenchConfig) -> InferBench {
 }
 
 impl InferBench {
+    /// The `BENCH_infer.json` perf-trajectory summary in the common
+    /// `seaice-bench/1` schema: the int8 payoff and agreement bound
+    /// (tight — quantization quality is the claim), per-backend forward
+    /// times (loose — host wall time), and the zero-tolerance
+    /// within-backend determinism claim.
+    pub fn summary(&self) -> seaice_obs::bench::Summary {
+        let bit_identical = self.rows.iter().all(|r| r.serve_bit_identical);
+        let mut s = seaice_obs::bench::Summary::new("infer")
+            .metric("forward_speedup", self.forward_speedup, "x", true, 0.5)
+            .metric(
+                "argmax_agreement",
+                self.argmax_agreement,
+                "fraction",
+                true,
+                0.02,
+            )
+            .metric(
+                "bit_identical",
+                if bit_identical { 1.0 } else { 0.0 },
+                "bool",
+                true,
+                0.0,
+            );
+        for r in &self.rows {
+            s = s.metric(
+                &format!("{}_forward_us", r.backend),
+                r.forward_ns_per_tile / 1e3,
+                "us",
+                false,
+                1.0,
+            );
+        }
+        s
+    }
+
     /// Renders the backend comparison table.
     pub fn render(&self) -> String {
         let mut s = String::new();

@@ -330,6 +330,37 @@ pub fn run_config(cfg: ServeBenchConfig) -> ServeBench {
 }
 
 impl ServeBench {
+    /// The `BENCH_serve.json` perf-trajectory summary: the closed-loop
+    /// engine row's throughput and tail latency (loose tolerances — a 2×
+    /// move is a regression, host jitter is not), the cache hit rate, and
+    /// the zero-tolerance bit-identity claim.
+    pub fn summary(&self) -> seaice_obs::bench::Summary {
+        let closed = &self.rows[1];
+        seaice_obs::bench::Summary::new("serve")
+            .metric(
+                "closed_throughput_rps",
+                closed.throughput_rps,
+                "req/s",
+                true,
+                0.5,
+            )
+            .metric("closed_p99_ms", closed.p99_ms, "ms", false, 0.5)
+            .metric(
+                "cache_hit_rate",
+                closed.cache_hit_rate,
+                "fraction",
+                true,
+                0.1,
+            )
+            .metric(
+                "bit_identical",
+                if self.bit_identical { 1.0 } else { 0.0 },
+                "bool",
+                true,
+                0.0,
+            )
+    }
+
     /// Renders the latency/throughput table.
     pub fn render(&self) -> String {
         let mut s = String::new();

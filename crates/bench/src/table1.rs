@@ -124,6 +124,25 @@ pub fn run(scale: Scale) -> Table1 {
 }
 
 impl Table1 {
+    /// The `BENCH_label.json` perf-trajectory summary. Wall-time metrics
+    /// carry loose tolerances (host-to-host jitter must not flag); the
+    /// simulated speedup is tighter because the host model is
+    /// deterministic.
+    pub fn summary(&self) -> seaice_obs::bench::Summary {
+        let sim_speedup_8p = self.rows.last().map_or(0.0, |r| r.speedup);
+        seaice_obs::bench::Summary::new("label")
+            .metric("per_tile_ms", self.per_tile_secs * 1e3, "ms", false, 0.5)
+            .metric(
+                "fused_label_ms",
+                self.fused_label_secs * 1e3,
+                "ms",
+                false,
+                0.5,
+            )
+            .metric("fused_speedup", self.fused_speedup, "x", true, 0.5)
+            .metric("sim_speedup_8p", sim_speedup_8p, "x", true, 0.25)
+    }
+
     /// Renders the table in the paper's layout.
     pub fn render(&self) -> String {
         let mut s = String::new();

@@ -1,0 +1,50 @@
+//! The injected-regression fixture pair CI drives through
+//! `reproduce bench-check`: the regressed set carries a 2.5× closed-loop
+//! p99 (past the 0.5 tolerance) and nothing else out of band, so the
+//! comparator must flag exactly that one metric — and pass the baseline
+//! against itself.
+
+use std::path::Path;
+
+fn fixture(dir: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures/bench_check")
+        .join(dir)
+}
+
+#[test]
+fn regressed_fixture_flags_exactly_the_latency_regression() {
+    let (checked, regs) =
+        seaice_obs::bench::compare_dirs(&fixture("regressed"), &fixture("baseline"))
+            .expect("fixture dirs compare");
+    assert_eq!(checked, vec!["serve".to_string()]);
+    assert_eq!(
+        regs.len(),
+        1,
+        "only the p99 blowup should flag: {:?}",
+        regs.iter().map(|r| r.to_string()).collect::<Vec<_>>()
+    );
+    assert_eq!(regs[0].metric, "closed_p99_ms");
+    assert_eq!(regs[0].current, Some(31.25));
+}
+
+#[test]
+fn baseline_fixture_is_clean_against_itself() {
+    let (checked, regs) =
+        seaice_obs::bench::compare_dirs(&fixture("baseline"), &fixture("baseline"))
+            .expect("fixture dirs compare");
+    assert_eq!(checked, vec!["serve".to_string()]);
+    assert!(regs.is_empty(), "{:?}", regs[0].to_string());
+}
+
+#[test]
+fn area_summaries_round_trip_and_name_their_files() {
+    // The summaries the reproduce targets write must parse back under the
+    // common schema and name the files bench-check expects.
+    let t1 = seaice_bench::table1::run(seaice_bench::scale::Scale::Small);
+    let s = t1.summary();
+    assert_eq!(s.file_name(), "BENCH_label.json");
+    let parsed = seaice_obs::bench::Summary::from_json(&s.to_json()).expect("label round-trips");
+    assert!(parsed.metrics.contains_key("fused_speedup"));
+    assert!(parsed.metrics.contains_key("sim_speedup_8p"));
+}

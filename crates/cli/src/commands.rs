@@ -58,11 +58,11 @@ pub const USAGE: &str = "usage: seaice <synth|filter|label|calibrate|train|class
   filter      --in scene.ppm --out filtered.ppm
   label       --in scene.ppm --out labels.ppm [--no-filter] [--cuts WATER_HI,THICK_LO]
   calibrate   --image scene.ppm --labels labels.ppm
-  train       --model model.json [--scenes 6] [--scene-size 256] [--tile 32] [--epochs 12] [--labels auto|manual] [--seed 2019]
-  classify    --model model.json --in scene.ppm --out pred.ppm [--tile 32] [--backend f32|int8] [--no-filter] [--parallel | --engine [--workers N] [--batch 8]]
+  train       --model model.json [--scenes 6] [--scene-size 256] [--tile 32] [--epochs 12] [--labels auto|manual] [--seed 2019] [--trace FILE]
+  classify    --model model.json --in scene.ppm --out pred.ppm [--tile 32] [--backend f32|int8] [--no-filter] [--parallel | --engine [--workers N] [--batch 8]] [--trace FILE]
   analyze     --labels labels.ppm
   serve       --model model.json [--addr 127.0.0.1:8080] [--tile 32] [--backend f32|int8] [--workers N] [--batch 8] [--queue 256] [--cache 1024] [--no-filter] [--smoke]
-  serve-bench [--scale small|medium|large] [--scenes N] [--scene-size N] [--tile N] [--passes N] [--clients N] [--backend f32|int8]
+  serve-bench [--scale small|medium|large] [--scenes N] [--scene-size N] [--tile N] [--passes N] [--clients N] [--backend f32|int8] [--trace FILE]
   lint        [--root DIR] [--json]";
 
 /// Dispatches a parsed command.
@@ -72,14 +72,35 @@ pub fn run(mut p: Parsed) -> Result<String, CliError> {
         "filter" => filter(&mut p),
         "label" => label(&mut p),
         "calibrate" => run_calibrate(&mut p),
-        "train" => run_train(&mut p),
-        "classify" => classify(&mut p),
+        "train" => traced(&mut p, run_train),
+        "classify" => traced(&mut p, classify),
         "analyze" => analyze(&mut p),
         "serve" => serve(&mut p),
-        "serve-bench" => serve_bench(&mut p),
+        "serve-bench" => traced(&mut p, serve_bench),
         "lint" => lint(&mut p),
         other => Err(CliError::Msg(format!("unknown command '{other}'\n{USAGE}"))),
     }
+}
+
+/// Wraps a subcommand with `--trace FILE` support: span recording is
+/// switched on before the command runs and the collected spans are
+/// exported as Chrome `trace_event` JSON afterwards. Recording is
+/// process-global and stays on once enabled, which is fine for a
+/// one-command CLI process.
+fn traced(
+    p: &mut Parsed,
+    f: fn(&mut Parsed) -> Result<String, CliError>,
+) -> Result<String, CliError> {
+    let trace_path = p.optional("trace");
+    if trace_path.is_some() {
+        seaice_obs::trace::enable();
+    }
+    let mut msg = f(p)?;
+    if let Some(path) = trace_path {
+        std::fs::write(&path, seaice_obs::trace::export_chrome_json())?;
+        msg.push_str(&format!("\nwrote trace {path}"));
+    }
+    Ok(msg)
 }
 
 fn ranges_from(p: &Parsed) -> Result<ClassRanges, CliError> {
@@ -213,6 +234,7 @@ fn run_train(p: &mut Parsed) -> Result<String, CliError> {
         "epochs",
         "labels",
         "seed",
+        "trace",
     ])?;
     let model_path = p.required("model")?;
     let scenes = p.get_or("scenes", 6usize)?;
@@ -244,7 +266,11 @@ fn run_train(p: &mut Parsed) -> Result<String, CliError> {
     let mut model = UNet::new(cfg.unet);
     // seaice-lint: allow(wallclock-in-deterministic-path) reason="elapsed seconds appear only in the human-readable summary string; nothing downstream orders or hashes on it"
     let t0 = std::time::Instant::now();
-    let report = train(&mut model, &loader, &cfg.train);
+    let trace = seaice_obs::trace::tracer();
+    let report = {
+        let _span = trace.span("train.run", "train");
+        train(&mut model, &loader, &cfg.train)
+    };
     checkpoint::save(&mut model, &model_path)?;
     Ok(format!(
         "trained U-Net ({} labels) on {} tiles for {epochs} epochs in {:.1}s (loss {:.3} -> {:.3}); saved {}",
@@ -285,6 +311,7 @@ fn classify(p: &mut Parsed) -> Result<String, CliError> {
         "engine",
         "workers",
         "batch",
+        "trace",
     ])?;
     let model_path = p.required("model")?;
     let input = read_ppm(p.required("in")?)?;
@@ -359,6 +386,9 @@ fn serve(p: &mut Parsed) -> Result<String, CliError> {
     cfg.cache_capacity = p.get_or("cache", cfg.cache_capacity)?;
     cfg.filter = !p.flag("no-filter");
     cfg.backend = backend_from(p)?;
+    // Live serving wants the metrics registry on so GET /metrics has
+    // counters and histograms to expose; batch commands leave it disabled.
+    seaice_obs::enable_metrics();
     let engine = Arc::new(Engine::new(&ckpt, cfg).map_err(|e| CliError::Msg(e.to_string()))?);
 
     if p.flag("smoke") {
@@ -394,7 +424,9 @@ fn serve(p: &mut Parsed) -> Result<String, CliError> {
         cfg.queue_capacity,
         cfg.cache_capacity
     );
-    println!("routes: POST /classify (raw RGB tile bytes), GET /stats, GET /healthz");
+    println!(
+        "routes: POST /classify (raw RGB tile bytes), GET /stats, GET /metrics (Prometheus), GET /healthz"
+    );
     loop {
         std::thread::park();
     }
@@ -409,6 +441,7 @@ fn serve_bench(p: &mut Parsed) -> Result<String, CliError> {
         "passes",
         "clients",
         "backend",
+        "trace",
     ])?;
     let scale = match p.optional("scale") {
         None => seaice_bench::scale::Scale::Small,
@@ -579,7 +612,18 @@ mod tests {
         assert!(msg.contains("serve smoke"), "{msg}");
         assert!(msg.contains("ok=1"), "{msg}");
 
-        for f in [scene, pred, pred_par, pred_eng, model] {
+        // --trace exports a Chrome trace_event JSON with the engine spans.
+        let trace = tmp("c-trace.json");
+        let msg = run(parse(&format!(
+            "classify --model {model} --in {scene} --out {pred_eng} --tile 32 --engine --trace {trace}"
+        )))
+        .unwrap();
+        assert!(msg.contains("wrote trace"), "{msg}");
+        let src = std::fs::read_to_string(&trace).unwrap();
+        let stats = seaice_obs::trace::validate_chrome_trace(&src).unwrap();
+        assert!(stats.events > 0, "engine run should emit spans");
+
+        for f in [scene, pred, pred_par, pred_eng, model, trace] {
             std::fs::remove_file(f).ok();
         }
     }

@@ -300,6 +300,19 @@ pub fn train_distributed_elastic(
     let mut resumed_from_epochs = Vec::new();
     let mut simulated_secs = 0.0f64;
 
+    // Observability: generations land on the *simulated* DGX timeline —
+    // a ManualClock advanced by each generation's perf-model seconds —
+    // so this crate never reads the wall clock for tracing (the Clock
+    // split seaice-obs exists for). Instruments are inert unless the
+    // process enabled metrics/tracing.
+    let sim_clock = Arc::new(seaice_obs::ManualClock::new());
+    let trace =
+        seaice_obs::trace::tracer_with_clock(Arc::clone(&sim_clock) as Arc<dyn seaice_obs::Clock>);
+    let obs = seaice_obs::metrics();
+    let ctr_generations = obs.counter("distrib.generations");
+    let ctr_rank_failures = obs.counter("distrib.rank_failures");
+    let gauge_ips = obs.gauge("distrib.images_per_sec");
+
     loop {
         if generations >= max_generations {
             return Err(TrainError::TooManyFailures { generations });
@@ -448,7 +461,25 @@ pub fn train_distributed_elastic(
                 }
                 // seaice-lint: allow(panic-in-library) reason="in a clean generation every rank Finished, and rank 0 always attaches its snapshot to Finished; a None is a coordinator bug, not a runtime condition"
                 let model = checkpoint::restore(&rank0_model.expect("rank 0 snapshot missing"));
-                simulated_secs += perf.total_time(world, cfg.epochs - start_epoch);
+                let gen_secs = perf.total_time(world, cfg.epochs - start_epoch);
+                simulated_secs += gen_secs;
+                ctr_generations.incr(1);
+                gauge_ips.set(perf.images_per_sec(cfg.ranks));
+                if trace.is_enabled() {
+                    let dur_us = (gen_secs * 1e6) as u64;
+                    let end_us = sim_clock.advance_us(dur_us);
+                    trace.complete_with_args(
+                        "distrib.generation",
+                        "distrib",
+                        end_us.saturating_sub(dur_us),
+                        dur_us,
+                        &[
+                            ("generation", &generations.to_string()),
+                            ("world", &world.to_string()),
+                            ("ok", "true"),
+                        ],
+                    );
+                }
                 let epoch_losses: Vec<f32> = prior_losses.into_iter().chain(rank0_losses).collect();
                 let report = DistTrainReport {
                     epoch_losses,
@@ -468,8 +499,26 @@ pub fn train_distributed_elastic(
             Some(epoch) => {
                 // Charge the epochs this generation actually attempted
                 // (the partial epoch counts — the cluster ran it).
-                simulated_secs += perf.total_time(world, epoch - start_epoch + 1);
+                let gen_secs = perf.total_time(world, epoch - start_epoch + 1);
+                simulated_secs += gen_secs;
+                ctr_generations.incr(1);
+                ctr_rank_failures.incr(died.len() as u64);
                 rank_failures += died.len();
+                if trace.is_enabled() {
+                    let dur_us = (gen_secs * 1e6) as u64;
+                    let end_us = sim_clock.advance_us(dur_us);
+                    trace.complete_with_args(
+                        "distrib.generation",
+                        "distrib",
+                        end_us.saturating_sub(dur_us),
+                        dur_us,
+                        &[
+                            ("generation", &generations.to_string()),
+                            ("world", &world.to_string()),
+                            ("ok", "false"),
+                        ],
+                    );
+                }
                 let survivors = world - died.len();
                 if survivors < min_ranks {
                     return Err(TrainError::BelowMinRanks {
@@ -480,6 +529,15 @@ pub fn train_distributed_elastic(
                 world = survivors;
                 let resume_epoch = slot.lock().unwrap_or_else(|e| e.into_inner()).next_epoch;
                 resumed_from_epochs.push(resume_epoch);
+                trace.instant(
+                    "distrib.recovery",
+                    "distrib",
+                    &[
+                        ("survivors", &survivors.to_string()),
+                        ("resume_epoch", &resume_epoch.to_string()),
+                        ("ranks_lost", &died.len().to_string()),
+                    ],
+                );
             }
         }
     }
@@ -806,6 +864,42 @@ mod tests {
         assert_eq!(weights(&mut strict), weights(&mut elastic));
         assert_eq!(strict_report.epoch_losses, elastic_report.epoch_losses);
         assert_eq!(strict_report.simulated_secs, elastic_report.simulated_secs);
+    }
+
+    #[test]
+    fn elastic_runs_emit_sim_clock_generation_events_and_counters() {
+        seaice_obs::trace::enable();
+        let m = seaice_obs::enable_metrics();
+        let before = m.counter("distrib.generations").get();
+        // Rank 2 of 3 dies entering epoch 1, forcing a recovery.
+        let plan = FaultPlan::seeded(8).fail_keys(
+            "distrib.allreduce",
+            &[rank_fault_key(3, 2, 1, 0)],
+            FaultAction::Error,
+        );
+        let (_, report) = train_distributed_elastic(
+            tiny_cfg(),
+            toy_samples(9, 8),
+            DistTrainConfig {
+                ranks: 3,
+                epochs: 2,
+                batch_size_per_rank: 2,
+                learning_rate: 1e-3,
+                shuffle_seed: Some(4),
+            },
+            &DgxA100Model::dgx_a100(),
+            ElasticConfig::default(),
+            Arc::new(plan),
+        )
+        .unwrap();
+        assert_eq!(report.generations, 2);
+        assert!(m.counter("distrib.generations").get() >= before + 2);
+        assert!(m.counter("distrib.rank_failures").get() >= 1);
+        assert!(m.gauge("distrib.images_per_sec").get() > 0.0);
+        let json = seaice_obs::trace::export_chrome_json();
+        assert!(json.contains("\"name\": \"distrib.generation\""), "{json}");
+        assert!(json.contains("\"name\": \"distrib.recovery\""), "{json}");
+        seaice_obs::trace::validate_chrome_trace(&json).expect("valid chrome trace");
     }
 
     #[test]

@@ -134,6 +134,15 @@ fn segment_both(
     }
 }
 
+/// Labeling throughput counters. Inert — a branch on a `None` — when
+/// metrics are disabled, so the deterministic labeling path is
+/// byte-identical either way; these count work, they never time it
+/// (ns/tile figures come from the bench layer, which owns the clock).
+fn obs_counters() -> (seaice_obs::Counter, seaice_obs::Counter) {
+    let m = seaice_obs::metrics();
+    (m.counter("label.tiles"), m.counter("label.pixels"))
+}
+
 /// Auto-labels one RGB image.
 pub fn auto_label(rgb: &Image<u8>, cfg: &AutoLabelConfig) -> LabelOutput {
     auto_label_scratch(rgb, cfg, &mut Scratch::new())
@@ -148,6 +157,9 @@ pub fn auto_label_scratch(
     cfg: &AutoLabelConfig,
     scratch: &mut Scratch,
 ) -> LabelOutput {
+    let (tiles, pixels) = obs_counters();
+    tiles.incr(1);
+    pixels.incr((rgb.width() * rgb.height()) as u64);
     let processed = preprocess(rgb, cfg, scratch);
     let (class_mask, color_label) = segment_both(&processed, cfg, scratch);
     LabelOutput {
@@ -167,6 +179,9 @@ pub fn auto_label_class_mask(
     cfg: &AutoLabelConfig,
     scratch: &mut Scratch,
 ) -> Image<u8> {
+    let (tiles, pixels) = obs_counters();
+    tiles.incr(1);
+    pixels.incr((rgb.width() * rgb.height()) as u64);
     let processed = preprocess(rgb, cfg, scratch);
     let mask = match cfg.backend {
         LabelBackend::Reference => segment_classes(&processed, &cfg.ranges),
@@ -234,6 +249,18 @@ mod tests {
                 vec![8, 12, 18]
             }
         })
+    }
+
+    #[test]
+    fn labeling_counts_tiles_and_pixels_when_metrics_enabled() {
+        let m = seaice_obs::enable_metrics();
+        let tiles_before = m.counter("label.tiles").get();
+        let pixels_before = m.counter("label.pixels").get();
+        let img = tri_band(24);
+        let _ = auto_label(&img, &AutoLabelConfig::unfiltered());
+        let _ = auto_label_class_mask(&img, &AutoLabelConfig::unfiltered(), &mut Scratch::new());
+        assert!(m.counter("label.tiles").get() >= tiles_before + 2);
+        assert!(m.counter("label.pixels").get() >= pixels_before + 2 * 24 * 24);
     }
 
     #[test]

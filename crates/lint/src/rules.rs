@@ -158,7 +158,8 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnosti
                     t.line,
                     "`Instant::now` in a deterministic path: wall-clock reads \
                      must stay inside timing modules (serve/bench/metrics) or \
-                     carry a reasoned suppression"
+                     the obs Clock abstraction, or carry a reasoned \
+                     suppression"
                         .into(),
                 );
             }
@@ -168,7 +169,8 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnosti
                     t.line,
                     "`SystemTime` in a deterministic path: wall-clock reads \
                      must stay inside timing modules (serve/bench/metrics) or \
-                     carry a reasoned suppression"
+                     the obs Clock abstraction, or carry a reasoned \
+                     suppression"
                         .into(),
                 );
             }
@@ -729,6 +731,20 @@ mod tests {
         assert!(lint("crates/serve/src/x.rs", src).is_empty());
         assert!(lint("crates/bench/src/x.rs", src).is_empty());
         assert!(lint("crates/metrics/src/x.rs", src).is_empty());
+        // The obs crate owns WallClock — its Instant::now is the point.
+        assert!(lint("crates/obs/src/trace.rs", src).is_empty());
+    }
+
+    #[test]
+    fn deterministic_crates_may_use_the_obs_clock_but_not_wallclock() {
+        // Injecting a Clock (ManualClock here) reads no wall time: clean.
+        let clock_src = "fn f(c: &dyn seaice_obs::Clock) -> u64 { c.now_us() }\n";
+        assert!(lint("crates/mapreduce/src/x.rs", clock_src).is_empty());
+        // A direct Instant::now in the same crate still fires.
+        let wall_src = "fn f() -> std::time::Instant { std::time::Instant::now() }\n";
+        let d = lint("crates/mapreduce/src/x.rs", wall_src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, WALLCLOCK);
     }
 
     #[test]

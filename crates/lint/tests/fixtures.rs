@@ -150,6 +150,25 @@ fn one_comment_can_suppress_multiple_rules() {
     assert!(lint("crates/imgproc/src/x.rs", src).is_empty());
 }
 
+// --- obs Clock allowlist --------------------------------------------------
+
+#[test]
+fn obs_clock_allowlist_covers_the_clock_owner_not_its_users() {
+    let wall = "use std::time::Instant;\nfn f() -> Instant {\n    Instant::now()\n}\n";
+    // The obs crate owns WallClock; its wall-clock reads are the point.
+    assert!(lint("crates/obs/src/trace.rs", wall).is_empty());
+    // A deterministic crate reading wall time directly still fires —
+    // it must inject a seaice_obs::Clock instead ...
+    let d = lint("crates/mapreduce/src/cluster.rs", wall);
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].rule, WALLCLOCK);
+    // ... and doing so is clean: no time types, no wall-clock reads.
+    let injected =
+        "fn f(c: &dyn seaice_obs::Clock, dur_us: u64) -> u64 {\n    c.now_us() + dur_us\n}\n";
+    assert!(lint("crates/mapreduce/src/cluster.rs", injected).is_empty());
+    assert!(lint("crates/distrib/src/trainer.rs", injected).is_empty());
+}
+
 // --- scratch fixture on disk (acceptance criterion) ----------------------
 
 #[test]

@@ -382,6 +382,21 @@ impl Cluster {
         let f = Arc::new(f);
         let (done_tx, done_rx) = channel::unbounded::<Completion<U>>();
 
+        // Observability: attempts land on a *simulated* timeline — a
+        // ManualClock the driver advances by each completion's measured
+        // seconds — so this crate emits spans without ever reading the
+        // wall clock (the split seaice-obs's Clock abstraction exists
+        // for). Counters are inert unless metrics were enabled.
+        let sim_clock = Arc::new(seaice_obs::ManualClock::new());
+        let trace = seaice_obs::trace::tracer_with_clock(
+            Arc::clone(&sim_clock) as Arc<dyn seaice_obs::Clock>
+        );
+        let obs = seaice_obs::metrics();
+        let ctr_attempts = obs.counter("mapreduce.attempts");
+        let ctr_retries = obs.counter("mapreduce.retries");
+        let ctr_failures = obs.counter("mapreduce.failures");
+        let ctr_speculative = obs.counter("mapreduce.speculative");
+
         let mut tasks: Vec<TaskState> = (0..n)
             .map(|_| TaskState {
                 done: false,
@@ -417,10 +432,13 @@ impl Cluster {
             // seaice-lint: allow(wallclock-in-deterministic-path) reason="start stamps feed only the speculative-launch quantile and FtReport.attempt_costs, which are accounting outputs, never result ordering"
             started_at.push((task, Instant::now()));
             report.attempts += 1;
+            ctr_attempts.incr(1);
             if speculative {
                 report.speculative += 1;
+                ctr_speculative.incr(1);
             } else if attempt > 0 {
                 report.retries += 1;
+                ctr_retries.incr(1);
             }
             let f = Arc::clone(&f);
             let items = Arc::clone(&items);
@@ -485,6 +503,25 @@ impl Cluster {
                     started_at.swap_remove(pos);
                 }
                 report.attempt_costs.push(c.secs);
+                if trace.is_enabled() {
+                    // Charge the attempt to the simulated timeline: the
+                    // clock advances by the attempt's measured compute
+                    // seconds, and the complete event covers that window.
+                    let dur_us = (c.secs * 1e6) as u64;
+                    let end_us = sim_clock.advance_us(dur_us);
+                    trace.complete_with_args(
+                        "mapreduce.attempt",
+                        "mapreduce",
+                        end_us.saturating_sub(dur_us),
+                        dur_us,
+                        &[
+                            ("task", &c.task.to_string()),
+                            ("executor", &c.executor.to_string()),
+                            ("speculative", if c.speculative { "true" } else { "false" }),
+                            ("ok", if c.outcome.is_ok() { "true" } else { "false" }),
+                        ],
+                    );
+                }
                 match c.outcome {
                     Ok(v) => {
                         if !tasks[c.task].done {
@@ -502,12 +539,29 @@ impl Cluster {
                     }
                     Err(msg) => {
                         report.failures += 1;
+                        ctr_failures.incr(1);
+                        if trace.is_enabled() {
+                            trace.instant(
+                                "mapreduce.fault",
+                                "mapreduce",
+                                &[
+                                    ("task", &c.task.to_string()),
+                                    ("executor", &c.executor.to_string()),
+                                    ("error", &msg),
+                                ],
+                            );
+                        }
                         report.failures_per_executor[c.executor] += 1;
                         if report.failures_per_executor[c.executor] >= policy.blacklist_after
                             && !blacklisted[c.executor]
                         {
                             blacklisted[c.executor] = true;
                             report.blacklisted.push(c.executor);
+                            trace.instant(
+                                "mapreduce.blacklist",
+                                "mapreduce",
+                                &[("executor", &c.executor.to_string())],
+                            );
                         }
                         let state = &mut tasks[c.task];
                         if !state.done {
@@ -801,6 +855,33 @@ mod tests {
                 assert_eq!(attempts, 2);
             }
         }
+    }
+
+    #[test]
+    fn ft_jobs_emit_sim_clock_trace_events_and_counters() {
+        seaice_obs::trace::enable();
+        let m = seaice_obs::enable_metrics();
+        let before = m.counter("mapreduce.attempts").get();
+        let cluster = Cluster::start(spec(2, 2));
+        // Task 1's first attempt fails so the fault path is exercised.
+        let plan =
+            FaultPlan::seeded(9).fail_keys("mapreduce.task", &[mix(1, 0)], FaultAction::Error);
+        let (_, report) = cluster
+            .run_tasks_ft(
+                (0..6).collect(),
+                |x: i64| x,
+                RunPolicy::resilient(),
+                Arc::new(plan),
+            )
+            .unwrap();
+        assert!(report.failures >= 1);
+        assert!(m.counter("mapreduce.attempts").get() >= before + report.attempts as u64);
+        assert!(m.counter("mapreduce.failures").get() >= 1);
+        let json = seaice_obs::trace::export_chrome_json();
+        assert!(json.contains("\"name\": \"mapreduce.attempt\""), "{json}");
+        assert!(json.contains("\"name\": \"mapreduce.fault\""), "{json}");
+        // The whole trace (shared sink) stays Chrome-loadable.
+        seaice_obs::trace::validate_chrome_trace(&json).expect("valid chrome trace");
     }
 
     #[test]

@@ -88,6 +88,37 @@ impl LatencyHistogram {
         self.count
     }
 
+    /// Exact sum of every recorded observation, µs.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// The non-empty buckets, lowest first — what `GET /stats` exposes so
+    /// external scrapers can compute their own quantiles instead of
+    /// trusting the server's p50/p95/p99 picks.
+    ///
+    /// Ranges are strictly ordered and non-overlapping: `bucket_of`
+    /// always picks the highest index sharing a floor (the bottom few
+    /// geometric floors collide at 1 µs), so a non-empty bucket's floor
+    /// is always below its successor's. Bucket 0 reports `[0, 1)` — it
+    /// only ever holds 0 µs observations.
+    pub fn bucket_counts(&self) -> Vec<BucketCount> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| BucketCount {
+                floor_us: if i == 0 { 0 } else { bucket_floor(i) },
+                upper_us: if i + 1 < BUCKETS {
+                    bucket_floor(i + 1)
+                } else {
+                    u64::MAX
+                },
+                count: c,
+            })
+            .collect()
+    }
+
     /// Mean latency in microseconds (0 when empty).
     pub fn mean_us(&self) -> f64 {
         if self.count == 0 {
@@ -155,6 +186,19 @@ impl LatencyHistogram {
             max_us: self.max_us,
         }
     }
+}
+
+/// One non-empty histogram bucket: the half-open range
+/// `[floor_us, upper_us)` and its observation count. The last bucket is
+/// open-ended (`upper_us == u64::MAX`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Inclusive lower edge, µs.
+    pub floor_us: u64,
+    /// Exclusive upper edge, µs (`u64::MAX` for the open-ended tail).
+    pub upper_us: u64,
+    /// Observations that landed in this bucket.
+    pub count: u64,
 }
 
 /// A point-in-time latency summary (what `GET /stats` reports).
@@ -249,6 +293,106 @@ mod tests {
         assert_eq!(s.p99_us, 0);
         assert_eq!(s.min_us, 0);
         assert_eq!(s.throughput(std::time::Duration::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    fn bucket_of_zero_lands_in_the_first_bucket() {
+        assert_eq!(bucket_of(0), 0);
+        let mut h = LatencyHistogram::new();
+        h.record_us(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min_us(), 0);
+        assert_eq!(h.quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn bucket_of_is_exact_at_every_bucket_floor_edge() {
+        // At an exact floor the observation belongs to that bucket
+        // (floors are inclusive lower edges), and one µs below an edge
+        // belongs to the bucket before it — for every distinct edge.
+        for i in 0..BUCKETS {
+            let floor = bucket_floor(i);
+            let at = bucket_of(floor);
+            assert!(
+                bucket_floor(at) <= floor && (at + 1 == BUCKETS || bucket_floor(at + 1) > floor),
+                "floor({i}) = {floor} landed in bucket {at}"
+            );
+            if i > 0 && floor > bucket_floor(i - 1) {
+                let below = bucket_of(floor - 1);
+                assert!(
+                    below < i,
+                    "edge {floor}: {floor}-1 landed in bucket {below}"
+                );
+                assert!(
+                    bucket_floor(below + 1) > floor - 1,
+                    "edge {floor}: bucket {below} does not cover {}",
+                    floor - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn u64_max_clamps_into_the_open_ended_last_bucket() {
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        let mut h = LatencyHistogram::new();
+        h.record_us(u64::MAX);
+        assert_eq!(h.max_us(), u64::MAX);
+        assert_eq!(h.quantile_us(1.0), u64::MAX);
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].upper_us, u64::MAX);
+        // A Duration too large for u64 µs takes the same clamped path.
+        let mut d = LatencyHistogram::new();
+        d.record(std::time::Duration::MAX);
+        assert_eq!(d.max_us(), u64::MAX);
+    }
+
+    #[test]
+    fn merged_shards_quantile_like_one_histogram() {
+        // Deterministic multiplicative-congruential stream, sharded
+        // round-robin into 4 histograms and merged back: every quantile
+        // and moment must match recording straight into one.
+        let mut shards = vec![LatencyHistogram::new(); 4];
+        let mut whole = LatencyHistogram::new();
+        let mut x = 0x5EA1CEu64;
+        for i in 0..4000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let us = x % 10_000_000;
+            shards[i % 4].record_us(us);
+            whole.record_us(us);
+        }
+        let mut merged = LatencyHistogram::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.sum_us(), whole.sum_us());
+        assert_eq!(merged.min_us(), whole.min_us());
+        assert_eq!(merged.max_us(), whole.max_us());
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.quantile_us(q), whole.quantile_us(q), "q={q}");
+        }
+        assert_eq!(merged.bucket_counts(), whole.bucket_counts());
+    }
+
+    #[test]
+    fn bucket_counts_cover_exactly_the_recorded_observations() {
+        let mut h = LatencyHistogram::new();
+        for us in [0u64, 1, 5, 5, 700, 1_000_000] {
+            h.record_us(us);
+        }
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets.iter().map(|b| b.count).sum::<u64>(), h.count());
+        for w in buckets.windows(2) {
+            assert!(w[0].floor_us < w[1].floor_us, "buckets out of order");
+            assert!(w[0].upper_us <= w[1].floor_us, "buckets overlap");
+        }
+        for b in &buckets {
+            assert!(b.floor_us < b.upper_us);
+        }
     }
 
     #[test]

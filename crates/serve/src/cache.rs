@@ -52,6 +52,7 @@ pub struct LruCache<V> {
     capacity: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl<V: Clone> LruCache<V> {
@@ -67,6 +68,7 @@ impl<V: Clone> LruCache<V> {
             capacity,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -93,6 +95,11 @@ impl<V: Clone> LruCache<V> {
     /// Lookups that found nothing.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Entries displaced to make room (refreshes don't count).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// `hits / (hits + misses)`, 0 before any lookup.
@@ -168,6 +175,7 @@ impl<V: Clone> LruCache<V> {
             let victim = self.tail;
             self.unlink(victim);
             self.map.remove(&self.slab[victim].key);
+            self.evictions += 1;
             self.slab[victim].key = key;
             self.slab[victim].value = value;
             victim
@@ -227,6 +235,20 @@ mod tests {
         assert!(c.get(8).is_none());
         assert_eq!((c.hits(), c.misses()), (1, 1));
         assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evictions_count_displacements_not_refreshes() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.evictions(), 0);
+        c.insert(1, "a2"); // refresh: no eviction
+        assert_eq!(c.evictions(), 0);
+        c.insert(3, "c"); // displaces 2
+        c.insert(4, "d"); // displaces 1
+        assert_eq!(c.evictions(), 2);
+        assert_eq!(c.len(), 2);
     }
 
     #[test]

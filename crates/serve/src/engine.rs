@@ -36,7 +36,7 @@ use seaice_core::adapters::image_to_chw_into;
 use seaice_faults::FaultPlan;
 use seaice_imgproc::buffer::Image;
 use seaice_label::cloudshadow::{CloudShadowFilter, FilterConfig};
-use seaice_metrics::latency::{LatencyHistogram, LatencySnapshot};
+use seaice_metrics::latency::{BucketCount, LatencyHistogram, LatencySnapshot};
 use seaice_nn::Tensor;
 use seaice_unet::checkpoint::Checkpoint;
 use seaice_unet::{InferBackend, QuantizedUNet, UNet};
@@ -204,6 +204,35 @@ impl Ticket {
     }
 }
 
+/// The engine's hooks into the process-wide observability layer
+/// (`seaice-obs`), grabbed once at construction: inert no-ops unless
+/// `seaice_obs::enable_metrics()` / `seaice_obs::trace::enable()` ran
+/// first, so the default engine is byte-identical to an uninstrumented
+/// one.
+struct EngineObs {
+    /// Pre-check so disabled observability skips even the `Instant`
+    /// arithmetic feeding it.
+    active: bool,
+    /// Registry histogram `serve.queue.wait_us` (admission → dequeue).
+    queue_wait_us: seaice_obs::Histogram,
+    /// Registry histogram `serve.request.latency_us` (submit → answer).
+    request_latency_us: seaice_obs::Histogram,
+    tracer: seaice_obs::Tracer,
+}
+
+impl EngineObs {
+    fn capture() -> Self {
+        let recorder = seaice_obs::metrics();
+        let tracer = seaice_obs::tracer();
+        EngineObs {
+            active: recorder.is_enabled() || tracer.is_enabled(),
+            queue_wait_us: recorder.histogram("serve.queue.wait_us"),
+            request_latency_us: recorder.histogram("serve.request.latency_us"),
+            tracer,
+        }
+    }
+}
+
 /// Lock-free counters + the (locked, cheap) latency histogram.
 #[derive(Default)]
 struct StatsInner {
@@ -249,6 +278,8 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// Cache lookups that missed.
     pub cache_misses: u64,
+    /// Cache entries displaced to make room for new ones.
+    pub cache_evictions: u64,
     /// `cache_hits / lookups` so far.
     pub cache_hit_rate: f64,
     /// Entries resident in the cache.
@@ -277,6 +308,10 @@ pub struct StatsSnapshot {
     pub robustness: RobustnessSnapshot,
     /// End-to-end request latency (submit → response ready).
     pub latency: LatencySnapshot,
+    /// The non-empty latency buckets behind [`latency`]
+    /// (`StatsSnapshot::latency`), so external scrapers can compute
+    /// their own quantiles instead of trusting p50/p95/p99 picks.
+    pub latency_buckets: Vec<BucketCount>,
     /// `ok / uptime` — the engine's lifetime throughput in requests/s.
     pub throughput_rps: f64,
 }
@@ -287,6 +322,7 @@ pub struct Engine {
     queue: Arc<BoundedQueue<Request>>,
     cache: Arc<Mutex<LruCache<Arc<Vec<u8>>>>>,
     stats: Arc<StatsInner>,
+    obs: Arc<EngineObs>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     started: Instant,
 }
@@ -337,6 +373,7 @@ impl Engine {
         let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
         let cache = Arc::new(Mutex::new(LruCache::new(cfg.cache_capacity)));
         let stats = Arc::new(StatsInner::default());
+        let obs = Arc::new(EngineObs::capture());
         // Workers keep the replica spec (checkpoint, or the once-quantized
         // int8 network) so a panicking replica can be rebuilt in place.
         let spec = Arc::new(match cfg.backend {
@@ -357,10 +394,11 @@ impl Engine {
             let stats = Arc::clone(&stats);
             let spec = Arc::clone(&spec);
             let faults = Arc::clone(&faults);
+            let obs = Arc::clone(&obs);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("seaice-serve-{w}"))
-                    .spawn(move || worker_loop(&queue, &cache, &stats, &spec, &faults, cfg))
+                    .spawn(move || worker_loop(&queue, &cache, &stats, &spec, &faults, &obs, cfg))
                     .map_err(|e| {
                         ServeError::Internal(format!("failed to spawn serve worker: {e}"))
                     })?,
@@ -371,6 +409,7 @@ impl Engine {
             queue,
             cache,
             stats,
+            obs,
             workers: Mutex::new(workers),
             started: Instant::now(),
         })
@@ -396,13 +435,24 @@ impl Engine {
         }
         self.stats.submitted.fetch_add(1, Ordering::Relaxed);
         let submitted = Instant::now();
-        let key = tile_key(&tile);
-        let cached = crate::sync::lock(&self.cache).get(key);
+        let (key, cached) = {
+            let _lookup = self.obs.tracer.span("serve.cache.lookup", "serve");
+            let key = tile_key(&tile);
+            (key, crate::sync::lock(&self.cache).get(key))
+        };
         let (tx, rx) = mpsc::channel();
         let ticket = Ticket { rx };
         if let Some(mask) = cached {
             self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-            self.record_latency(submitted.elapsed());
+            let waited = submitted.elapsed();
+            self.record_latency(waited);
+            if self.obs.active {
+                let us = waited.as_micros().min(u128::from(u64::MAX)) as u64;
+                self.obs.request_latency_us.record_us(us);
+                self.obs
+                    .tracer
+                    .complete_ending_now("serve.request", "serve", us);
+            }
             tx.send(Ok(mask)).ok();
             return Ok(Admitted::Hit(ticket));
         }
@@ -478,7 +528,10 @@ impl Engine {
     /// A point-in-time stats snapshot.
     pub fn stats(&self) -> StatsSnapshot {
         let cache = crate::sync::lock(&self.cache);
-        let latency = crate::sync::lock(&self.stats.latency).snapshot();
+        let (latency, latency_buckets) = {
+            let h = crate::sync::lock(&self.stats.latency);
+            (h.snapshot(), h.bucket_counts())
+        };
         let computed = self.stats.computed.load(Ordering::Relaxed);
         let hits = self.stats.cache_hits.load(Ordering::Relaxed);
         let batches = self.stats.batches.load(Ordering::Relaxed);
@@ -493,6 +546,7 @@ impl Engine {
             computed,
             cache_hits: hits,
             cache_misses: cache.misses(),
+            cache_evictions: cache.evictions(),
             cache_hit_rate: cache.hit_rate(),
             cache_len: cache.len(),
             cache_capacity: cache.capacity(),
@@ -516,12 +570,82 @@ impl Engine {
                 shed_deadline: self.stats.shed_deadline.load(Ordering::Relaxed),
             },
             latency,
+            latency_buckets,
             throughput_rps: if uptime > 0.0 {
                 ok as f64 / uptime
             } else {
                 0.0
             },
         }
+    }
+
+    /// The engine's metrics in Prometheus text exposition format
+    /// (`GET /metrics`): the stats snapshot rendered as
+    /// `seaice_serve_*` series, followed by whatever the process-wide
+    /// `seaice-obs` registry holds (empty unless
+    /// `seaice_obs::enable_metrics()` ran before construction).
+    pub fn metrics_prometheus(&self) -> String {
+        let s = self.stats();
+        let mut out = String::new();
+        let mut put = |name: &str, kind: &str, value: String| {
+            out.push_str(&format!("# TYPE seaice_serve_{name} {kind}\n"));
+            out.push_str(&format!("seaice_serve_{name} {value}\n"));
+        };
+        put("requests_submitted", "counter", s.submitted.to_string());
+        put("requests_ok", "counter", s.ok.to_string());
+        put("requests_computed", "counter", s.computed.to_string());
+        put("requests_rejected", "counter", s.rejected.to_string());
+        put("cache_hits", "counter", s.cache_hits.to_string());
+        put("cache_misses", "counter", s.cache_misses.to_string());
+        put("cache_evictions", "counter", s.cache_evictions.to_string());
+        put("cache_len", "gauge", s.cache_len.to_string());
+        put(
+            "shed_overload",
+            "counter",
+            s.robustness.shed_overload.to_string(),
+        );
+        put(
+            "shed_deadline",
+            "counter",
+            s.robustness.shed_deadline.to_string(),
+        );
+        put("batches", "counter", s.batches.to_string());
+        put(
+            "worker_restarts",
+            "counter",
+            s.robustness.worker_restarts.to_string(),
+        );
+        put(
+            "batch_retries",
+            "counter",
+            s.robustness.batch_retries.to_string(),
+        );
+        put("queue_depth", "gauge", s.queue_depth.to_string());
+        put("uptime_seconds", "gauge", format!("{}", s.uptime_secs));
+        put("throughput_rps", "gauge", format!("{}", s.throughput_rps));
+        out.push_str("# TYPE seaice_serve_request_latency_us histogram\n");
+        let mut cumulative = 0u64;
+        for b in &s.latency_buckets {
+            cumulative += b.count;
+            out.push_str(&format!(
+                "seaice_serve_request_latency_us_bucket{{le=\"{}\"}} {cumulative}\n",
+                b.upper_us
+            ));
+        }
+        out.push_str(&format!(
+            "seaice_serve_request_latency_us_bucket{{le=\"+Inf\"}} {}\n",
+            s.latency.count
+        ));
+        out.push_str(&format!(
+            "seaice_serve_request_latency_us_sum {}\n",
+            (s.latency.mean_us * s.latency.count as f64) as u64
+        ));
+        out.push_str(&format!(
+            "seaice_serve_request_latency_us_count {}\n",
+            s.latency.count
+        ));
+        out.push_str(&seaice_obs::metrics().render_prometheus());
+        out
     }
 
     /// Graceful shutdown: closes admissions, lets the workers drain every
@@ -579,6 +703,7 @@ fn worker_loop(
     stats: &StatsInner,
     spec: &ReplicaSpec,
     faults: &FaultPlan,
+    obs: &EngineObs,
     cfg: EngineConfig,
 ) {
     let mut model = spec.build();
@@ -614,14 +739,31 @@ fn worker_loop(
             continue;
         }
         let n = batch.len();
+        if obs.active {
+            // Queue wait per request, measured at dequeue (admission →
+            // here): the micro-batching dial this span exists to tune.
+            for req in &batch {
+                let us = req
+                    .submitted
+                    .elapsed()
+                    .as_micros()
+                    .min(u128::from(u64::MAX)) as u64;
+                obs.queue_wait_us.record_us(us);
+                obs.tracer
+                    .complete_ending_now("serve.queue.wait", "serve", us);
+            }
+        }
         stats.batches.fetch_add(1, Ordering::Relaxed);
         stats
             .batched_requests
             .fetch_add(n as u64, Ordering::Relaxed);
         stats.max_batch_seen.fetch_max(n as u64, Ordering::Relaxed);
 
-        input.resize(n * 3 * plane, 0.0);
-        stage_inputs(&batch, filter_impl.as_ref(), plane, &mut input);
+        {
+            let _assemble = obs.tracer.span("serve.batch.assemble", "serve");
+            input.resize(n * 3 * plane, 0.0);
+            stage_inputs(&batch, filter_impl.as_ref(), plane, &mut input);
+        }
 
         // Supervised compute: a replica panic loses nothing — the worker
         // restores a fresh replica from the checkpoint and re-runs the
@@ -630,6 +772,9 @@ fn worker_loop(
         // targeted fault fires once, not on every retry.
         let mut attempt: u64 = 0;
         let computed = loop {
+            // The guard sits outside catch_unwind: an injected panic is
+            // caught inside, so the forward span always closes.
+            let _forward = obs.tracer.span("serve.batch.forward", "serve");
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 faults.maybe_panic("serve.worker", seaice_faults::mix(batch[0].key, attempt));
                 let x = Tensor::from_vec(&[n, 3, s, s], std::mem::take(&mut input));
@@ -669,7 +814,13 @@ fn worker_loop(
         for (i, req) in batch.into_iter().enumerate() {
             let mask = Arc::new(preds[i * plane..(i + 1) * plane].to_vec());
             cache_guard.insert(req.key, Arc::clone(&mask));
-            latency_guard.record(req.submitted.elapsed());
+            let served = req.submitted.elapsed();
+            latency_guard.record(served);
+            if obs.active {
+                let us = served.as_micros().min(u128::from(u64::MAX)) as u64;
+                obs.request_latency_us.record_us(us);
+                obs.tracer.complete_ending_now("serve.request", "serve", us);
+            }
             stats.computed.fetch_add(1, Ordering::Relaxed);
             // A vanished waiter (dropped ticket) is not an error.
             req.tx.send(Ok(mask)).ok();

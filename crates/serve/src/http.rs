@@ -9,7 +9,10 @@
 //!   body is the `s·s`-byte class mask. `503` when admission control
 //!   sheds, `504` when a per-request deadline expires in queue, `400` on
 //!   a malformed body.
-//! * `GET /stats` — the engine's [`StatsSnapshot`] as JSON.
+//! * `GET /stats` — the engine's [`StatsSnapshot`] as JSON (includes the
+//!   raw latency buckets and cache eviction count).
+//! * `GET /metrics` — the same numbers in Prometheus text exposition
+//!   format, plus the process-wide `seaice-obs` registry.
 //! * `GET /healthz` — liveness probe.
 //!
 //! Connections are `Connection: close`; shutdown stops the acceptor and
@@ -161,6 +164,12 @@ fn handle(engine: &Engine, stream: TcpStream) -> io::Result<()> {
             let json = serde_json::to_vec(&engine.stats()).map_err(io::Error::other)?;
             respond(stream, 200, "application/json", &json)
         }
+        ("GET", "/metrics") => respond(
+            stream,
+            200,
+            "text/plain; version=0.0.4",
+            engine.metrics_prometheus().as_bytes(),
+        ),
         ("GET", "/healthz") => respond(stream, 200, "text/plain", b"ok"),
         _ => respond(stream, 404, "text/plain", b"not found"),
     }
@@ -266,6 +275,31 @@ mod tests {
         assert!(text.contains("\"robustness\""), "{text}");
         assert!(text.contains("\"worker_restarts\""), "{text}");
         assert!(text.contains("\"shed_deadline\""), "{text}");
+        // Raw histogram buckets and eviction counts for external
+        // scrapers.
+        assert!(text.contains("\"latency_buckets\""), "{text}");
+        assert!(text.contains("\"floor_us\""), "{text}");
+        assert!(text.contains("\"cache_evictions\""), "{text}");
+
+        // Prometheus exposition over the same engine.
+        let (status, body) = request(addr, "GET", "/metrics", b"");
+        assert_eq!(status, 200);
+        let text = String::from_utf8(body).unwrap();
+        assert!(
+            text.contains("# TYPE seaice_serve_requests_submitted counter"),
+            "{text}"
+        );
+        // One POST compute + one direct cache hit so far.
+        assert!(text.contains("seaice_serve_requests_ok 2"), "{text}");
+        assert!(text.contains("seaice_serve_cache_evictions 0"), "{text}");
+        assert!(
+            text.contains("seaice_serve_request_latency_us_bucket{le=\"+Inf\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("seaice_serve_request_latency_us_count"),
+            "{text}"
+        );
 
         let (status, body) = request(addr, "GET", "/healthz", b"");
         assert_eq!(status, 200);
