@@ -5,7 +5,7 @@
 //!
 //! targets:
 //!   table1      multiprocessing auto-label speedup      (Table I, Fig. 10; writes BENCH_label.json)
-//!   table2      map-reduce cluster scaling              (Table II)
+//!   table2      map-reduce cluster scaling              (Table II; writes BENCH_mapreduce.json)
 //!   table3      distributed U-Net training              (Table III, Fig. 12)
 //!   table4      U-Net-Man vs U-Net-Auto accuracy        (Table IV)
 //!   table5      accuracy by cloud coverage              (Table V)
@@ -16,6 +16,7 @@
 //!   serve       serving-engine load generator           (DESIGN.md §4.2; writes BENCH_serve.json)
 //!   infer       f32 vs int8 inference comparison        (DESIGN.md §4.5; writes BENCH_infer.json)
 //!   chaos       fault-injection / recovery demo         (DESIGN.md §4.3; writes BENCH_chaos.json)
+//!   stream      streaming DAG + change detection        (DESIGN.md §4.7; writes BENCH_stream.json)
 //!   ablation    cloud/shadow-filter design ablations    (DESIGN.md §6)
 //!   sweep       batch-size / dropout exploration        (§IV-A)
 //!   night       season-transfer + threshold calibration (§IV-B-2)
@@ -104,7 +105,7 @@ fn parse_args() -> Args {
 
 fn print_usage() {
     eprintln!(
-        "usage: reproduce <table1|table2|table3|table4|table5|fig11|fig13|fig14|scenes|serve|infer|chaos|ablation|sweep|night|all> [--scale small|medium|large] [--out DIR] [--trace FILE]\n\
+        "usage: reproduce <table1|table2|table3|table4|table5|fig11|fig13|fig14|scenes|serve|infer|chaos|stream|ablation|sweep|night|all> [--scale small|medium|large] [--out DIR] [--trace FILE]\n\
          \x20      reproduce bench-check [--current DIR] [--baseline DIR]\n\
          \x20      reproduce trace-check <trace.json>"
     );
@@ -196,7 +197,7 @@ fn main() {
     let mut ok = true;
     match args.target.as_str() {
         "table1" | "fig10" => ok &= run_table1(args.scale),
-        "table2" => run_table2(args.scale),
+        "table2" => ok &= run_table2(args.scale),
         "table3" | "fig12" => run_table3(args.scale),
         "table4" => {
             let mut exp = table45::prepare(args.scale);
@@ -215,6 +216,7 @@ fn main() {
         "serve" => ok &= run_serve(args.scale),
         "infer" => ok &= run_infer(args.scale),
         "chaos" => ok &= run_chaos(args.scale),
+        "stream" => ok &= run_stream(args.scale),
         "ablation" => {
             println!("{}", seaice_bench::ablation::run(args.scale).render());
             println!("{}", seaice_bench::ablation::up_mode(args.scale).render());
@@ -223,7 +225,7 @@ fn main() {
         "night" => println!("{}", seaice_bench::night::run(args.scale).render()),
         "all" => {
             ok &= run_table1(args.scale);
-            run_table2(args.scale);
+            ok &= run_table2(args.scale);
             run_table3(args.scale);
             // Train once, reuse for tables 4/5 and fig 13/14.
             let mut exp = table45::prepare(args.scale);
@@ -237,6 +239,7 @@ fn main() {
             ok &= run_serve(args.scale);
             ok &= run_infer(args.scale);
             ok &= run_chaos(args.scale);
+            ok &= run_stream(args.scale);
             println!("{}", seaice_bench::ablation::run(args.scale).render());
             println!("{}", seaice_bench::night::run(args.scale).render());
         }
@@ -285,6 +288,12 @@ fn run_chaos(scale: Scale) -> bool {
     write_summary(&b.summary())
 }
 
+fn run_stream(scale: Scale) -> bool {
+    let b = seaice_bench::streambench::run(scale);
+    println!("{}", b.render());
+    write_summary(&b.summary())
+}
+
 fn run_table1(scale: Scale) -> bool {
     let t = table1::run(scale);
     println!("{}", t.render());
@@ -298,8 +307,10 @@ fn run_table1(scale: Scale) -> bool {
     write_summary(&t.summary())
 }
 
-fn run_table2(scale: Scale) {
-    println!("{}", table2::run(scale).render());
+fn run_table2(scale: Scale) -> bool {
+    let t = table2::run(scale);
+    println!("{}", t.render());
+    write_summary(&t.summary())
 }
 
 fn run_table3(scale: Scale) {

@@ -29,6 +29,7 @@ pub mod infer;
 pub mod night;
 pub mod scale;
 pub mod servebench;
+pub mod streambench;
 pub mod sweep;
 pub mod table1;
 pub mod table2;

@@ -80,6 +80,18 @@ impl Scale {
         }
     }
 
+    /// (regions, revisits, scene side, tile side, workers) for the
+    /// streaming DAG workload: several monitored regions revisited at a
+    /// fixed cadence, flowing through catalog → tile → label → infer →
+    /// change-detect.
+    pub fn stream_workload(self) -> (usize, u32, usize, usize, usize) {
+        match self {
+            Scale::Small => (2, 4, 64, 16, 2),
+            Scale::Medium => (3, 6, 96, 32, 3),
+            Scale::Large => (4, 10, 192, 32, 4),
+        }
+    }
+
     /// Ranks for the real distributed-training semantics run.
     pub fn distrib_ranks(self) -> usize {
         match self {

@@ -1,0 +1,315 @@
+//! stream-bench — the streaming DAG workload (DESIGN.md §4.7).
+//!
+//! Three legs over the same catalog → tile → label → infer →
+//! change-detect pipeline, all checked against one reference drift
+//! series:
+//!
+//! * **reference** — a single-worker fault-free run produces the
+//!   canonical per-region drift series;
+//! * **parallel** — the same run at the scale's worker count must emit a
+//!   byte-identical series (the scheduler's determinism contract), and
+//!   is the timed leg;
+//! * **chaos** — label-stage worker 0 panics on every attempt under a
+//!   resilient policy; the scheduler retries each kill on another worker
+//!   and blacklists the assassin, and the series must *still* match the
+//!   reference byte for byte.
+//!
+//! Simulated stage costs (the paper's 390 s / 4224 tiles for labeling)
+//! drive the scheduler's manual clock, so the reported makespan is
+//! deterministic; wall time is reported separately.
+
+use crate::scale::Scale;
+use seaice_core::stream_workflow::{run_stream, train_stream_model, StreamWorkflowConfig};
+use seaice_faults::{mix, FaultAction, FaultPlan};
+use seaice_stream::{StreamPolicy, StreamReport};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Index of the label stage in the streaming DAG (0 = catalog source).
+pub const LABEL_STAGE: u64 = 2;
+
+/// The rendered streaming demonstration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StreamBench {
+    /// Monitored regions.
+    pub regions: usize,
+    /// Revisits per region.
+    pub revisits: u32,
+    /// Scene side in pixels.
+    pub scene_side: usize,
+    /// Tile side in pixels.
+    pub tile: usize,
+    /// Workers on the heavy stages.
+    pub workers: usize,
+    /// Tiles classified per run.
+    pub tiles: u64,
+    /// Drift-series points emitted (regions × revisits).
+    pub points: usize,
+    /// Wall seconds spent training the streaming model.
+    pub train_secs: f64,
+    /// Parallel run matches the single-worker reference byte for byte.
+    pub deterministic_across_workers: bool,
+    /// Chaos run matches the reference byte for byte.
+    pub chaos_bit_identical: bool,
+    /// Faults the chaos plan actually fired.
+    pub chaos_injections: u64,
+    /// Attempts the chaos run retried on another worker.
+    pub chaos_retries: u64,
+    /// Workers the chaos run blacklisted.
+    pub chaos_blacklisted: u64,
+    /// Simulated compute across all stages (parallel leg), seconds.
+    pub sim_total_secs: f64,
+    /// Simulated bottleneck makespan (parallel leg), seconds.
+    pub sim_makespan_secs: f64,
+    /// Sends into a full stage queue during the parallel leg.
+    pub backpressure_waits: u64,
+    /// Wall seconds of the parallel leg.
+    pub wall_secs: f64,
+    /// Tiles per wall second over the parallel leg.
+    pub tiles_per_sec: f64,
+    /// Mean changed fraction over revisits > 0 — the change-detection
+    /// signal (the synthetic ice genuinely drifts, so this is > 0).
+    pub mean_changed_frac: f64,
+}
+
+fn config(scale: Scale) -> StreamWorkflowConfig {
+    let (regions, revisits, scene_side, tile, workers) = scale.stream_workload();
+    StreamWorkflowConfig {
+        regions,
+        revisits,
+        cadence_days: 2,
+        scene_side,
+        tile,
+        drift_px: 4,
+        seed: 0x5EA1CE,
+        workers,
+        channel_capacity: 8,
+        epochs: 2,
+    }
+}
+
+fn infer_tiles(report: &StreamReport) -> u64 {
+    report
+        .stages
+        .iter()
+        .find(|s| s.name == "infer")
+        .map(|s| s.items_in)
+        .unwrap_or(0)
+}
+
+/// Runs the three legs at `scale`.
+///
+/// The chaos leg's injected panics are expected, so their default stderr
+/// backtraces are filtered out for the duration of the run; any *other*
+/// panic still reports normally.
+pub fn run(scale: Scale) -> StreamBench {
+    let cfg = config(scale);
+
+    let t0 = Instant::now();
+    let ckpt = train_stream_model(&cfg);
+    let train_secs = t0.elapsed().as_secs_f64();
+
+    // Reference: one worker everywhere, no faults.
+    let mut one = cfg.clone();
+    one.workers = 1;
+    let reference = run_stream(
+        &one,
+        &ckpt,
+        StreamPolicy::default(),
+        Arc::new(FaultPlan::disabled()),
+    )
+    .expect("fault-free reference run");
+    let want = reference.series.to_bytes();
+
+    // Parallel: the timed leg.
+    let t0 = Instant::now();
+    let parallel = run_stream(
+        &cfg,
+        &ckpt,
+        StreamPolicy::default(),
+        Arc::new(FaultPlan::disabled()),
+    )
+    .expect("fault-free parallel run");
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let tiles = infer_tiles(&parallel.report);
+
+    // Chaos: label worker 0 panics on every attempt; the resilient
+    // policy retries elsewhere and blacklists it.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains("injected fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    let faults = Arc::new(FaultPlan::seeded(0xBAD5EA).fail_keys(
+        seaice_stream::FAULT_SITE_WORKER,
+        &[mix(LABEL_STAGE, 0)],
+        FaultAction::Panic,
+    ));
+    let chaos = run_stream(&cfg, &ckpt, StreamPolicy::resilient(), Arc::clone(&faults))
+        .expect("the stream must survive one killed label worker");
+    drop(std::panic::take_hook());
+
+    let changed: Vec<f64> = reference
+        .series
+        .points
+        .iter()
+        .filter(|p| p.revisit > 0)
+        .map(|p| p.changed_frac)
+        .collect();
+    let mean_changed_frac = changed.iter().sum::<f64>() / changed.len().max(1) as f64;
+
+    StreamBench {
+        regions: cfg.regions,
+        revisits: cfg.revisits,
+        scene_side: cfg.scene_side,
+        tile: cfg.tile,
+        workers: cfg.workers,
+        tiles,
+        points: reference.series.points.len(),
+        train_secs,
+        deterministic_across_workers: parallel.series.to_bytes() == want,
+        chaos_bit_identical: chaos.series.to_bytes() == want,
+        chaos_injections: faults.injections_fired(),
+        chaos_retries: chaos.report.total_retries(),
+        chaos_blacklisted: chaos.report.total_blacklisted(),
+        sim_total_secs: parallel.report.sim_total_secs,
+        sim_makespan_secs: parallel.report.sim_makespan_secs,
+        backpressure_waits: parallel
+            .report
+            .stages
+            .iter()
+            .map(|s| s.backpressure_waits)
+            .sum(),
+        wall_secs,
+        tiles_per_sec: tiles as f64 / wall_secs.max(1e-9),
+        mean_changed_frac,
+    }
+}
+
+impl StreamBench {
+    /// The `BENCH_stream.json` perf-trajectory summary: zero-tolerance
+    /// bit-identity claims plus the deterministic simulated costs
+    /// (tight) and the wall-clock throughput (loose — only a collapse
+    /// flags).
+    pub fn summary(&self) -> seaice_obs::bench::Summary {
+        seaice_obs::bench::Summary::new("stream")
+            .metric(
+                "deterministic_across_workers",
+                if self.deterministic_across_workers {
+                    1.0
+                } else {
+                    0.0
+                },
+                "bool",
+                true,
+                0.0,
+            )
+            .metric(
+                "chaos_bit_identical",
+                if self.chaos_bit_identical { 1.0 } else { 0.0 },
+                "bool",
+                true,
+                0.0,
+            )
+            .metric("drift_points", self.points as f64, "count", true, 0.0)
+            .metric("tiles", self.tiles as f64, "count", true, 0.0)
+            .metric(
+                "chaos_injections",
+                self.chaos_injections as f64,
+                "count",
+                true,
+                1.0,
+            )
+            .metric(
+                "chaos_retries",
+                self.chaos_retries as f64,
+                "count",
+                true,
+                1.0,
+            )
+            .metric("sim_total_secs", self.sim_total_secs, "s", false, 0.05)
+            .metric(
+                "sim_makespan_secs",
+                self.sim_makespan_secs,
+                "s",
+                false,
+                0.05,
+            )
+            // CI re-runs this area on whatever host it gets, so the wall
+            // metrics only flag an order-of-magnitude collapse.
+            .metric("wall_secs", self.wall_secs, "s", false, 3.0)
+            .metric("tiles_per_sec", self.tiles_per_sec, "tiles/s", true, 0.9)
+    }
+
+    /// Renders the streaming table.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "STREAM BENCH: {} regions x {} revisits ({}x{} scenes, {}x{} tiles, {} workers) — \
+             every leg byte-checked against the single-worker reference\n",
+            self.regions,
+            self.revisits,
+            self.scene_side,
+            self.scene_side,
+            self.tile,
+            self.tile,
+            self.workers
+        ));
+        s.push_str("leg      | identical | fired | retry | black | notes\n");
+        s.push_str(&format!(
+            "parallel | {:<9} | {:>5} | {:>5} | {:>5} | {} tiles in {:.2}s wall ({:.1} tiles/s), {} backpressure waits\n",
+            if self.deterministic_across_workers { "OK" } else { "MISMATCH" },
+            0, 0, 0,
+            self.tiles, self.wall_secs, self.tiles_per_sec, self.backpressure_waits,
+        ));
+        s.push_str(&format!(
+            "chaos    | {:<9} | {:>5} | {:>5} | {:>5} | label worker 0 panics on every attempt\n",
+            if self.chaos_bit_identical {
+                "OK"
+            } else {
+                "MISMATCH"
+            },
+            self.chaos_injections,
+            self.chaos_retries,
+            self.chaos_blacklisted,
+        ));
+        s.push_str(&format!(
+            "drift series: {} points, mean changed fraction {:.4} over revisits > 0\n",
+            self.points, self.mean_changed_frac,
+        ));
+        s.push_str(&format!(
+            "simulated: {:.1}s total compute, {:.1}s bottleneck makespan (label stage at the paper's 390s/4224 tiles); model trained in {:.1}s\n",
+            self.sim_total_secs, self.sim_makespan_secs, self.train_secs,
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streambench_small_is_deterministic_and_survives_chaos() {
+        let b = run(Scale::Small);
+        assert!(b.deterministic_across_workers, "parallel leg diverged");
+        assert!(b.chaos_bit_identical, "chaos leg diverged");
+        assert!(b.chaos_injections >= 1, "the fault plan never fired");
+        assert!(b.chaos_retries >= 1, "nothing was retried");
+        assert_eq!(b.points, 2 * 4);
+        assert!(b.tiles > 0);
+        assert!(b.mean_changed_frac > 0.0, "the ice never drifted");
+        let table = b.render();
+        assert!(table.contains("STREAM BENCH"));
+        assert!(!table.contains("MISMATCH"));
+        let s = b.summary();
+        assert_eq!(s.area, "stream");
+        assert_eq!(s.metrics["chaos_bit_identical"].value, 1.0);
+    }
+}

@@ -154,6 +154,25 @@ pub fn run(scale: Scale) -> Table2 {
 }
 
 impl Table2 {
+    /// The `BENCH_mapreduce.json` perf-trajectory summary. Every metric
+    /// is a *simulated* cost from the calibrated cluster model — the
+    /// load bytes and reduce task set are pinned at the paper's full
+    /// workload at every scale, so the values are deterministic and
+    /// scale-independent; tight tolerances catch any cost-model drift.
+    /// (Map registration is excluded: it is the one row term derived
+    /// from measured wall time.)
+    pub fn summary(&self) -> seaice_obs::bench::Summary {
+        let first = &self.rows[0];
+        let last = self.rows.last().expect("the grid is never empty");
+        seaice_obs::bench::Summary::new("mapreduce")
+            .metric("load_secs_1x1", first.load_secs, "s", false, 0.05)
+            .metric("load_secs_4x4", last.load_secs, "s", false, 0.05)
+            .metric("reduce_secs_1x1", first.reduce_secs, "s", false, 0.05)
+            .metric("reduce_secs_4x4", last.reduce_secs, "s", false, 0.05)
+            .metric("load_speedup_4x4", last.load_speedup, "x", true, 0.05)
+            .metric("reduce_speedup_4x4", last.reduce_speedup, "x", true, 0.05)
+    }
+
     /// Renders the table in the paper's layout.
     pub fn render(&self) -> String {
         let mut s = String::new();

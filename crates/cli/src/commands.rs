@@ -53,7 +53,7 @@ impl From<std::io::Error> for CliError {
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: seaice <synth|filter|label|calibrate|train|classify|analyze|serve|serve-bench> [options]
+pub const USAGE: &str = "usage: seaice <synth|filter|label|calibrate|train|classify|analyze|serve|serve-bench|stream> [options]
   synth       --out scene.ppm [--truth truth.ppm] [--side 512] [--seed 7] [--clouds 0.3] [--illumination 1.0]
   filter      --in scene.ppm --out filtered.ppm
   label       --in scene.ppm --out labels.ppm [--no-filter] [--cuts WATER_HI,THICK_LO]
@@ -63,6 +63,7 @@ pub const USAGE: &str = "usage: seaice <synth|filter|label|calibrate|train|class
   analyze     --labels labels.ppm
   serve       --model model.json [--addr 127.0.0.1:8080] [--tile 32] [--backend f32|int8] [--workers N] [--batch 8] [--queue 256] [--cache 1024] [--no-filter] [--smoke]
   serve-bench [--scale small|medium|large] [--scenes N] [--scene-size N] [--tile N] [--passes N] [--clients N] [--backend f32|int8] [--trace FILE]
+  stream      [--regions N] [--revisits N] [--cadence DAYS] [--scene-size N] [--tile N] [--drift PX] [--seed N] [--workers N] [--epochs N] [--trace FILE]
   lint        [--root DIR] [--json]";
 
 /// Dispatches a parsed command.
@@ -77,6 +78,7 @@ pub fn run(mut p: Parsed) -> Result<String, CliError> {
         "analyze" => analyze(&mut p),
         "serve" => serve(&mut p),
         "serve-bench" => traced(&mut p, serve_bench),
+        "stream" => traced(&mut p, stream),
         "lint" => lint(&mut p),
         other => Err(CliError::Msg(format!("unknown command '{other}'\n{USAGE}"))),
     }
@@ -458,6 +460,45 @@ fn serve_bench(p: &mut Parsed) -> Result<String, CliError> {
     Ok(seaice_bench::servebench::run_config(cfg).render())
 }
 
+fn stream(p: &mut Parsed) -> Result<String, CliError> {
+    p.expect_options(&[
+        "regions",
+        "revisits",
+        "cadence",
+        "scene-size",
+        "tile",
+        "drift",
+        "seed",
+        "workers",
+        "epochs",
+        "trace",
+    ])?;
+    let mut cfg = seaice_core::StreamWorkflowConfig::tiny();
+    cfg.regions = p.get_or("regions", cfg.regions)?;
+    cfg.revisits = p.get_or("revisits", cfg.revisits)?;
+    cfg.cadence_days = p.get_or("cadence", cfg.cadence_days)?;
+    cfg.scene_side = p.get_or("scene-size", cfg.scene_side)?;
+    cfg.tile = p.get_or("tile", cfg.tile)?;
+    cfg.drift_px = p.get_or("drift", cfg.drift_px)?;
+    cfg.seed = p.get_or("seed", cfg.seed)?;
+    cfg.workers = p.get_or("workers", cfg.workers)?;
+    cfg.epochs = p.get_or("epochs", cfg.epochs)?;
+
+    let ckpt = seaice_core::train_stream_model(&cfg);
+    let out = seaice_core::run_stream(
+        &cfg,
+        &ckpt,
+        seaice_stream::StreamPolicy::resilient(),
+        Arc::new(seaice_faults::FaultPlan::disabled()),
+    )
+    .map_err(|e| CliError::Msg(e.to_string()))?;
+
+    let mut s = out.series.render();
+    s.push('\n');
+    s.push_str(&out.report.render());
+    Ok(s)
+}
+
 fn lint(p: &mut Parsed) -> Result<String, CliError> {
     p.expect_options(&["root", "json"])?;
     let root = std::path::PathBuf::from(p.optional("root").unwrap_or_else(|| ".".into()));
@@ -626,6 +667,19 @@ mod tests {
         for f in [scene, pred, pred_par, pred_eng, model, trace] {
             std::fs::remove_file(f).ok();
         }
+    }
+
+    #[test]
+    fn stream_runs_the_dag_and_reports_the_drift_series() {
+        let msg = run(parse(
+            "stream --regions 1 --revisits 2 --scene-size 48 --tile 16 --workers 2 --epochs 1",
+        ))
+        .unwrap();
+        // The drift-series table plus the per-stage scheduler report.
+        assert!(msg.contains("region"), "{msg}");
+        assert!(msg.contains("changed"), "{msg}");
+        assert!(msg.contains("changedetect"), "{msg}");
+        assert!(msg.contains("bottleneck makespan"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! Revisit-series change detection: the sink stage of the streaming DAG.
+//!
+//! The landfast-ice / polynya tracking literature (SNIPPETS.md snippet 2)
+//! monitors a region by classifying each acquisition into ice vs water
+//! and tracking the ice edge across a time series. [`ChangeDetector`]
+//! is that workflow over the streaming pipeline's per-tile class masks:
+//!
+//! * **per-revisit state** — ice / thick-ice / open-water pixel
+//!   fractions, an ice–water *edge length* proxy (4-neighbor class
+//!   boundaries, the discrete perimeter of the ice edge), and the
+//!   auto-label vs model agreement;
+//! * **revisit-over-revisit change** — for every tile present in two
+//!   consecutive revisits, the fraction of pixels that changed class,
+//!   split into *opened* (ice → water: melt, lead or polynya opening)
+//!   and *closed* (water → ice: freeze-up) — the drift signal.
+//!
+//! Determinism is the whole design: observations arrive in whatever
+//! order the scheduler's workers emit them, so nothing here depends on
+//! arrival order. Masks pair up by `(region, tile, revisit)` key, all
+//! accumulation is commutative integer addition, and the final series
+//! assembles in `BTreeMap` key order — the same bytes at any worker
+//! count, with or without retries.
+
+use std::collections::BTreeMap;
+
+use seaice_s2::classes::OPEN_WATER;
+
+/// One classified tile observation flowing out of the inference stage.
+#[derive(Clone, Debug)]
+pub struct TileObs {
+    /// Region name (the revisit plan's key).
+    pub region: String,
+    /// Zero-based revisit index.
+    pub revisit: u32,
+    /// Acquisition day.
+    pub day: u32,
+    /// Row-major tile index within the scene grid.
+    pub tile_index: u32,
+    /// Model class mask (`tile side²` class ids).
+    pub pred: Vec<u8>,
+    /// Auto-label class mask for the same pixels.
+    pub label: Vec<u8>,
+}
+
+/// Integer accumulators for one `(region, revisit)` cell.
+#[derive(Clone, Debug, Default)]
+struct RevisitAcc {
+    day: u32,
+    tiles: u64,
+    total_px: u64,
+    ice_px: u64,
+    thick_px: u64,
+    water_px: u64,
+    edge_px: u64,
+    agree_px: u64,
+    /// Pixels compared against the previous revisit.
+    diffed_px: u64,
+    changed_px: u64,
+    opened_px: u64,
+    closed_px: u64,
+}
+
+/// One point of the drift series: a region at a revisit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DriftPoint {
+    /// Region name.
+    pub region: String,
+    /// Zero-based revisit index.
+    pub revisit: u32,
+    /// Acquisition day.
+    pub day: u32,
+    /// Tiles observed.
+    pub tiles: u64,
+    /// Fraction of pixels classified as ice (thick + thin).
+    pub ice_frac: f64,
+    /// Fraction classified as thick ice.
+    pub thick_frac: f64,
+    /// Fraction classified as open water.
+    pub water_frac: f64,
+    /// Ice–water 4-neighbor boundary pairs per pixel (edge-length
+    /// proxy; rises when leads/polynyas fragment the pack).
+    pub edge_density: f64,
+    /// Model vs auto-label pixel agreement.
+    pub label_agreement: f64,
+    /// Fraction of diffed pixels whose class changed since the previous
+    /// revisit (0 at revisit 0).
+    pub changed_frac: f64,
+    /// Ice → water transitions per diffed pixel (opening).
+    pub opened_frac: f64,
+    /// Water → ice transitions per diffed pixel (freeze-up).
+    pub closed_frac: f64,
+}
+
+/// The per-region drift series, ordered by `(region, revisit)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DriftSeries {
+    /// Tile side length the masks were observed at.
+    pub tile: usize,
+    /// Series points in `(region, revisit)` order.
+    pub points: Vec<DriftPoint>,
+}
+
+impl DriftSeries {
+    /// Fixed-format table; the byte-identity artifact every differential
+    /// test compares.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:>3} {:>4} {:>5} {:>8} {:>8} {:>8} {:>8} {:>7} {:>8} {:>8} {:>8}\n",
+            "region",
+            "rev",
+            "day",
+            "tiles",
+            "ice",
+            "thick",
+            "water",
+            "edge",
+            "agree",
+            "changed",
+            "opened",
+            "closed",
+        ));
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:<10} {:>3} {:>4} {:>5} {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>7.4} {:>8.4} {:>8.4} {:>8.4}\n",
+                p.region,
+                p.revisit,
+                p.day,
+                p.tiles,
+                p.ice_frac,
+                p.thick_frac,
+                p.water_frac,
+                p.edge_density,
+                p.label_agreement,
+                p.changed_frac,
+                p.opened_frac,
+                p.closed_frac,
+            ));
+        }
+        out
+    }
+
+    /// The rendered table as bytes (what chaos tests byte-compare).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.render().into_bytes()
+    }
+}
+
+/// Accumulates [`TileObs`] in any order and folds them into a
+/// [`DriftSeries`].
+#[derive(Debug, Default)]
+pub struct ChangeDetector {
+    tile: usize,
+    acc: BTreeMap<(String, u32), RevisitAcc>,
+    /// Masks waiting for their consecutive-revisit partner, keyed by
+    /// `(region, tile_index)` then revisit. A mask is dropped as soon as
+    /// it has served as the *predecessor* of revisit k+1; the partner
+    /// check works in both directions, so arrival order is irrelevant.
+    pending: BTreeMap<(String, u32), BTreeMap<u32, Vec<u8>>>,
+}
+
+impl ChangeDetector {
+    /// A detector for `tile`-pixel square masks.
+    pub fn new(tile: usize) -> Self {
+        Self {
+            tile,
+            ..Self::default()
+        }
+    }
+
+    /// Folds one observation in. Commutative: any permutation of the
+    /// same observations yields the same [`DriftSeries`].
+    pub fn observe(&mut self, obs: TileObs) {
+        let side = self.tile;
+        debug_assert_eq!(obs.pred.len(), side * side);
+        let acc = self
+            .acc
+            .entry((obs.region.clone(), obs.revisit))
+            .or_default();
+        acc.day = obs.day;
+        acc.tiles += 1;
+        acc.total_px += (side * side) as u64;
+        for (&p, &l) in obs.pred.iter().zip(&obs.label) {
+            if p != OPEN_WATER {
+                acc.ice_px += 1;
+                if p == seaice_s2::classes::THICK_ICE {
+                    acc.thick_px += 1;
+                }
+            } else {
+                acc.water_px += 1;
+            }
+            if p == l {
+                acc.agree_px += 1;
+            }
+        }
+        acc.edge_px += edge_pairs(&obs.pred, side);
+
+        // Pair the mask with its consecutive revisits (either side).
+        let key = (obs.region.clone(), obs.tile_index);
+        let slot = self.pending.entry(key).or_default();
+        let mut consumed = false;
+        if let Some(prev) = obs.revisit.checked_sub(1).and_then(|r| slot.remove(&r)) {
+            let (changed, opened, closed) = diff_masks(&prev, &obs.pred);
+            let acc = self
+                .acc
+                .entry((obs.region.clone(), obs.revisit))
+                .or_default();
+            acc.diffed_px += (side * side) as u64;
+            acc.changed_px += changed;
+            acc.opened_px += opened;
+            acc.closed_px += closed;
+        }
+        if let Some(next) = slot.get(&(obs.revisit + 1)) {
+            let (changed, opened, closed) = diff_masks(&obs.pred, next);
+            let acc = self
+                .acc
+                .entry((obs.region.clone(), obs.revisit + 1))
+                .or_default();
+            acc.diffed_px += (side * side) as u64;
+            acc.changed_px += changed;
+            acc.opened_px += opened;
+            acc.closed_px += closed;
+            // This mask has served as a predecessor; it is done.
+            consumed = true;
+        }
+        if !consumed {
+            slot.insert(obs.revisit, obs.pred);
+        }
+    }
+
+    /// Assembles the series in `(region, revisit)` key order.
+    pub fn finalize(self) -> DriftSeries {
+        let points = self
+            .acc
+            .into_iter()
+            .map(|((region, revisit), a)| {
+                let px = a.total_px.max(1) as f64;
+                let diffed = a.diffed_px.max(1) as f64;
+                DriftPoint {
+                    region,
+                    revisit,
+                    day: a.day,
+                    tiles: a.tiles,
+                    ice_frac: a.ice_px as f64 / px,
+                    thick_frac: a.thick_px as f64 / px,
+                    water_frac: a.water_px as f64 / px,
+                    edge_density: a.edge_px as f64 / px,
+                    label_agreement: a.agree_px as f64 / px,
+                    changed_frac: a.changed_px as f64 / diffed,
+                    opened_frac: a.opened_px as f64 / diffed,
+                    closed_frac: a.closed_px as f64 / diffed,
+                }
+            })
+            .collect();
+        DriftSeries {
+            tile: self.tile,
+            points,
+        }
+    }
+}
+
+/// Counts 4-neighbor pixel pairs with ice on one side and open water on
+/// the other — a discrete ice-edge length.
+fn edge_pairs(mask: &[u8], side: usize) -> u64 {
+    let mut edges = 0u64;
+    let water = |c: u8| c == OPEN_WATER;
+    for y in 0..side {
+        for x in 0..side {
+            let c = mask[y * side + x];
+            if x + 1 < side && water(c) != water(mask[y * side + x + 1]) {
+                edges += 1;
+            }
+            if y + 1 < side && water(c) != water(mask[(y + 1) * side + x]) {
+                edges += 1;
+            }
+        }
+    }
+    edges
+}
+
+/// `(changed, ice→water, water→ice)` pixel counts between two masks of
+/// the same tile at consecutive revisits.
+fn diff_masks(prev: &[u8], cur: &[u8]) -> (u64, u64, u64) {
+    let mut changed = 0u64;
+    let mut opened = 0u64;
+    let mut closed = 0u64;
+    for (&a, &b) in prev.iter().zip(cur) {
+        if a != b {
+            changed += 1;
+            if a != OPEN_WATER && b == OPEN_WATER {
+                opened += 1;
+            } else if a == OPEN_WATER && b != OPEN_WATER {
+                closed += 1;
+            }
+        }
+    }
+    (changed, opened, closed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seaice_s2::classes::{OPEN_WATER as W, THICK_ICE as K, THIN_ICE as N};
+
+    fn obs(region: &str, revisit: u32, tile_index: u32, pred: Vec<u8>) -> TileObs {
+        TileObs {
+            region: region.to_string(),
+            revisit,
+            day: revisit * 3,
+            tile_index,
+            label: pred.clone(),
+            pred,
+        }
+    }
+
+    #[test]
+    fn fractions_and_edges_from_a_handmade_mask() {
+        // 2×2 tile: thick | water
+        //           thin  | water
+        let mut det = ChangeDetector::new(2);
+        det.observe(obs("a", 0, 0, vec![K, W, N, W]));
+        let s = det.finalize();
+        assert_eq!(s.points.len(), 1);
+        let p = &s.points[0];
+        assert_eq!(p.tiles, 1);
+        assert_eq!(p.ice_frac, 0.5);
+        assert_eq!(p.thick_frac, 0.25);
+        assert_eq!(p.water_frac, 0.5);
+        // Horizontal ice|water pairs: rows (K,W) and (N,W); vertical
+        // pairs are same-kind → 2 edges over 4 px.
+        assert_eq!(p.edge_density, 0.5);
+        assert_eq!(p.label_agreement, 1.0);
+        assert_eq!(p.changed_frac, 0.0);
+    }
+
+    #[test]
+    fn consecutive_revisits_diff_into_opened_and_closed() {
+        let mut det = ChangeDetector::new(2);
+        det.observe(obs("a", 0, 0, vec![K, K, W, W]));
+        // One ice px melts (opened), one water px freezes (closed),
+        // plus a thick→thin transition (changed but neither).
+        det.observe(obs("a", 1, 0, vec![N, W, K, W]));
+        let s = det.finalize();
+        let p1 = &s.points[1];
+        assert_eq!(p1.revisit, 1);
+        assert_eq!(p1.changed_frac, 0.75);
+        assert_eq!(p1.opened_frac, 0.25);
+        assert_eq!(p1.closed_frac, 0.25);
+    }
+
+    #[test]
+    fn observation_order_is_irrelevant() {
+        let observations = vec![
+            obs("a", 0, 0, vec![K, K, W, W]),
+            obs("a", 1, 0, vec![K, W, W, W]),
+            obs("a", 2, 0, vec![W, W, W, K]),
+            obs("b", 0, 0, vec![N, N, N, N]),
+            obs("b", 1, 0, vec![N, N, W, N]),
+            obs("a", 0, 1, vec![K, K, K, K]),
+            obs("a", 1, 1, vec![K, K, K, W]),
+        ];
+        let mut fwd = ChangeDetector::new(2);
+        for o in observations.clone() {
+            fwd.observe(o);
+        }
+        let fwd = fwd.finalize();
+        // Feed several permutations, including fully reversed.
+        for rot in [1usize, 3, 5] {
+            let mut det = ChangeDetector::new(2);
+            let mut perm = observations.clone();
+            perm.rotate_left(rot);
+            perm.reverse();
+            for o in perm {
+                det.observe(o);
+            }
+            assert_eq!(det.finalize().to_bytes(), fwd.to_bytes());
+        }
+        // Sanity: the series holds every (region, revisit) cell.
+        assert_eq!(fwd.points.len(), 5);
+    }
+
+    #[test]
+    fn skipped_revisit_does_not_diff_across_the_gap() {
+        let mut det = ChangeDetector::new(1);
+        det.observe(obs("a", 0, 0, vec![K]));
+        det.observe(obs("a", 2, 0, vec![W]));
+        let s = det.finalize();
+        // Revisit 2 has no revisit-1 partner → no change signal.
+        assert_eq!(s.points[1].changed_frac, 0.0);
+    }
+}

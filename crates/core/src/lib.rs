@@ -21,17 +21,21 @@
 pub mod adapters;
 pub mod analysis;
 pub mod backend;
+pub mod change;
 pub mod config;
 pub mod inference;
+pub mod stream_workflow;
 pub mod workflow;
 
 pub use adapters::{mask_to_image, predictions_to_mask, tile_to_sample, InputVariant, LabelSource};
 pub use analysis::{detect_leads, ice_concentration, IceConcentration, LeadAnalysis, LeadConfig};
 pub use backend::{default_calibration, restore_backend, LoadedModel, CALIBRATION_SEED};
+pub use change::{ChangeDetector, DriftPoint, DriftSeries, TileObs};
 pub use config::WorkflowConfig;
 pub use inference::{
     classify_scene, classify_scene_parallel, classify_scene_with, SceneClassification,
 };
+pub use stream_workflow::{run_stream, train_stream_model, StreamOutcome, StreamWorkflowConfig};
 pub use workflow::{
     evaluate_arm, run_workflow, train_models, train_models_distributed, ArmEvaluation,
     TrainedModels, WorkflowResult,

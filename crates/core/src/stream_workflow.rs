@@ -1,0 +1,359 @@
+//! The end-to-end streaming workload on the `seaice-stream` DAG:
+//! catalog → tile → auto-label → infer → change-detect.
+//!
+//! The batch workflow processes a fixed catalog; this module processes a
+//! *continuous* revisit feed. [`Catalog::revisit_stream`] emits scenes
+//! for several monitored regions at a fixed cadence (with the ice
+//! genuinely translating between revisits), the tile stage cuts each
+//! scene along [`tile_anchors`], the label and infer stages classify
+//! every tile twice (HSV auto-label + U-Net), and the sink folds the
+//! pairs into a per-region [`DriftSeries`].
+//!
+//! Determinism contract (pinned by tier-1 tests and `reproduce stream`):
+//! the drift series is a pure function of `(StreamWorkflowConfig,
+//! checkpoint)` — worker counts, channel capacities, scheduling, and
+//! recovered faults never change a byte of it.
+//!
+//! Simulated per-item stage costs drive the scheduler's `ManualClock`
+//! timeline; the label cost is the paper's 390 s / 4224 tiles, the rest
+//! are calibrated ballpark figures, all deterministic.
+
+use crate::adapters::image_to_chw;
+use crate::change::{ChangeDetector, DriftSeries, TileObs};
+use seaice_faults::FaultPlan;
+use seaice_imgproc::buffer::{Image, Scratch};
+use seaice_label::autolabel::{auto_label_class_mask, AutoLabelConfig};
+use seaice_nn::tensor::Tensor;
+use seaice_s2::catalog::{Catalog, RevisitPlan};
+use seaice_s2::synth::SceneConfig;
+use seaice_s2::tiler::tile_anchors;
+use seaice_stream::{source, StageOptions, StreamError, StreamPolicy, StreamReport};
+use seaice_unet::checkpoint::{self, Checkpoint};
+use seaice_unet::config::UNetConfig;
+use seaice_unet::model::UNet;
+use seaice_unet::train::{train, TrainConfig};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Simulated per-scene acquisition cost (download + ingest), seconds.
+pub const SIM_FETCH_SECS: f64 = 2.0;
+/// Simulated per-scene tiling cost, seconds.
+pub const SIM_TILE_SECS: f64 = 0.05;
+/// Simulated per-tile auto-label cost: the paper's 390 s over 4224
+/// tiles (Table I's sequential arm).
+pub const SIM_LABEL_SECS: f64 = 390.0 / 4224.0;
+/// Simulated per-tile U-Net forward cost, seconds.
+pub const SIM_INFER_SECS: f64 = 0.03;
+
+/// Everything that determines a streaming run.
+#[derive(Clone, Debug)]
+pub struct StreamWorkflowConfig {
+    /// Monitored regions.
+    pub regions: usize,
+    /// Revisits per region.
+    pub revisits: u32,
+    /// Days between revisits.
+    pub cadence_days: u32,
+    /// Scene side length in pixels.
+    pub scene_side: usize,
+    /// Tile side length in pixels.
+    pub tile: usize,
+    /// Ice translation per revisit, in pixels.
+    pub drift_px: usize,
+    /// Catalog seed.
+    pub seed: u64,
+    /// Workers per heavy stage (label, infer; tiling gets half).
+    pub workers: usize,
+    /// Stage-boundary channel capacity.
+    pub channel_capacity: usize,
+    /// Training epochs for the streaming model.
+    pub epochs: usize,
+}
+
+impl StreamWorkflowConfig {
+    /// A seconds-scale configuration for tests.
+    pub fn tiny() -> Self {
+        Self {
+            regions: 2,
+            revisits: 3,
+            cadence_days: 2,
+            scene_side: 48,
+            tile: 16,
+            drift_px: 4,
+            seed: 7,
+            workers: 2,
+            channel_capacity: 8,
+            epochs: 2,
+        }
+    }
+
+    /// The catalog + revisit plan this configuration describes.
+    pub fn plan(&self) -> (Catalog, RevisitPlan) {
+        let catalog = Catalog::new(self.seed).with_scene_config(SceneConfig::tiny(self.scene_side));
+        let plan = RevisitPlan::synthetic(
+            self.regions,
+            self.revisits,
+            self.cadence_days,
+            self.drift_px,
+        );
+        (catalog, plan)
+    }
+}
+
+/// What a streaming run produces: the drift series plus the scheduler's
+/// accounting.
+#[derive(Clone, Debug)]
+pub struct StreamOutcome {
+    /// Per-region drift series (the byte-checked artifact).
+    pub series: DriftSeries,
+    /// Per-stage scheduler report.
+    pub report: StreamReport,
+}
+
+/// Trains the small streaming U-Net on auto-labeled tiles of the first
+/// region's window — the "train once, then stream" model. Deterministic
+/// in the config.
+pub fn train_stream_model(cfg: &StreamWorkflowConfig) -> Checkpoint {
+    let (catalog, plan) = cfg.plan();
+    let region = plan
+        .regions
+        .keys()
+        .next()
+        .cloned()
+        .unwrap_or_else(|| "ross-00".to_string());
+    let window = catalog.region_window(&plan, &region);
+    let label_cfg = AutoLabelConfig::filtered_for_tile(cfg.tile);
+    let mut scratch = Scratch::new();
+    let mut samples = Vec::new();
+    for &y0 in &tile_anchors(window.rgb.height(), cfg.tile) {
+        for &x0 in &tile_anchors(window.rgb.width(), cfg.tile) {
+            let rgb = window.rgb.crop(x0, y0, cfg.tile, cfg.tile);
+            let mask = auto_label_class_mask(&rgb, &label_cfg, &mut scratch);
+            samples.push(seaice_nn::dataloader::Sample {
+                image: image_to_chw(&rgb),
+                mask: mask.into_vec(),
+                channels: 3,
+                height: cfg.tile,
+                width: cfg.tile,
+            });
+        }
+    }
+    let loader = seaice_nn::dataloader::DataLoader::new(samples, 8, Some(cfg.seed));
+    let mut model = UNet::new(UNetConfig {
+        depth: 1,
+        base_filters: 8,
+        dropout: 0.0,
+        seed: cfg.seed ^ 0x57EA,
+        ..UNetConfig::paper()
+    });
+    train(
+        &mut model,
+        &loader,
+        &TrainConfig {
+            epochs: cfg.epochs.max(1),
+            ..TrainConfig::default()
+        },
+    );
+    checkpoint::snapshot(&mut model)
+}
+
+/// A scene flowing from the source into the tiler.
+#[derive(Clone)]
+struct SceneItem {
+    region: String,
+    revisit: u32,
+    day: u32,
+    rgb: Image<u8>,
+}
+
+/// A tile flowing from the tiler into the labeler.
+#[derive(Clone)]
+struct TileItem {
+    region: String,
+    revisit: u32,
+    day: u32,
+    tile_index: u32,
+    rgb: Image<u8>,
+}
+
+/// A labeled tile flowing into inference.
+#[derive(Clone)]
+struct LabeledTile {
+    region: String,
+    revisit: u32,
+    day: u32,
+    tile_index: u32,
+    rgb: Image<u8>,
+    label: Vec<u8>,
+}
+
+/// Runs the catalog → tile → label → infer → change-detect DAG and
+/// returns the drift series plus the scheduler report.
+///
+/// # Errors
+/// Propagates [`StreamError`] when items exhaust their retry budget
+/// (only reachable with an armed fault plan and a too-small
+/// `max_attempts`).
+pub fn run_stream(
+    cfg: &StreamWorkflowConfig,
+    ckpt: &Checkpoint,
+    policy: StreamPolicy,
+    faults: Arc<FaultPlan>,
+) -> Result<StreamOutcome, StreamError> {
+    let (catalog, plan) = cfg.plan();
+    let metas = catalog.revisit_stream(&plan);
+    let tile = cfg.tile;
+    let side = cfg.scene_side;
+    let workers = cfg.workers.max(1);
+
+    // The source owns a per-region window cache: each region's wide
+    // scene generates once, every revisit crops from it and rolls its
+    // own cloud layer (the "as-acquired" degradation the label stage's
+    // filter then has to see through).
+    let source_iter = {
+        let catalog = catalog.clone();
+        let plan = plan.clone();
+        let mut windows = BTreeMap::new();
+        metas.into_iter().map(move |m| {
+            let window = windows
+                .entry(m.region.clone())
+                .or_insert_with(|| catalog.region_window(&plan, &m.region));
+            let scene = seaice_s2::catalog::crop_revisit(window, &m);
+            let layer = catalog.revisit_cloud_layer(&m);
+            SceneItem {
+                region: m.region,
+                revisit: m.revisit,
+                day: m.meta.day,
+                rgb: layer.apply(&scene.rgb),
+            }
+        })
+    };
+
+    let label_cfg = AutoLabelConfig::filtered_for_tile(tile);
+
+    // One U-Net replica per infer worker, all restored from the same
+    // checkpoint, checked out per attempt.
+    let replicas: Vec<UNet> = (0..workers).map(|_| checkpoint::restore(ckpt)).collect();
+    let pool = Arc::new(Mutex::new(replicas));
+    let ckpt_fallback = ckpt.clone();
+
+    let detector = Arc::new(Mutex::new(ChangeDetector::new(tile)));
+    let sink_det = Arc::clone(&detector);
+
+    let anchors = tile_anchors(side, tile);
+    let nx = anchors.len() as u32;
+
+    let report = source(policy, "catalog", source_iter)
+        .with_source_cost(SIM_FETCH_SECS)
+        .transform(
+            "tile",
+            StageOptions::workers(workers.div_ceil(2)).with_cost_secs(SIM_TILE_SECS),
+            move |s: SceneItem| {
+                let mut out = Vec::new();
+                for (yi, &y0) in tile_anchors(s.rgb.height(), tile).iter().enumerate() {
+                    for (xi, &x0) in tile_anchors(s.rgb.width(), tile).iter().enumerate() {
+                        out.push(TileItem {
+                            region: s.region.clone(),
+                            revisit: s.revisit,
+                            day: s.day,
+                            tile_index: yi as u32 * nx + xi as u32,
+                            rgb: s.rgb.crop(x0, y0, tile, tile),
+                        });
+                    }
+                }
+                out
+            },
+        )
+        .transform(
+            "label",
+            StageOptions::workers(workers).with_cost_secs(SIM_LABEL_SECS),
+            move |t: TileItem| {
+                let mut scratch = Scratch::new();
+                let mask = auto_label_class_mask(&t.rgb, &label_cfg, &mut scratch);
+                vec![LabeledTile {
+                    region: t.region,
+                    revisit: t.revisit,
+                    day: t.day,
+                    tile_index: t.tile_index,
+                    rgb: t.rgb,
+                    label: mask.into_vec(),
+                }]
+            },
+        )
+        .transform(
+            "infer",
+            StageOptions::workers(workers).with_cost_secs(SIM_INFER_SECS),
+            move |t: LabeledTile| {
+                let mut model = lock(&pool)
+                    .pop()
+                    .unwrap_or_else(|| checkpoint::restore(&ckpt_fallback));
+                let x = Tensor::from_vec(&[1, 3, tile, tile], image_to_chw(&t.rgb));
+                let pred = model.predict(&x);
+                lock(&pool).push(model);
+                vec![TileObs {
+                    region: t.region,
+                    revisit: t.revisit,
+                    day: t.day,
+                    tile_index: t.tile_index,
+                    pred,
+                    label: t.label,
+                }]
+            },
+        )
+        .sink(
+            "changedetect",
+            StageOptions::workers(1).with_cost_secs(0.001),
+            move |obs: TileObs| {
+                lock(&sink_det).observe(obs);
+            },
+        )
+        .run(faults)?;
+
+    let detector = Arc::try_unwrap(detector)
+        .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+        .unwrap_or_default();
+    Ok(StreamOutcome {
+        series: detector.finalize(),
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_series_is_byte_identical_across_worker_counts() {
+        let mut cfg = StreamWorkflowConfig::tiny();
+        let ckpt = train_stream_model(&cfg);
+        cfg.workers = 1;
+        let one = run_stream(
+            &cfg,
+            &ckpt,
+            StreamPolicy::default(),
+            Arc::new(FaultPlan::disabled()),
+        )
+        .expect("clean run");
+        cfg.workers = 3;
+        let three = run_stream(
+            &cfg,
+            &ckpt,
+            StreamPolicy::default(),
+            Arc::new(FaultPlan::disabled()),
+        )
+        .expect("clean run");
+        assert_eq!(one.series.to_bytes(), three.series.to_bytes());
+        assert_eq!(one.series.points.len(), (2 * 3) as usize);
+        // Every revisit after the first sees the injected drift.
+        assert!(one
+            .series
+            .points
+            .iter()
+            .filter(|p| p.revisit > 0)
+            .all(|p| p.changed_frac > 0.0));
+    }
+}

@@ -736,6 +736,17 @@ mod tests {
     }
 
     #[test]
+    fn wallclock_fires_in_the_stream_scheduler() {
+        // The streaming DAG promises byte-identical output at any worker
+        // count; a wall-clock read anywhere in it would be a determinism
+        // hole, so crates/stream is deliberately NOT on the allow-list.
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); let _ = t; }\n";
+        let d = lint("crates/stream/src/pipeline.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, WALLCLOCK);
+    }
+
+    #[test]
     fn deterministic_crates_may_use_the_obs_clock_but_not_wallclock() {
         // Injecting a Clock (ManualClock here) reads no wall time: clean.
         let clock_src = "fn f(c: &dyn seaice_obs::Clock) -> u64 { c.now_us() }\n";

@@ -67,6 +67,15 @@ impl ManualClock {
     pub fn set_us(&self, us: u64) {
         self.0.store(us, Ordering::Relaxed);
     }
+
+    /// Advances the clock to at least `us` (a monotone watermark) and
+    /// returns the resulting time. Unlike [`set_us`](ManualClock::set_us)
+    /// this never moves the clock backwards, so concurrent writers — e.g.
+    /// parallel pipeline stages each publishing their own simulated
+    /// completion time — converge on the maximum.
+    pub fn advance_to_us(&self, us: u64) -> u64 {
+        self.0.fetch_max(us, Ordering::Relaxed).max(us)
+    }
 }
 
 impl Clock for ManualClock {
@@ -426,6 +435,18 @@ mod tests {
 
     // The sink is process-global, so every test shares it; tests assert
     // on their own events (found by name) rather than on totals.
+
+    #[test]
+    fn manual_clock_advance_to_is_a_monotone_watermark() {
+        let c = ManualClock::new();
+        assert_eq!(c.advance_to_us(50), 50);
+        // Moving the watermark backwards is a no-op.
+        assert_eq!(c.advance_to_us(10), 50);
+        assert_eq!(c.now_us(), 50);
+        assert_eq!(c.advance_to_us(80), 80);
+        // advance_us still composes on top of the watermark.
+        assert_eq!(c.advance_us(5), 85);
+    }
 
     #[test]
     fn disabled_tracer_emits_nothing() {

@@ -11,6 +11,7 @@ use crate::clouds::{self, CloudConfig, CloudLayer};
 use crate::geo::{GeoExtent, SceneId, SceneMeta, TimeRange};
 use crate::synth::{self, Scene, SceneConfig};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// A spatial + temporal catalog query (the GEE `filterBounds` /
 /// `filterDate` pair).
@@ -140,6 +141,93 @@ impl Catalog {
         out
     }
 
+    /// Seed for one named revisit region, stable in the catalog seed and
+    /// the region name alone.
+    fn region_seed(&self, region: &str) -> u64 {
+        self.hash(fnv1a(region.as_bytes()), 0xD21F)
+    }
+
+    /// Emits the revisit scene stream for `plan`, ordered by `(day,
+    /// region name)`. Regions live in a `BTreeMap`, so iteration — and
+    /// therefore the stream — is byte-stable across runs and platforms
+    /// (no `HashMap` iteration anywhere on this path); a replay with the
+    /// same catalog seed and plan is identical.
+    pub fn revisit_stream(&self, plan: &RevisitPlan) -> Vec<RevisitSceneMeta> {
+        let mut out = Vec::new();
+        for revisit in 0..plan.revisits {
+            let day = plan.start_day + revisit * plan.cadence_days;
+            for (region, extent) in &plan.regions {
+                let rseed = self.region_seed(region);
+                let h = self.hash(rseed, u64::from(revisit));
+                let cloud_roll = ((h >> 32) & 0xFFFF) as f64 / 65535.0;
+                let cloud_cover = if cloud_roll < self.cloudy_fraction {
+                    0.1 + 0.4 * (((h >> 48) & 0xFFFF) as f64 / 65535.0)
+                } else {
+                    0.08 * (((h >> 48) & 0xFFFF) as f64 / 65535.0)
+                };
+                out.push(RevisitSceneMeta {
+                    region: region.clone(),
+                    revisit,
+                    offset_px: plan.drift_px * revisit as usize,
+                    meta: SceneMeta {
+                        id: SceneId(h),
+                        extent: *extent,
+                        day,
+                        width: self.scene_config.width,
+                        height: self.scene_config.height,
+                        seed: h ^ 0x5EED_5EED_5EED_5EED,
+                        cloud_cover,
+                    },
+                });
+            }
+        }
+        out
+    }
+
+    /// Generates the wide "window" scene a region's revisits crop from:
+    /// one ice field `drift_px · (revisits − 1)` pixels wider than a
+    /// scene, so consecutive revisits observe the *same* ice translated
+    /// by the plan's drift rate — the signal the change detector is
+    /// built to recover.
+    pub fn region_window(&self, plan: &RevisitPlan, region: &str) -> Scene {
+        let extra = plan.drift_px * plan.revisits.saturating_sub(1) as usize;
+        let cfg = SceneConfig {
+            width: self.scene_config.width + extra,
+            ..self.scene_config
+        };
+        synth::generate(&cfg, self.region_seed(region))
+    }
+
+    /// Materializes one revisit by cropping its region window at the
+    /// revisit's drift offset and rolling that day's cloud layer.
+    /// Regenerates the window; batch consumers should cache
+    /// [`region_window`](Catalog::region_window) and use
+    /// [`crop_revisit`] instead.
+    pub fn generate_revisit(
+        &self,
+        plan: &RevisitPlan,
+        m: &RevisitSceneMeta,
+    ) -> (Scene, CloudLayer) {
+        let window = self.region_window(plan, &m.region);
+        (crop_revisit(&window, m), self.revisit_cloud_layer(m))
+    }
+
+    /// Rolls one revisit's cloud layer without touching scene pixels —
+    /// the cheap half of [`generate_revisit`](Catalog::generate_revisit)
+    /// for consumers that cache region windows.
+    pub fn revisit_cloud_layer(&self, m: &RevisitSceneMeta) -> CloudLayer {
+        let cloud_cfg = CloudConfig {
+            coverage: m.meta.cloud_cover,
+            ..self.cloud_config
+        };
+        clouds::generate(
+            &cloud_cfg,
+            m.meta.seed ^ 0xC10D,
+            m.meta.width,
+            m.meta.height,
+        )
+    }
+
     /// Materializes a scene: pristine pixels + ground truth + the cloud
     /// layer matching the metadata's coverage.
     pub fn generate(&self, meta: &SceneMeta) -> (Scene, CloudLayer) {
@@ -151,6 +239,94 @@ impl Catalog {
         let layer = clouds::generate(&cloud_cfg, meta.seed ^ 0xC10D, meta.width, meta.height);
         (scene, layer)
     }
+}
+
+/// A seeded revisit-cadence plan: which regions to monitor, how often,
+/// and how fast the ice translates between revisits.
+///
+/// Regions are held in a [`BTreeMap`] keyed by name so every iteration
+/// over them — metadata emission, window generation, drift-series
+/// assembly — happens in one byte-stable order.
+#[derive(Clone, Debug)]
+pub struct RevisitPlan {
+    /// Monitored regions by name.
+    pub regions: BTreeMap<String, GeoExtent>,
+    /// Day of the first revisit.
+    pub start_day: u32,
+    /// Days between consecutive revisits (Sentinel-2's polar revisit is
+    /// a few days).
+    pub cadence_days: u32,
+    /// Number of revisits per region.
+    pub revisits: u32,
+    /// Horizontal ice translation per revisit, in pixels.
+    pub drift_px: usize,
+}
+
+impl RevisitPlan {
+    /// A plan over `n` synthetic sub-regions of the Ross Sea, named
+    /// `ross-00` … so their `BTreeMap` order matches their index order.
+    pub fn synthetic(n: usize, revisits: u32, cadence_days: u32, drift_px: usize) -> Self {
+        let sea = GeoExtent::ross_sea();
+        let (dlat, dlon) = sea.span();
+        let mut regions = BTreeMap::new();
+        let cols = n.max(1);
+        for i in 0..n.max(1) {
+            let f = i as f64 / cols as f64;
+            let lat0 = sea.lat_min + f * dlat * 0.8;
+            let lon0 = sea.lon_min + f * dlon * 0.8;
+            regions.insert(
+                format!("ross-{i:02}"),
+                GeoExtent::new(lat0, lat0 + dlat * 0.1, lon0, lon0 + dlon * 0.1),
+            );
+        }
+        Self {
+            regions,
+            start_day: 0,
+            cadence_days: cadence_days.max(1),
+            revisits: revisits.max(1),
+            drift_px,
+        }
+    }
+}
+
+/// Metadata for one revisit of one region: a [`SceneMeta`] plus the
+/// revisit bookkeeping the change detector keys on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RevisitSceneMeta {
+    /// Region name (the plan's `BTreeMap` key).
+    pub region: String,
+    /// Zero-based revisit index.
+    pub revisit: u32,
+    /// Crop offset into the region window, in pixels.
+    pub offset_px: usize,
+    /// The scene-level metadata (day, seed, cloud cover, …).
+    pub meta: SceneMeta,
+}
+
+/// Crops one revisit's scene out of its region window (both pixels and
+/// ground truth), preserving the revisit's seed.
+///
+/// # Panics
+/// When the window is narrower than `offset_px + width` — i.e. the
+/// window was generated from a different plan.
+pub fn crop_revisit(window: &Scene, m: &RevisitSceneMeta) -> Scene {
+    Scene {
+        rgb: window.rgb.crop(m.offset_px, 0, m.meta.width, m.meta.height),
+        truth: window
+            .truth
+            .crop(m.offset_px, 0, m.meta.width, m.meta.height),
+        seed: m.meta.seed,
+    }
+}
+
+/// FNV-1a over bytes; turns region names into stable seeds.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -233,5 +409,79 @@ mod tests {
         // Regenerating yields identical pixels.
         let (scene2, _) = cat.generate(&metas[0]);
         assert_eq!(scene.rgb, scene2.rgb);
+    }
+
+    fn tiny_plan() -> RevisitPlan {
+        RevisitPlan::synthetic(2, 3, 2, 4)
+    }
+
+    #[test]
+    fn revisit_stream_is_deterministic_and_day_region_ordered() {
+        let cat = tiny_catalog();
+        let plan = tiny_plan();
+        let a = cat.revisit_stream(&plan);
+        let b = cat.revisit_stream(&plan);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        // Ordered by (day, region name): both regions on day 0, then
+        // both on day 2, then day 4.
+        let order: Vec<(u32, &str)> = a.iter().map(|m| (m.meta.day, m.region.as_str())).collect();
+        assert_eq!(
+            order,
+            vec![
+                (0, "ross-00"),
+                (0, "ross-01"),
+                (2, "ross-00"),
+                (2, "ross-01"),
+                (4, "ross-00"),
+                (4, "ross-01"),
+            ]
+        );
+        // Offsets march by the drift rate.
+        assert!(a
+            .iter()
+            .all(|m| m.offset_px == plan.drift_px * m.revisit as usize));
+    }
+
+    #[test]
+    fn revisit_windows_translate_the_same_ice() {
+        let cat = tiny_catalog();
+        let plan = tiny_plan();
+        let stream = cat.revisit_stream(&plan);
+        let window = cat.region_window(&plan, "ross-00");
+        // Window is scene-width plus drift headroom.
+        assert_eq!(window.rgb.width(), 64 + plan.drift_px * 2);
+        let r0: Vec<_> = stream.iter().filter(|m| m.region == "ross-00").collect();
+        let s0 = crop_revisit(&window, r0[0]);
+        let s1 = crop_revisit(&window, r0[1]);
+        // Revisit 1 shifted left by drift_px equals revisit 0's right
+        // part: the ice genuinely translates instead of being resampled.
+        let overlap = 64 - plan.drift_px;
+        assert_eq!(
+            s0.rgb.crop(plan.drift_px, 0, overlap, 64),
+            s1.rgb.crop(0, 0, overlap, 64)
+        );
+        assert_ne!(s0.rgb, s1.rgb, "drift must actually move the scene");
+    }
+
+    #[test]
+    fn generate_revisit_matches_cached_window_crop() {
+        let cat = tiny_catalog();
+        let plan = tiny_plan();
+        let stream = cat.revisit_stream(&plan);
+        let m = stream
+            .iter()
+            .find(|m| m.region == "ross-01" && m.revisit == 2)
+            .expect("revisit present");
+        let (scene, layer) = cat.generate_revisit(&plan, m);
+        let window = cat.region_window(&plan, "ross-01");
+        assert_eq!(scene.rgb, crop_revisit(&window, m).rgb);
+        assert_eq!(layer.cloud_alpha.dimensions(), (64, 64));
+        // Different revisits of the same region roll different clouds.
+        let m0 = stream
+            .iter()
+            .find(|m| m.region == "ross-01" && m.revisit == 0)
+            .expect("revisit present");
+        assert_ne!(m0.meta.seed, m.meta.seed);
     }
 }

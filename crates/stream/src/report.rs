@@ -1,0 +1,99 @@
+//! Per-stage accounting and the end-of-run [`StreamReport`].
+
+/// Counters for one stage of the DAG, accumulated across its workers.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StageStats {
+    /// Stage name as declared on the builder.
+    pub name: String,
+    /// Worker threads the stage ran with.
+    pub workers: usize,
+    /// Fresh items the stage received (retries excluded).
+    pub items_in: u64,
+    /// Items the stage emitted downstream (sinks emit none).
+    pub items_out: u64,
+    /// Attempts executed (fresh + retried).
+    pub attempts: u64,
+    /// Failed attempts that were re-queued.
+    pub retries: u64,
+    /// Failed attempts (injected faults + panics), including the ones
+    /// that were later retried successfully.
+    pub failures: u64,
+    /// Items that exhausted `max_attempts` (the run errors when > 0).
+    pub exhausted: u64,
+    /// Workers retired after `blacklist_after` failures.
+    pub blacklisted: u64,
+    /// Upstream `send`s into this stage that had to wait for capacity.
+    pub backpressure_waits: u64,
+    /// Deepest this stage's input queue has been.
+    pub queue_high_water: usize,
+    /// Simulated compute charged to this stage (attempts × per-item
+    /// cost), in seconds.
+    pub sim_busy_secs: f64,
+}
+
+/// What a completed (or drained-but-failed) run looked like.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StreamReport {
+    /// One entry per stage, source first.
+    pub stages: Vec<StageStats>,
+    /// Total simulated compute across all stages, in seconds.
+    pub sim_total_secs: f64,
+    /// Simulated bottleneck lower bound on the pipeline makespan: the
+    /// largest per-stage `sim_busy_secs / workers`.
+    pub sim_makespan_secs: f64,
+}
+
+impl StreamReport {
+    /// Sum of a field across stages.
+    pub fn total_retries(&self) -> u64 {
+        self.stages.iter().map(|s| s.retries).sum()
+    }
+
+    /// Total failed attempts across stages.
+    pub fn total_failures(&self) -> u64 {
+        self.stages.iter().map(|s| s.failures).sum()
+    }
+
+    /// Total workers retired by blacklisting.
+    pub fn total_blacklisted(&self) -> u64 {
+        self.stages.iter().map(|s| s.blacklisted).sum()
+    }
+
+    /// Fixed-width table, byte-stable for a given run.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>3} {:>8} {:>8} {:>8} {:>7} {:>8} {:>6} {:>6} {:>10}\n",
+            "stage",
+            "wrk",
+            "in",
+            "out",
+            "attempts",
+            "retries",
+            "failures",
+            "black",
+            "bpress",
+            "sim-busy-s"
+        ));
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<12} {:>3} {:>8} {:>8} {:>8} {:>7} {:>8} {:>6} {:>6} {:>10.3}\n",
+                s.name,
+                s.workers,
+                s.items_in,
+                s.items_out,
+                s.attempts,
+                s.retries,
+                s.failures,
+                s.blacklisted,
+                s.backpressure_waits,
+                s.sim_busy_secs,
+            ));
+        }
+        out.push_str(&format!(
+            "sim total {:.3} s, bottleneck makespan {:.3} s\n",
+            self.sim_total_secs, self.sim_makespan_secs
+        ));
+        out
+    }
+}

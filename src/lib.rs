@@ -20,6 +20,7 @@
 //! | [`distrib`] | `seaice-distrib` | ring all-reduce data-parallel training (Horovod replacement) |
 //! | [`core`] | `seaice-core` | the end-to-end parallel workflow |
 //! | [`serve`] | `seaice-serve` | batched, cache-aware inference serving engine |
+//! | [`stream`] | `seaice-stream` | backpressured streaming DAG scheduler |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 #![forbid(unsafe_code)]
@@ -34,4 +35,5 @@ pub use seaice_metrics as metrics;
 pub use seaice_nn as nn;
 pub use seaice_s2 as s2;
 pub use seaice_serve as serve;
+pub use seaice_stream as stream;
 pub use seaice_unet as unet;

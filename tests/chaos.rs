@@ -243,3 +243,62 @@ fn serve_survives_a_killed_replica_answering_bit_identically() {
     assert_eq!(s.robustness.batch_retries, 1);
     assert_eq!(s.ok, 6, "all non-shed requests answered");
 }
+
+// ---------------------------------------------------------------------
+// stream: a label-stage worker panics on every attempt; the DAG retries
+// its items on the surviving worker, blacklists the assassin, drains,
+// and the drift series matches the fault-free run byte for byte.
+// ---------------------------------------------------------------------
+
+#[test]
+fn stream_survives_a_killed_stage_worker_with_identical_drift_series() {
+    let cfg = seaice::core::StreamWorkflowConfig::tiny();
+    let ckpt = seaice::core::train_stream_model(&cfg);
+
+    let want = seaice::core::run_stream(
+        &cfg,
+        &ckpt,
+        seaice::stream::StreamPolicy::default(),
+        Arc::new(FaultPlan::disabled()),
+    )
+    .expect("fault-free reference run")
+    .series
+    .to_bytes();
+
+    // Label-stage (index 2) worker 0 panics on every attempt it makes.
+    let faults = Arc::new(FaultPlan::seeded(0xBAD5EA).fail_keys(
+        seaice::stream::FAULT_SITE_WORKER,
+        &[mix(2, 0)],
+        FaultAction::Panic,
+    ));
+    let chaos = seaice::core::run_stream(
+        &cfg,
+        &ckpt,
+        seaice::stream::StreamPolicy::resilient(),
+        Arc::clone(&faults),
+    )
+    .expect("the stream must survive one killed label worker");
+
+    assert_eq!(
+        chaos.series.to_bytes(),
+        want,
+        "recovered drift series must match fault-free byte for byte"
+    );
+    assert!(
+        faults.injections_fired() >= 1,
+        "the plan must actually have killed something"
+    );
+    assert!(
+        chaos.report.total_retries() >= 1,
+        "killed attempts must have been retried elsewhere"
+    );
+    assert_eq!(
+        chaos.report.total_blacklisted(),
+        1,
+        "the persistently failing worker must have been retired"
+    );
+    // Every stage drained: the sink saw every tile exactly once.
+    let sink = chaos.report.stages.last().expect("sink stats");
+    let infer = &chaos.report.stages[3];
+    assert_eq!(sink.items_in, infer.items_out, "the DAG must fully drain");
+}
