@@ -277,20 +277,10 @@ fn serve_row(tiles_n: usize) -> ChaosRow {
 /// are filtered out for the duration of the run; any *other* panic still
 /// reports normally.
 pub fn run(scale: Scale) -> ChaosBench {
-    let default_hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(move |info| {
-        let injected = info
-            .payload()
-            .downcast_ref::<String>()
-            .is_some_and(|m| m.contains("injected fault"));
-        if !injected {
-            default_hook(info);
-        }
-    }));
     let (items, samples, tiles) = scale.chaos_workload();
-    let rows = vec![mapreduce_row(items), distrib_row(samples), serve_row(tiles)];
-    // Back to the default hook for whatever runs after us.
-    drop(std::panic::take_hook());
+    let rows = crate::with_suppressed_panics("injected fault", || {
+        vec![mapreduce_row(items), distrib_row(samples), serve_row(tiles)]
+    });
     ChaosBench {
         items,
         samples,

@@ -37,6 +37,51 @@ pub mod table3;
 pub mod table45;
 pub mod workloads;
 
+/// Serializes panic-hook swaps across the process: the hook is global,
+/// so two chaos-style benches filtering concurrently would clobber each
+/// other's saved hooks.
+static PANIC_HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs `f` with panics whose `String` payload contains `needle`
+/// suppressed from stderr; every other panic still goes through the
+/// previously installed hook. The chaos benches use this so their
+/// expected injected panics don't spray backtraces over the output.
+///
+/// Hook swaps are serialized on a process-wide lock (concurrent
+/// filtered sections would race each other's take/set), and the
+/// previously installed hook — whatever it was, not the std default —
+/// is restored afterwards, even if `f` itself panics.
+pub fn with_suppressed_panics<R>(needle: &str, f: impl FnOnce() -> R) -> R {
+    use std::panic::PanicHookInfo;
+    use std::sync::Arc;
+
+    let _serial = PANIC_HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev: Arc<dyn Fn(&PanicHookInfo<'_>) + Send + Sync> = Arc::from(std::panic::take_hook());
+
+    struct Restore(Option<Arc<dyn Fn(&PanicHookInfo<'_>) + Send + Sync>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            if let Some(prev) = self.0.take() {
+                drop(std::panic::take_hook());
+                std::panic::set_hook(Box::new(move |info| prev(info)));
+            }
+        }
+    }
+    let _restore = Restore(Some(Arc::clone(&prev)));
+
+    let needle = needle.to_string();
+    std::panic::set_hook(Box::new(move |info| {
+        let suppressed = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains(&needle));
+        if !suppressed {
+            prev(info);
+        }
+    }));
+    f()
+}
+
 /// Formats a seconds value compactly.
 pub fn fmt_secs(s: f64) -> String {
     if s >= 100.0 {

@@ -136,24 +136,15 @@ pub fn run(scale: Scale) -> StreamBench {
 
     // Chaos: label worker 0 panics on every attempt; the resilient
     // policy retries elsewhere and blacklists it.
-    let default_hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(move |info| {
-        let injected = info
-            .payload()
-            .downcast_ref::<String>()
-            .is_some_and(|m| m.contains("injected fault"));
-        if !injected {
-            default_hook(info);
-        }
-    }));
     let faults = Arc::new(FaultPlan::seeded(0xBAD5EA).fail_keys(
         seaice_stream::FAULT_SITE_WORKER,
         &[mix(LABEL_STAGE, 0)],
         FaultAction::Panic,
     ));
-    let chaos = run_stream(&cfg, &ckpt, StreamPolicy::resilient(), Arc::clone(&faults))
-        .expect("the stream must survive one killed label worker");
-    drop(std::panic::take_hook());
+    let chaos = crate::with_suppressed_panics("injected fault", || {
+        run_stream(&cfg, &ckpt, StreamPolicy::resilient(), Arc::clone(&faults))
+            .expect("the stream must survive one killed label worker")
+    });
 
     let changed: Vec<f64> = reference
         .series

@@ -146,17 +146,44 @@ impl DriftSeries {
     }
 }
 
+/// A mask waiting in [`ChangeDetector::pending`] for one or both of its
+/// consecutive-revisit partners.
+///
+/// A mask at revisit `r` participates in up to two diffs — as the
+/// *successor* of `r-1` and as the *predecessor* of `r+1` — and the
+/// partner for either side may arrive in any order. It can only be
+/// evicted once both sides are settled; dropping it after serving one
+/// direction would silently lose the other diff under adversarial
+/// arrival orders.
+#[derive(Debug)]
+struct PendingMask {
+    mask: Vec<u8>,
+    /// The `(r-1) → r` diff has been booked (vacuously true at revisit
+    /// 0, which has no predecessor).
+    diffed_prev: bool,
+    /// The `r → (r+1)` diff has been booked.
+    diffed_next: bool,
+}
+
+impl PendingMask {
+    fn settled(&self) -> bool {
+        self.diffed_prev && self.diffed_next
+    }
+}
+
 /// Accumulates [`TileObs`] in any order and folds them into a
 /// [`DriftSeries`].
 #[derive(Debug, Default)]
 pub struct ChangeDetector {
     tile: usize,
     acc: BTreeMap<(String, u32), RevisitAcc>,
-    /// Masks waiting for their consecutive-revisit partner, keyed by
-    /// `(region, tile_index)` then revisit. A mask is dropped as soon as
-    /// it has served as the *predecessor* of revisit k+1; the partner
-    /// check works in both directions, so arrival order is irrelevant.
-    pending: BTreeMap<(String, u32), BTreeMap<u32, Vec<u8>>>,
+    /// Masks waiting for a consecutive-revisit partner, keyed by
+    /// `(region, tile_index)` then revisit. Each entry tracks which of
+    /// its two neighbor diffs have been booked and is evicted only once
+    /// both are (masks at the ends of the series stay until
+    /// [`finalize`](ChangeDetector::finalize) consumes them), so any
+    /// arrival order books the same set of diffs.
+    pending: BTreeMap<(String, u32), BTreeMap<u32, PendingMask>>,
 }
 
 impl ChangeDetector {
@@ -195,36 +222,42 @@ impl ChangeDetector {
         }
         acc.edge_px += edge_pairs(&obs.pred, side);
 
-        // Pair the mask with its consecutive revisits (either side).
+        // Pair the mask with its consecutive revisits (either side). A
+        // neighbor is evicted only once *both* of its own diffs are
+        // booked: serving as our predecessor says nothing about whether
+        // its other side (revisit - 2, say) has arrived yet.
+        let px = (side * side) as u64;
         let key = (obs.region.clone(), obs.tile_index);
         let slot = self.pending.entry(key).or_default();
-        let mut consumed = false;
-        if let Some(prev) = obs.revisit.checked_sub(1).and_then(|r| slot.remove(&r)) {
-            let (changed, opened, closed) = diff_masks(&prev, &obs.pred);
-            let acc = self
-                .acc
-                .entry((obs.region.clone(), obs.revisit))
-                .or_default();
-            acc.diffed_px += (side * side) as u64;
-            acc.changed_px += changed;
-            acc.opened_px += opened;
-            acc.closed_px += closed;
+        let mut diffed_prev = obs.revisit == 0;
+        if let Some(r_prev) = obs.revisit.checked_sub(1) {
+            if let Some(prev) = slot.get_mut(&r_prev) {
+                let d = diff_masks(&prev.mask, &obs.pred);
+                book_diff(&mut self.acc, &obs.region, obs.revisit, px, d);
+                prev.diffed_next = true;
+                diffed_prev = true;
+                if prev.settled() {
+                    slot.remove(&r_prev);
+                }
+            }
         }
-        if let Some(next) = slot.get(&(obs.revisit + 1)) {
-            let (changed, opened, closed) = diff_masks(&obs.pred, next);
-            let acc = self
-                .acc
-                .entry((obs.region.clone(), obs.revisit + 1))
-                .or_default();
-            acc.diffed_px += (side * side) as u64;
-            acc.changed_px += changed;
-            acc.opened_px += opened;
-            acc.closed_px += closed;
-            // This mask has served as a predecessor; it is done.
-            consumed = true;
+        let mut diffed_next = false;
+        if let Some(next) = slot.get_mut(&(obs.revisit + 1)) {
+            let d = diff_masks(&obs.pred, &next.mask);
+            book_diff(&mut self.acc, &obs.region, obs.revisit + 1, px, d);
+            next.diffed_prev = true;
+            diffed_next = true;
+            if next.settled() {
+                slot.remove(&(obs.revisit + 1));
+            }
         }
-        if !consumed {
-            slot.insert(obs.revisit, obs.pred);
+        let entry = PendingMask {
+            mask: obs.pred,
+            diffed_prev,
+            diffed_next,
+        };
+        if !entry.settled() {
+            slot.insert(obs.revisit, entry);
         }
     }
 
@@ -257,6 +290,22 @@ impl ChangeDetector {
             points,
         }
     }
+}
+
+/// Books one consecutive-revisit diff into the accumulator of the
+/// *later* revisit of the pair.
+fn book_diff(
+    acc: &mut BTreeMap<(String, u32), RevisitAcc>,
+    region: &str,
+    revisit: u32,
+    px: u64,
+    (changed, opened, closed): (u64, u64, u64),
+) {
+    let a = acc.entry((region.to_string(), revisit)).or_default();
+    a.diffed_px += px;
+    a.changed_px += changed;
+    a.opened_px += opened;
+    a.closed_px += closed;
 }
 
 /// Counts 4-neighbor pixel pairs with ice on one side and open water on
@@ -377,6 +426,69 @@ mod tests {
         }
         // Sanity: the series holds every (region, revisit) cell.
         assert_eq!(fwd.points.len(), 5);
+    }
+
+    fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+        if items.len() <= 1 {
+            return vec![items.to_vec()];
+        }
+        let mut out = Vec::new();
+        for i in 0..items.len() {
+            let mut rest = items.to_vec();
+            let first = rest.remove(i);
+            for mut p in permutations(&rest) {
+                p.insert(0, first.clone());
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn every_arrival_order_books_every_consecutive_diff() {
+        // Four revisits of one tile, every diff nonzero — a dropped
+        // diff leaves a 0.0 in the series and changes the bytes, so no
+        // permutation can pass by coincidence. (The regression behind
+        // this test: a mask that had served as predecessor of r+1 was
+        // evicted before r-1 arrived, losing the (r-1)→r diff under
+        // arrival orders like (r1, r2, r0).)
+        let series = vec![
+            obs("a", 0, 0, vec![K, K, K, K]),
+            obs("a", 1, 0, vec![W, K, K, K]),
+            obs("a", 2, 0, vec![W, W, K, K]),
+            obs("a", 3, 0, vec![W, W, W, N]),
+        ];
+        let mut fwd = ChangeDetector::new(2);
+        for o in series.clone() {
+            fwd.observe(o);
+        }
+        let fwd = fwd.finalize();
+        assert_eq!(fwd.points[1].changed_frac, 0.25);
+        assert_eq!(fwd.points[2].changed_frac, 0.25);
+        assert_eq!(fwd.points[3].changed_frac, 0.5);
+        for perm in permutations(&series) {
+            let mut det = ChangeDetector::new(2);
+            for o in perm {
+                det.observe(o);
+            }
+            assert_eq!(det.finalize().to_bytes(), fwd.to_bytes());
+        }
+    }
+
+    #[test]
+    fn successor_then_mask_then_predecessor_keeps_both_diffs() {
+        // (r2, r1, r0): r1 serves as r2's predecessor the moment it
+        // arrives; it must still be pending when r0 lands so the r0→r1
+        // diff is booked too.
+        let mut det = ChangeDetector::new(1);
+        det.observe(obs("a", 2, 0, vec![K]));
+        det.observe(obs("a", 1, 0, vec![W]));
+        det.observe(obs("a", 0, 0, vec![K]));
+        let s = det.finalize();
+        assert_eq!(s.points[1].changed_frac, 1.0);
+        assert_eq!(s.points[1].opened_frac, 1.0);
+        assert_eq!(s.points[2].changed_frac, 1.0);
+        assert_eq!(s.points[2].closed_frac, 1.0);
     }
 
     #[test]

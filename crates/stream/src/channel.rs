@@ -114,13 +114,23 @@ impl<T> StageQueue<T> {
     /// Blocking send of a fresh item from upstream; waits while the
     /// queue is at capacity (this wait is the backpressure the crate is
     /// named for).
+    ///
+    /// If every downstream worker has already exited the item is
+    /// discarded instead of queued: after a normal drain no sends can
+    /// follow, so this only happens when the consuming stage died
+    /// outside attempt isolation — and the upstream must be able to
+    /// finish so the run can drain and report that crash rather than
+    /// deadlock on a queue nobody will ever serve.
     pub fn send(&self, item: T) {
         let mut st = lock(&self.state);
-        if st.queue.len() >= self.capacity {
+        if st.queue.len() >= self.capacity && st.active_workers > 0 {
             st.backpressure_waits += 1;
-            while st.queue.len() >= self.capacity {
+            while st.queue.len() >= self.capacity && st.active_workers > 0 {
                 st = self.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
             }
+        }
+        if st.active_workers == 0 {
+            return;
         }
         st.received += 1;
         st.queue.push_back(Envelope::fresh(item));
@@ -201,12 +211,19 @@ impl<T> StageQueue<T> {
         }
     }
 
-    /// A worker that saw [`Recv::Done`] deregisters.
+    /// A worker that stopped pulling deregisters — after [`Recv::Done`]
+    /// in the normal case, or from its unwind guard if the worker
+    /// thread itself panicked. When the last worker leaves, blocked
+    /// senders are woken too so they can observe the dead stage.
     pub fn worker_exit(&self) {
         let mut st = lock(&self.state);
         st.active_workers = st.active_workers.saturating_sub(1);
+        let stage_gone = st.active_workers == 0;
         drop(st);
         self.not_empty.notify_all();
+        if stage_gone {
+            self.not_full.notify_all();
+        }
     }
 
     /// (fresh items accepted, queue high-water mark, sends that blocked).
@@ -300,6 +317,28 @@ mod tests {
         let q = StageQueue::<u32>::new(4);
         q.set_workers(1);
         assert!(!q.try_retire(0));
+    }
+
+    #[test]
+    fn send_to_a_dead_stage_discards_instead_of_blocking() {
+        let q = Arc::new(StageQueue::new(1));
+        q.set_workers(1);
+        q.send(0u32); // fills capacity
+        let q2 = Arc::clone(&q);
+        let sender = thread::spawn(move || {
+            q2.send(1); // blocks on capacity until the worker dies
+            q2.send(2); // stage already dead: discarded without waiting
+        });
+        while q.stats().2 == 0 {
+            thread::yield_now();
+        }
+        // The only worker unwinds; its exit must wake the blocked
+        // sender, which then discards instead of queueing forever.
+        q.worker_exit();
+        sender
+            .join()
+            .expect("sender must not deadlock on a dead stage");
+        assert_eq!(q.stats().0, 1, "only the pre-death item was accepted");
     }
 
     #[test]

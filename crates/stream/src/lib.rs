@@ -37,6 +37,7 @@
 //! | site | key | effect |
 //! |---|---|---|
 //! | `stream.worker` | `mix(stage_index, worker_index)` | the attempt fails before the stage function runs |
+//! | `stream.supervisor` | `mix(stage_index, worker_index)` | the worker *thread* panics outside attempt isolation (a simulated scheduler bug); the run still drains and reports [`StreamError::Supervisor`] |
 //!
 //! ```
 //! use seaice_stream::{source, StageOptions, StreamPolicy};
@@ -69,3 +70,12 @@ pub use report::{StageStats, StreamReport};
 /// dead stage worker, the streaming analogue of mapreduce's dead
 /// executor.
 pub const FAULT_SITE_WORKER: &str = "stream.worker";
+
+/// Fault-injection site checked once per received item *outside* the
+/// per-attempt `catch_unwind`, keyed like [`FAULT_SITE_WORKER`]. Firing
+/// it unwinds the worker thread itself — the simulated scheduler bug
+/// behind the [`StreamError::Supervisor`] drain guarantee: the DAG
+/// still drains (unwind guards complete the in-flight attempt,
+/// deregister the worker, and close the stage output) and `run`
+/// reports the crash instead of hanging.
+pub const FAULT_SITE_SUPERVISOR: &str = "stream.supervisor";

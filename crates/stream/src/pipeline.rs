@@ -444,6 +444,41 @@ where
     }
 }
 
+/// Unwind-safe worker cleanup: everything that *must* happen when a
+/// stage worker stops, even if the worker thread panics outside the
+/// per-attempt `catch_unwind` (a scheduler bug, or an injected
+/// [`crate::FAULT_SITE_SUPERVISOR`] fault). On drop it completes a
+/// still-in-flight attempt so the input queue's drain condition can
+/// fire, deregisters the worker, and — when it is the stage's last —
+/// closes the output queue, letting the rest of the DAG drain so
+/// [`Stream::run`] reports [`StreamError::Supervisor`] instead of
+/// hanging on `join()`.
+struct WorkerGuard<T, U> {
+    input: Arc<StageQueue<T>>,
+    output: Option<Arc<StageQueue<U>>>,
+    remaining: Arc<AtomicUsize>,
+    /// An attempt was handed out by `recv` and not yet `complete`d.
+    inflight: bool,
+    /// The worker already deregistered via `try_retire`.
+    retired: bool,
+}
+
+impl<T, U> Drop for WorkerGuard<T, U> {
+    fn drop(&mut self) {
+        if self.inflight {
+            self.input.complete();
+        }
+        if !self.retired {
+            self.input.worker_exit();
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if let Some(out) = &self.output {
+                out.close();
+            }
+        }
+    }
+}
+
 fn run_stage<T, U>(
     shared: Arc<RunShared>,
     stage: usize,
@@ -456,14 +491,29 @@ fn run_stage<T, U>(
     T: Clone + Send,
     U: Send,
 {
+    let mut guard = WorkerGuard {
+        input,
+        output,
+        remaining,
+        inflight: false,
+        retired: false,
+    };
+    let input = Arc::clone(&guard.input);
+    let output = guard.output.clone();
     let site_key = mix(stage as u64, worker as u64);
     let mut my_failures = 0u32;
-    let mut retired = false;
     loop {
         let env = match input.recv(worker) {
             Recv::Done => break,
             Recv::Item(env) => env,
         };
+        guard.inflight = true;
+        // The supervisor fault site sits *outside* attempt isolation:
+        // firing it kills this worker thread the way a scheduler bug
+        // would, which is what the Supervisor drain tests exercise.
+        shared
+            .faults
+            .maybe_panic(crate::FAULT_SITE_SUPERVISOR, site_key);
         let outcome: Result<Vec<U>, String> = match catch_unwind(AssertUnwindSafe(|| {
             shared
                 .faults
@@ -490,6 +540,7 @@ fn run_stage<T, U>(
                 st.items_out += emitted;
                 drop(st);
                 input.complete();
+                guard.inflight = false;
             }
             Err(error) => {
                 my_failures += 1;
@@ -522,6 +573,7 @@ fn run_stage<T, U>(
                     });
                 }
                 input.complete();
+                guard.inflight = false;
                 if my_failures >= shared.policy.blacklist_after && input.try_retire(worker) {
                     lock(&shared.stats[stage]).blacklisted += 1;
                     if shared.tracer.is_enabled() {
@@ -534,20 +586,14 @@ fn run_stage<T, U>(
                             ],
                         );
                     }
-                    retired = true;
+                    guard.retired = true;
                     break;
                 }
             }
         }
     }
-    if !retired {
-        input.worker_exit();
-    }
-    if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-        if let Some(out) = &output {
-            out.close();
-        }
-    }
+    // Exit bookkeeping (worker_exit / last-worker output close) runs in
+    // the guard's Drop, shared with the unwind path.
 }
 
 /// Books one attempt: stats, counters, and — when tracing — a complete
@@ -697,6 +743,41 @@ mod tests {
         assert_eq!(items.len(), 6);
         assert_eq!(report.stages[1].exhausted, 6);
         assert_eq!(*lock(&sum), 0);
+    }
+
+    #[test]
+    fn supervisor_panic_drains_and_reports_instead_of_hanging() {
+        // Kill both transform workers at the *supervisor* site: the
+        // panic unwinds the worker threads outside attempt isolation,
+        // past every inline cleanup. The unwind guards must still
+        // complete the in-flight attempts, deregister the workers, and
+        // close the downstream queue — so the source finishes (its
+        // sends to the dead stage are discarded), the sink drains, and
+        // run() returns Supervisor rather than hanging on join().
+        let faults = Arc::new(FaultPlan::seeded(5).fail_keys(
+            crate::FAULT_SITE_SUPERVISOR,
+            &[mix(1, 0), mix(1, 1)],
+            FaultAction::Panic,
+        ));
+        let (sum, sink) = sum_sink();
+        let err = source(
+            StreamPolicy {
+                channel_capacity: 4,
+                ..StreamPolicy::default()
+            },
+            "nums",
+            0u64..20,
+        )
+        .transform("id", StageOptions::workers(2), |n| vec![n])
+        .sink("sum", StageOptions::workers(1), sink)
+        .run(faults)
+        .expect_err("crashed workers must surface as Supervisor");
+        let StreamError::Supervisor { panics, report } = err else {
+            panic!("expected Supervisor");
+        };
+        assert_eq!(panics, 2);
+        assert_eq!(*lock(&sum), 0, "no item survived the dead stage");
+        assert_eq!(report.stages.len(), 3);
     }
 
     #[test]
