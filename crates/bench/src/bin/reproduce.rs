@@ -17,6 +17,7 @@
 //!   infer       f32 vs int8 inference comparison        (DESIGN.md §4.5; writes BENCH_infer.json)
 //!   chaos       fault-injection / recovery demo         (DESIGN.md §4.3; writes BENCH_chaos.json)
 //!   stream      streaming DAG + change detection        (DESIGN.md §4.7; writes BENCH_stream.json)
+//!   soak        seeded chaos-soak harness               (DESIGN.md §4.8; writes BENCH_soak.json)
 //!   ablation    cloud/shadow-filter design ablations    (DESIGN.md §6)
 //!   sweep       batch-size / dropout exploration        (§IV-A)
 //!   night       season-transfer + threshold calibration (§IV-B-2)
@@ -105,7 +106,7 @@ fn parse_args() -> Args {
 
 fn print_usage() {
     eprintln!(
-        "usage: reproduce <table1|table2|table3|table4|table5|fig11|fig13|fig14|scenes|serve|infer|chaos|stream|ablation|sweep|night|all> [--scale small|medium|large] [--out DIR] [--trace FILE]\n\
+        "usage: reproduce <table1|table2|table3|table4|table5|fig11|fig13|fig14|scenes|serve|infer|chaos|stream|soak|ablation|sweep|night|all> [--scale small|medium|large] [--out DIR] [--trace FILE]\n\
          \x20      reproduce bench-check [--current DIR] [--baseline DIR]\n\
          \x20      reproduce trace-check <trace.json>"
     );
@@ -217,6 +218,7 @@ fn main() {
         "infer" => ok &= run_infer(args.scale),
         "chaos" => ok &= run_chaos(args.scale),
         "stream" => ok &= run_stream(args.scale),
+        "soak" => ok &= run_soak(args.scale),
         "ablation" => {
             println!("{}", seaice_bench::ablation::run(args.scale).render());
             println!("{}", seaice_bench::ablation::up_mode(args.scale).render());
@@ -240,6 +242,7 @@ fn main() {
             ok &= run_infer(args.scale);
             ok &= run_chaos(args.scale);
             ok &= run_stream(args.scale);
+            ok &= run_soak(args.scale);
             println!("{}", seaice_bench::ablation::run(args.scale).render());
             println!("{}", seaice_bench::night::run(args.scale).render());
         }
@@ -292,6 +295,15 @@ fn run_stream(scale: Scale) -> bool {
     let b = seaice_bench::streambench::run(scale);
     println!("{}", b.render());
     write_summary(&b.summary())
+}
+
+/// Runs the chaos-soak harness; a violated invariant (the render carries
+/// its repro line) flips the exit code as well as the summary metric.
+fn run_soak(scale: Scale) -> bool {
+    let b = seaice_bench::soakbench::run(scale);
+    println!("{}", b.render());
+    let clean = b.violations == 0;
+    write_summary(&b.summary()) && clean
 }
 
 fn run_table1(scale: Scale) -> bool {

@@ -29,6 +29,7 @@ pub mod infer;
 pub mod night;
 pub mod scale;
 pub mod servebench;
+pub mod soakbench;
 pub mod streambench;
 pub mod sweep;
 pub mod table1;
@@ -55,10 +56,12 @@ pub fn with_suppressed_panics<R>(needle: &str, f: impl FnOnce() -> R) -> R {
     use std::panic::PanicHookInfo;
     use std::sync::Arc;
 
-    let _serial = PANIC_HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let prev: Arc<dyn Fn(&PanicHookInfo<'_>) + Send + Sync> = Arc::from(std::panic::take_hook());
+    type Hook = Arc<dyn Fn(&PanicHookInfo<'_>) + Send + Sync>;
 
-    struct Restore(Option<Arc<dyn Fn(&PanicHookInfo<'_>) + Send + Sync>>);
+    let _serial = PANIC_HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev: Hook = Arc::from(std::panic::take_hook());
+
+    struct Restore(Option<Hook>);
     impl Drop for Restore {
         fn drop(&mut self) {
             if let Some(prev) = self.0.take() {

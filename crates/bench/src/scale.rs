@@ -92,6 +92,18 @@ impl Scale {
         }
     }
 
+    /// (durable, stream, mapreduce, serve) schedule counts for the
+    /// chaos-soak harness: K seeded random fault schedules whose every
+    /// outcome is checked against a precomputed oracle or a fault-free
+    /// reference.
+    pub fn soak_schedules(self) -> (usize, usize, usize, usize) {
+        match self {
+            Scale::Small => (8, 4, 4, 4),
+            Scale::Medium => (16, 6, 6, 6),
+            Scale::Large => (32, 8, 8, 8),
+        }
+    }
+
     /// Ranks for the real distributed-training semantics run.
     pub fn distrib_ranks(self) -> usize {
         match self {

@@ -99,8 +99,15 @@ fn traced(
     }
     let mut msg = f(p)?;
     if let Some(path) = trace_path {
-        std::fs::write(&path, seaice_obs::trace::export_chrome_json())?;
-        msg.push_str(&format!("\nwrote trace {path}"));
+        let path = std::path::Path::new(&path);
+        seaice_obs::durable::write_atomic(
+            path,
+            seaice_obs::trace::export_chrome_json().as_bytes(),
+            &seaice_obs::durable::DurableCtx::disabled(),
+            seaice_obs::durable::path_key(path),
+        )
+        .map_err(|e| e.into_io())?;
+        msg.push_str(&format!("\nwrote trace {}", path.display()));
     }
     Ok(msg)
 }
@@ -288,8 +295,11 @@ fn run_train(p: &mut Parsed) -> Result<String, CliError> {
 /// Reads a checkpoint file without restoring it into a model (the
 /// parallel and serving paths restore one replica per worker).
 fn read_checkpoint(path: &str) -> Result<checkpoint::Checkpoint, CliError> {
-    let bytes = std::fs::read(path)?;
-    serde_json::from_slice(&bytes).map_err(|e| CliError::Io(std::io::Error::other(e)))
+    checkpoint::read_checkpoint(
+        std::path::Path::new(path),
+        &seaice_obs::durable::DurableCtx::disabled(),
+    )
+    .map_err(CliError::Io)
 }
 
 /// Parses `--backend f32|int8` (default f32).

@@ -21,6 +21,7 @@
 //! assembles in `BTreeMap` key order — the same bytes at any worker
 //! count, with or without retries.
 
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 use seaice_s2::classes::OPEN_WATER;
@@ -43,7 +44,7 @@ pub struct TileObs {
 }
 
 /// Integer accumulators for one `(region, revisit)` cell.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 struct RevisitAcc {
     day: u32,
     tiles: u64,
@@ -155,7 +156,7 @@ impl DriftSeries {
 /// evicted once both sides are settled; dropping it after serving one
 /// direction would silently lose the other diff under adversarial
 /// arrival orders.
-#[derive(Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 struct PendingMask {
     mask: Vec<u8>,
     /// The `(r-1) → r` diff has been booked (vacuously true at revisit
@@ -261,6 +262,56 @@ impl ChangeDetector {
         }
     }
 
+    /// Serializes the detector's complete state — accumulators *and*
+    /// masks still waiting for a revisit partner — into the durable
+    /// [`ChangeSnapshot`] form. [`restore`](ChangeDetector::restore) of
+    /// the snapshot is an exact continuation: feeding it the remaining
+    /// observations yields the same [`DriftSeries`], byte for byte, as
+    /// an uninterrupted detector (BTreeMap iteration makes the encoding
+    /// order deterministic too).
+    pub fn snapshot(&self) -> ChangeSnapshot {
+        ChangeSnapshot {
+            tile: self.tile,
+            acc: self
+                .acc
+                .iter()
+                .map(|((region, revisit), acc)| AccEntry {
+                    region: region.clone(),
+                    revisit: *revisit,
+                    acc: acc.clone(),
+                })
+                .collect(),
+            pending: self
+                .pending
+                .iter()
+                .flat_map(|((region, tile_index), slot)| {
+                    slot.iter().map(move |(revisit, mask)| PendingEntry {
+                        region: region.clone(),
+                        tile_index: *tile_index,
+                        revisit: *revisit,
+                        mask: mask.clone(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a detector from a [`ChangeSnapshot`] — the inverse of
+    /// [`snapshot`](ChangeDetector::snapshot).
+    pub fn restore(snap: &ChangeSnapshot) -> Self {
+        let mut det = Self::new(snap.tile);
+        for e in &snap.acc {
+            det.acc.insert((e.region.clone(), e.revisit), e.acc.clone());
+        }
+        for e in &snap.pending {
+            det.pending
+                .entry((e.region.clone(), e.tile_index))
+                .or_default()
+                .insert(e.revisit, e.mask.clone());
+        }
+        det
+    }
+
     /// Assembles the series in `(region, revisit)` key order.
     pub fn finalize(self) -> DriftSeries {
         let points = self
@@ -290,6 +341,39 @@ impl ChangeDetector {
             points,
         }
     }
+}
+
+/// Serializable image of a [`ChangeDetector`]'s complete state.
+///
+/// Tuple-keyed `BTreeMap`s do not map onto JSON objects, so the maps
+/// flatten into entry vectors (in key order — the encoding is
+/// deterministic). Written durably by the stream-stage checkpoint in
+/// [`crate::stream_workflow`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChangeSnapshot {
+    /// Tile side length the masks were observed at.
+    pub tile: usize,
+    /// Flattened accumulator map, in `(region, revisit)` order.
+    acc: Vec<AccEntry>,
+    /// Flattened pending-mask map, in `(region, tile, revisit)` order.
+    pending: Vec<PendingEntry>,
+}
+
+/// One `(region, revisit)` accumulator cell of a [`ChangeSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct AccEntry {
+    region: String,
+    revisit: u32,
+    acc: RevisitAcc,
+}
+
+/// One pending mask of a [`ChangeSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct PendingEntry {
+    region: String,
+    tile_index: u32,
+    revisit: u32,
+    mask: PendingMask,
 }
 
 /// Books one consecutive-revisit diff into the accumulator of the
@@ -489,6 +573,55 @@ mod tests {
         assert_eq!(s.points[1].opened_frac, 1.0);
         assert_eq!(s.points[2].changed_frac, 1.0);
         assert_eq!(s.points[2].closed_frac, 1.0);
+    }
+
+    #[test]
+    fn snapshot_restore_continues_byte_identically_at_any_cut() {
+        // Observations with unsettled pending masks at every prefix:
+        // out-of-order revisits so a cut point always leaves masks
+        // waiting for partners.
+        let observations = vec![
+            obs("a", 2, 0, vec![W, W, K, K]),
+            obs("a", 0, 0, vec![K, K, K, K]),
+            obs("b", 1, 0, vec![N, N, W, N]),
+            obs("a", 1, 0, vec![W, K, K, K]),
+            obs("b", 0, 0, vec![N, N, N, N]),
+            obs("a", 3, 0, vec![W, W, W, N]),
+        ];
+        let mut straight = ChangeDetector::new(2);
+        for o in observations.clone() {
+            straight.observe(o);
+        }
+        let want = straight.finalize().to_bytes();
+
+        for cut in 0..=observations.len() {
+            let mut first = ChangeDetector::new(2);
+            for o in &observations[..cut] {
+                first.observe(o.clone());
+            }
+            // Roundtrip the snapshot through JSON — the same encoding
+            // the durable stream checkpoint uses.
+            let json = serde_json::to_vec(&first.snapshot()).unwrap();
+            let snap: ChangeSnapshot = serde_json::from_slice(&json).unwrap();
+            let mut resumed = ChangeDetector::restore(&snap);
+            for o in &observations[cut..] {
+                resumed.observe(o.clone());
+            }
+            assert_eq!(resumed.finalize().to_bytes(), want, "cut at {cut} diverged");
+        }
+    }
+
+    #[test]
+    fn snapshot_encoding_is_deterministic() {
+        let mut det = ChangeDetector::new(2);
+        det.observe(obs("a", 1, 0, vec![K, W, K, W]));
+        det.observe(obs("b", 0, 3, vec![N, N, W, W]));
+        let a = serde_json::to_vec(&det.snapshot()).unwrap();
+        let b = serde_json::to_vec(&det.snapshot()).unwrap();
+        assert_eq!(a, b);
+        // And the roundtrip is lossless.
+        let snap: ChangeSnapshot = serde_json::from_slice(&a).unwrap();
+        assert_eq!(ChangeDetector::restore(&snap).snapshot(), det.snapshot());
     }
 
     #[test]

@@ -30,12 +30,15 @@ pub mod workflow;
 pub use adapters::{mask_to_image, predictions_to_mask, tile_to_sample, InputVariant, LabelSource};
 pub use analysis::{detect_leads, ice_concentration, IceConcentration, LeadAnalysis, LeadConfig};
 pub use backend::{default_calibration, restore_backend, LoadedModel, CALIBRATION_SEED};
-pub use change::{ChangeDetector, DriftPoint, DriftSeries, TileObs};
+pub use change::{ChangeDetector, ChangeSnapshot, DriftPoint, DriftSeries, TileObs};
 pub use config::WorkflowConfig;
 pub use inference::{
     classify_scene, classify_scene_parallel, classify_scene_with, SceneClassification,
 };
-pub use stream_workflow::{run_stream, train_stream_model, StreamOutcome, StreamWorkflowConfig};
+pub use stream_workflow::{
+    run_stream, run_stream_resumable, train_stream_model, StreamCheckpoint, StreamOutcome,
+    StreamResumeConfig, StreamResumeReport, StreamWorkflowConfig,
+};
 pub use workflow::{
     evaluate_arm, run_workflow, train_models, train_models_distributed, ArmEvaluation,
     TrainedModels, WorkflowResult,

@@ -19,12 +19,13 @@
 //! are calibrated ballpark figures, all deterministic.
 
 use crate::adapters::image_to_chw;
-use crate::change::{ChangeDetector, DriftSeries, TileObs};
+use crate::change::{ChangeDetector, ChangeSnapshot, DriftSeries, TileObs};
 use seaice_faults::FaultPlan;
 use seaice_imgproc::buffer::{Image, Scratch};
 use seaice_label::autolabel::{auto_label_class_mask, AutoLabelConfig};
 use seaice_nn::tensor::Tensor;
-use seaice_s2::catalog::{Catalog, RevisitPlan};
+use seaice_obs::durable::{self, DurableCtx};
+use seaice_s2::catalog::{Catalog, RevisitPlan, RevisitSceneMeta};
 use seaice_s2::synth::SceneConfig;
 use seaice_s2::tiler::tile_anchors;
 use seaice_stream::{source, StageOptions, StreamError, StreamPolicy, StreamReport};
@@ -32,7 +33,9 @@ use seaice_unet::checkpoint::{self, Checkpoint};
 use seaice_unet::config::UNetConfig;
 use seaice_unet::model::UNet;
 use seaice_unet::train::{train, TrainConfig};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -206,6 +209,31 @@ pub fn run_stream(
 ) -> Result<StreamOutcome, StreamError> {
     let (catalog, plan) = cfg.plan();
     let metas = catalog.revisit_stream(&plan);
+    let detector = ChangeDetector::new(cfg.tile);
+    let (detector, report) =
+        run_stream_segment(cfg, ckpt, policy, faults, &catalog, &plan, metas, detector)?;
+    Ok(StreamOutcome {
+        series: detector.finalize(),
+        report,
+    })
+}
+
+/// Runs the DAG over one slice of the revisit feed, folding into (and
+/// returning) the caller's detector — the unit both [`run_stream`] and
+/// [`run_stream_resumable`] are built from. Because
+/// [`ChangeDetector::observe`] is commutative, partitioning the same
+/// meta list into any segments yields the same final detector state.
+#[allow(clippy::too_many_arguments)]
+fn run_stream_segment(
+    cfg: &StreamWorkflowConfig,
+    ckpt: &Checkpoint,
+    policy: StreamPolicy,
+    faults: Arc<FaultPlan>,
+    catalog: &Catalog,
+    plan: &RevisitPlan,
+    metas: Vec<RevisitSceneMeta>,
+    detector: ChangeDetector,
+) -> Result<(ChangeDetector, StreamReport), StreamError> {
     let tile = cfg.tile;
     let side = cfg.scene_side;
     let workers = cfg.workers.max(1);
@@ -241,7 +269,7 @@ pub fn run_stream(
     let pool = Arc::new(Mutex::new(replicas));
     let ckpt_fallback = ckpt.clone();
 
-    let detector = Arc::new(Mutex::new(ChangeDetector::new(tile)));
+    let detector = Arc::new(Mutex::new(detector));
     let sink_det = Arc::clone(&detector);
 
     let anchors = tile_anchors(side, tile);
@@ -316,15 +344,230 @@ pub fn run_stream(
     let detector = Arc::try_unwrap(detector)
         .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
         .unwrap_or_default();
-    Ok(StreamOutcome {
-        series: detector.finalize(),
-        report,
+    Ok((detector, report))
+}
+
+/// How [`run_stream_resumable`] persists and resumes.
+#[derive(Clone, Debug)]
+pub struct StreamResumeConfig {
+    /// Durable checkpoint file (framed [`StreamCheckpoint`] JSON).
+    pub checkpoint_path: PathBuf,
+    /// Snapshot the detector after every this many scenes.
+    pub every_scenes: usize,
+    /// Simulated process crash: stop (without error) once this many
+    /// scenes have been processed *this run*. Work past the last
+    /// checkpoint boundary is lost, exactly as a real kill would lose
+    /// it. `None` runs to completion.
+    pub max_scenes_this_run: Option<usize>,
+}
+
+impl StreamResumeConfig {
+    /// Checkpoint to `path` every `every_scenes` scenes, run to
+    /// completion.
+    pub fn new(path: impl Into<PathBuf>, every_scenes: usize) -> Self {
+        Self {
+            checkpoint_path: path.into(),
+            every_scenes: every_scenes.max(1),
+            max_scenes_this_run: None,
+        }
+    }
+
+    /// Simulate a kill after `n` scenes (builder-style).
+    #[must_use]
+    pub fn killed_after(mut self, n: usize) -> Self {
+        self.max_scenes_this_run = Some(n);
+        self
+    }
+}
+
+/// The durable payload [`run_stream_resumable`] writes at every
+/// checkpoint boundary: how far the scene feed got plus the detector's
+/// complete state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StreamCheckpoint {
+    /// Scenes fully processed and folded into `detector`.
+    pub scenes_done: usize,
+    /// Detector state after those scenes.
+    pub detector: ChangeSnapshot,
+}
+
+/// What a resumable run did.
+#[derive(Clone, Debug)]
+pub struct StreamResumeReport {
+    /// The feed was fully drained (false = the simulated kill fired).
+    pub finished: bool,
+    /// Scenes processed across all runs so far (checkpoint watermark).
+    pub scenes_done: usize,
+    /// Scenes the full feed holds.
+    pub total_scenes: usize,
+    /// Scene index this run resumed from (0 = fresh start).
+    pub resumed_from: usize,
+    /// Durable checkpoints written this run.
+    pub checkpoints_written: usize,
+    /// Checkpoint writes that failed (injected torn/ENOSPC faults). The
+    /// run continues — a stale checkpoint only costs replayed work.
+    pub checkpoint_write_failures: usize,
+    /// An existing checkpoint file failed verification and was
+    /// discarded (the run restarted from scratch rather than trust it).
+    pub corrupt_checkpoint_discarded: bool,
+    /// The drift series — present only when `finished`.
+    pub series: Option<DriftSeries>,
+    /// Per-segment scheduler reports, in execution order.
+    pub reports: Vec<StreamReport>,
+}
+
+/// [`run_stream`] with crash consistency: the scene feed is processed
+/// in chunks of [`StreamResumeConfig::every_scenes`], and after each
+/// chunk the detector state is written — checksummed, atomically — to
+/// the checkpoint file. A killed run restarted with the same arguments
+/// resumes from the last durable snapshot and produces a drift series
+/// **byte-identical** to an uninterrupted run (chunking partitions the
+/// same observation multiset and [`ChangeDetector::observe`] is
+/// commutative; pinned by `tests/durability.rs`).
+///
+/// A checkpoint file that fails checksum or shape validation is never
+/// trusted: the run notes it ([`StreamResumeReport::corrupt_checkpoint_discarded`])
+/// and restarts from scratch, which costs time but never correctness.
+///
+/// # Errors
+/// Propagates [`StreamError`] from the underlying DAG segments.
+pub fn run_stream_resumable(
+    cfg: &StreamWorkflowConfig,
+    ckpt: &Checkpoint,
+    policy: StreamPolicy,
+    faults: Arc<FaultPlan>,
+    resume: &StreamResumeConfig,
+    dctx: &DurableCtx,
+) -> Result<StreamResumeReport, StreamError> {
+    let (catalog, plan) = cfg.plan();
+    let metas = catalog.revisit_stream(&plan);
+    let total = metas.len();
+    let every = resume.every_scenes.max(1);
+    let path = &resume.checkpoint_path;
+
+    // Restore: a missing file is a fresh start; anything unreadable,
+    // corrupt, or shape-incompatible is *discarded*, never trusted.
+    let mut corrupt_discarded = false;
+    let (mut detector, mut done) = match durable::read_framed(path, dctx, durable::path_key(path)) {
+        Ok(bytes) => match serde_json::from_slice::<StreamCheckpoint>(&bytes) {
+            Ok(sc) if sc.scenes_done <= total && sc.detector.tile == cfg.tile => {
+                (ChangeDetector::restore(&sc.detector), sc.scenes_done)
+            }
+            _ => {
+                corrupt_discarded = true;
+                (ChangeDetector::new(cfg.tile), 0)
+            }
+        },
+        Err(durable::DurableError::Io { source, .. })
+            if source.kind() == std::io::ErrorKind::NotFound =>
+        {
+            (ChangeDetector::new(cfg.tile), 0)
+        }
+        Err(_) => {
+            corrupt_discarded = true;
+            (ChangeDetector::new(cfg.tile), 0)
+        }
+    };
+
+    let resumed_from = done;
+    let stop = resume
+        .max_scenes_this_run
+        .map(|m| done.saturating_add(m))
+        .unwrap_or(usize::MAX);
+    let mut reports = Vec::new();
+    let mut written = 0usize;
+    let mut write_failures = 0usize;
+
+    while done < total {
+        let next = (done + every).min(total);
+        if next > stop {
+            // The kill lands inside this chunk: its work would die with
+            // the process, so it never runs.
+            break;
+        }
+        let chunk = metas[done..next].to_vec();
+        let (d, report) = run_stream_segment(
+            cfg,
+            ckpt,
+            policy,
+            Arc::clone(&faults),
+            &catalog,
+            &plan,
+            chunk,
+            detector,
+        )?;
+        detector = d;
+        reports.push(report);
+        done = next;
+        // Persist the boundary. A failed write (torn, ENOSPC) leaves the
+        // previous checkpoint in place — strictly a stale-but-valid
+        // state, so the run continues.
+        let payload = StreamCheckpoint {
+            scenes_done: done,
+            detector: detector.snapshot(),
+        };
+        match serde_json::to_vec(&payload) {
+            Ok(json) => match durable::write_framed(path, &json, dctx, done as u64) {
+                Ok(()) => written += 1,
+                Err(_) => write_failures += 1,
+            },
+            Err(_) => write_failures += 1,
+        }
+    }
+
+    let finished = done >= total;
+    Ok(StreamResumeReport {
+        finished,
+        scenes_done: done,
+        total_scenes: total,
+        resumed_from,
+        checkpoints_written: written,
+        checkpoint_write_failures: write_failures,
+        corrupt_checkpoint_discarded: corrupt_discarded,
+        series: finished.then(|| detector.finalize()),
+        reports,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn resumable_run_without_kill_matches_plain_run() {
+        let cfg = StreamWorkflowConfig::tiny();
+        let ckpt = train_stream_model(&cfg);
+        let want = run_stream(
+            &cfg,
+            &ckpt,
+            StreamPolicy::default(),
+            Arc::new(FaultPlan::disabled()),
+        )
+        .expect("plain run")
+        .series
+        .to_bytes();
+
+        let dir = std::env::temp_dir().join(format!("seaice-stream-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let resume = StreamResumeConfig::new(dir.join("stream.ckpt"), 2);
+        let r = run_stream_resumable(
+            &cfg,
+            &ckpt,
+            StreamPolicy::default(),
+            Arc::new(FaultPlan::disabled()),
+            &resume,
+            &DurableCtx::disabled(),
+        )
+        .expect("resumable run");
+        assert!(r.finished);
+        assert_eq!(r.scenes_done, r.total_scenes);
+        assert!(r.checkpoints_written >= 1);
+        assert_eq!(
+            r.series.expect("finished run has a series").to_bytes(),
+            want
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn drift_series_is_byte_identical_across_worker_counts() {

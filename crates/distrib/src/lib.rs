@@ -47,6 +47,6 @@ pub use group::{CollectiveError, ProcessGroup, Rank};
 pub use optimizer::DistributedOptimizer;
 pub use perfmodel::DgxA100Model;
 pub use trainer::{
-    rank_fault_key, train_distributed, train_distributed_elastic, DistTrainConfig, DistTrainReport,
-    ElasticConfig, ResumePoint, TrainError,
+    latest_spilled_checkpoint, rank_fault_key, train_distributed, train_distributed_elastic,
+    DistTrainConfig, DistTrainReport, ElasticConfig, ResumePoint, TrainError,
 };

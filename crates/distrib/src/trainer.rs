@@ -56,6 +56,12 @@ pub struct ElasticConfig {
     /// planned resume (or a reference run for recovery tests) enters the
     /// middle of a schedule.
     pub resume: Option<ResumePoint>,
+    /// When set, rank 0 also spills every epoch-boundary checkpoint to
+    /// `ckpt_epoch_NNNN.json` in this directory through the durable
+    /// layer (checksummed, atomic) — the on-disk state a *process*-level
+    /// crash restarts from, where the in-memory slot only survives rank
+    /// failures. Spill failures are counted in the report, never fatal.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 /// Where a resumed run picks up.
@@ -146,6 +152,11 @@ pub struct DistTrainReport {
     pub resumed_from_epochs: Vec<usize>,
     /// World size of the final (successful) generation.
     pub final_ranks: usize,
+    /// Epoch checkpoints spilled durably to `checkpoint_dir`.
+    pub epoch_checkpoints_spilled: usize,
+    /// Spill writes that failed (injected IO faults, full disk); the in-
+    /// memory slot stayed authoritative so training continued.
+    pub checkpoint_spill_failures: usize,
 }
 
 /// The deterministic fault key checked at the `distrib.allreduce` site
@@ -281,6 +292,13 @@ pub fn train_distributed_elastic(
         });
     }
 
+    // Durable epoch-checkpoint spill (crash consistency across *process*
+    // restarts, not just rank failures). Counters live outside the rank
+    // threads so the report can attribute spills across generations.
+    let spill_dir = elastic.checkpoint_dir.clone().map(Arc::new);
+    let spilled = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let spill_failures = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+
     let slot = Arc::new(Mutex::new(match elastic.resume {
         Some(r) => CheckpointSlot {
             next_epoch: r.epoch,
@@ -335,6 +353,9 @@ pub fn train_distributed_elastic(
                 let faults = Arc::clone(&faults);
                 let slot = Arc::clone(&slot);
                 let prior_losses = prior_losses.clone();
+                let spill_dir = spill_dir.clone();
+                let spilled = Arc::clone(&spilled);
+                let spill_failures = Arc::clone(&spill_failures);
                 std::thread::spawn(move || {
                     let r = rank.rank();
                     let w = rank.size();
@@ -402,14 +423,37 @@ pub fn train_distributed_elastic(
                         // epoch, every rank applied the same averaged
                         // gradients, so its weights ARE the global state.
                         if r == 0 && (epoch + 1) % checkpoint_every == 0 {
-                            let mut s = slot.lock().unwrap_or_else(|e| e.into_inner());
-                            s.next_epoch = epoch + 1;
-                            s.ckpt = Some(checkpoint::snapshot(&mut model));
-                            s.losses = prior_losses
-                                .iter()
-                                .chain(epoch_losses.iter())
-                                .copied()
-                                .collect();
+                            let snap = checkpoint::snapshot(&mut model);
+                            {
+                                let mut s = slot.lock().unwrap_or_else(|e| e.into_inner());
+                                s.next_epoch = epoch + 1;
+                                s.ckpt = Some(snap.clone());
+                                s.losses = prior_losses
+                                    .iter()
+                                    .chain(epoch_losses.iter())
+                                    .copied()
+                                    .collect();
+                            }
+                            // Spill the same snapshot durably when a
+                            // checkpoint directory was configured. A
+                            // failed spill leaves the previous file
+                            // intact (atomic rename), so it is counted,
+                            // not fatal.
+                            if let Some(dir) = &spill_dir {
+                                let path = dir.join(format!("ckpt_epoch_{:04}.json", epoch + 1));
+                                let ctx = seaice_obs::durable::DurableCtx::with_faults(Arc::clone(
+                                    &faults,
+                                ));
+                                match checkpoint::save_checkpoint_payload(&snap, &path, &ctx) {
+                                    Ok(()) => {
+                                        spilled.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                    }
+                                    Err(_) => {
+                                        spill_failures
+                                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                    }
+                                }
+                            }
                         }
                     }
                     let snapshot = if r == 0 {
@@ -493,6 +537,9 @@ pub fn train_distributed_elastic(
                     rank_failures,
                     resumed_from_epochs,
                     final_ranks: world,
+                    epoch_checkpoints_spilled: spilled.load(std::sync::atomic::Ordering::Relaxed),
+                    checkpoint_spill_failures: spill_failures
+                        .load(std::sync::atomic::Ordering::Relaxed),
                 };
                 return Ok((model, report));
             }
@@ -541,6 +588,45 @@ pub fn train_distributed_elastic(
             }
         }
     }
+}
+
+/// Scans `dir` for durably spilled `ckpt_epoch_NNNN.json` files and
+/// returns the highest-epoch checkpoint that passes verification, with
+/// its epoch number. Corrupt or unreadable files are skipped — a torn or
+/// bit-flipped spill must never win over an older intact one — so this
+/// is the process-restart entry point pairing with
+/// [`ElasticConfig::checkpoint_dir`]: feed the result into
+/// [`ResumePoint`] to continue a killed run.
+///
+/// # Errors
+/// Only when `dir` itself cannot be listed; individual bad files are not
+/// errors.
+pub fn latest_spilled_checkpoint(
+    dir: &std::path::Path,
+    ctx: &seaice_obs::durable::DurableCtx,
+) -> std::io::Result<Option<(usize, Checkpoint)>> {
+    let mut best: Option<(usize, Checkpoint)> = None;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(num) = name
+            .strip_prefix("ckpt_epoch_")
+            .and_then(|s| s.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        let Ok(epoch) = num.parse::<usize>() else {
+            continue;
+        };
+        if best.as_ref().is_some_and(|(e, _)| *e >= epoch) {
+            continue;
+        }
+        if let Ok(ckpt) = checkpoint::read_checkpoint(&entry.path(), ctx) {
+            best = Some((epoch, ckpt));
+        }
+    }
+    Ok(best)
 }
 
 #[cfg(test)]
@@ -939,5 +1025,56 @@ mod tests {
                 min_ranks: 3
             }
         );
+    }
+
+    #[test]
+    fn epoch_checkpoints_spill_durably_and_latest_restores_final_weights() {
+        let dir = std::env::temp_dir().join(format!("seaice-distrib-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let (mut model, report) = train_distributed_elastic(
+            tiny_cfg(),
+            toy_samples(8, 8),
+            DistTrainConfig {
+                ranks: 2,
+                epochs: 3,
+                batch_size_per_rank: 2,
+                learning_rate: 1e-3,
+                shuffle_seed: Some(9),
+            },
+            &DgxA100Model::dgx_a100(),
+            ElasticConfig {
+                checkpoint_every_epochs: 1,
+                checkpoint_dir: Some(dir.clone()),
+                ..ElasticConfig::default()
+            },
+            Arc::new(FaultPlan::disabled()),
+        )
+        .unwrap();
+        assert_eq!(report.epoch_checkpoints_spilled, 3);
+        assert_eq!(report.checkpoint_spill_failures, 0);
+
+        let ctx = seaice_obs::durable::DurableCtx::disabled();
+        let (epoch, ckpt) = latest_spilled_checkpoint(&dir, &ctx)
+            .unwrap()
+            .expect("a spilled checkpoint");
+        assert_eq!(epoch, 3);
+        let mut restored = checkpoint::restore(&ckpt);
+        assert_eq!(weights(&mut restored), weights(&mut model));
+
+        // A corrupt highest-epoch spill must lose to the older intact one
+        // — recovery never trusts an unverifiable file.
+        let newest = dir.join("ckpt_epoch_0003.json");
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&newest, &bytes).unwrap();
+        let (epoch, _) = latest_spilled_checkpoint(&dir, &ctx)
+            .unwrap()
+            .expect("an older intact checkpoint");
+        assert_eq!(epoch, 2);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

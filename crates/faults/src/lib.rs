@@ -28,6 +28,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// What an armed fault point does when it fires.
@@ -99,6 +100,21 @@ pub struct FaultPlan {
     targeted: BTreeMap<(String, u64), FaultAction>,
     /// Number of injections fired (actions other than `None`).
     fired: AtomicU64,
+    /// When armed by [`FaultPlan::recording`], every firing is appended
+    /// here so a failed soak schedule can print its minimized
+    /// `(seed, site, key)` repro line.
+    log: Option<Mutex<Vec<FiredFault>>>,
+}
+
+/// One recorded firing: which site fired, at which key, doing what.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FiredFault {
+    /// Site name the injection point passed to [`FaultPlan::fire`].
+    pub site: String,
+    /// Caller-supplied stable key.
+    pub key: u64,
+    /// The action that fired (never [`FaultAction::None`]).
+    pub action: FaultAction,
 }
 
 impl FaultPlan {
@@ -132,6 +148,26 @@ impl FaultPlan {
             self.targeted.insert((site.to_string(), k), action);
         }
         self
+    }
+
+    /// Turns on the fired-fault log (builder-style): every firing is
+    /// recorded with its `(site, key, action)` so a failing chaos/soak
+    /// schedule can be minimized to an exact repro line. Off by default —
+    /// production paths pay only the atomic counter.
+    #[must_use]
+    pub fn recording(mut self) -> Self {
+        self.log = Some(Mutex::new(Vec::new()));
+        self
+    }
+
+    /// The firings recorded so far (empty unless
+    /// [`recording`](FaultPlan::recording) armed the log). Order is the
+    /// order firings were observed, which may interleave across threads.
+    pub fn fired_log(&self) -> Vec<FiredFault> {
+        self.log
+            .as_ref()
+            .map(|l| l.lock().unwrap_or_else(|e| e.into_inner()).clone())
+            .unwrap_or_default()
     }
 
     /// True when the plan can never fire (the disabled/default plan).
@@ -176,6 +212,15 @@ impl FaultPlan {
         let action = self.decide(site, key);
         if action != FaultAction::None {
             self.fired.fetch_add(1, Ordering::Relaxed);
+            if let Some(log) = &self.log {
+                log.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(FiredFault {
+                        site: site.to_string(),
+                        key,
+                        action,
+                    });
+            }
         }
         action
     }
@@ -353,6 +398,36 @@ mod tests {
         let caught =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan.maybe_panic("w", 3)));
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn recording_plan_logs_every_firing() {
+        let plan = FaultPlan::seeded(0)
+            .fail_keys("io", &[1, 3], FaultAction::Error)
+            .recording();
+        assert!(plan.maybe_fail("io", 0).is_ok());
+        assert!(plan.maybe_fail("io", 1).is_err());
+        assert!(plan.maybe_fail("io", 3).is_err());
+        let log = plan.fired_log();
+        assert_eq!(
+            log,
+            vec![
+                FiredFault {
+                    site: "io".into(),
+                    key: 1,
+                    action: FaultAction::Error
+                },
+                FiredFault {
+                    site: "io".into(),
+                    key: 3,
+                    action: FaultAction::Error
+                },
+            ]
+        );
+        // Non-recording plans stay silent and free.
+        let quiet = FaultPlan::seeded(0).fail_keys("io", &[1], FaultAction::Error);
+        let _ = quiet.maybe_fail("io", 1);
+        assert!(quiet.fired_log().is_empty());
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::path::Path;
 /// Panics if `img` is not 3-channel.
 pub fn write_ppm(path: impl AsRef<Path>, img: &Image<u8>) -> io::Result<()> {
     assert_eq!(img.channels(), 3, "PPM requires a 3-channel image");
+    // seaice-lint: allow(raw-fs-write-in-durable-path) reason="PPM exports are regenerable inspection artifacts, never state anything resumes from"
     let mut w = BufWriter::new(File::create(path)?);
     write!(w, "P6\n{} {}\n255\n", img.width(), img.height())?;
     w.write_all(img.as_slice())?;
@@ -31,6 +32,7 @@ pub fn write_ppm(path: impl AsRef<Path>, img: &Image<u8>) -> io::Result<()> {
 /// Panics if `img` is not single-channel.
 pub fn write_pgm(path: impl AsRef<Path>, img: &Image<u8>) -> io::Result<()> {
     assert_eq!(img.channels(), 1, "PGM requires a single-channel image");
+    // seaice-lint: allow(raw-fs-write-in-durable-path) reason="PGM exports are regenerable inspection artifacts, never state anything resumes from"
     let mut w = BufWriter::new(File::create(path)?);
     write!(w, "P5\n{} {}\n255\n", img.width(), img.height())?;
     w.write_all(img.as_slice())?;

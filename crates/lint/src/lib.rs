@@ -40,6 +40,10 @@ pub struct LintConfig {
     pub panic_allow: Vec<String>,
     /// Hot-loop kernel files where narrowing casts must be guarded.
     pub kernel_paths: Vec<String>,
+    /// Files allowed to call `fs::write`/`File::create` directly — the
+    /// durable layer itself, which implements the checksummed atomic
+    /// protocol everyone else must route through.
+    pub fswrite_allow: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -60,6 +64,11 @@ impl Default for LintConfig {
                 "crates/label/src/".into(),
                 "crates/unet/src/".into(),
                 "crates/nn/src/ops/".into(),
+            ],
+            fswrite_allow: vec![
+                // The durable layer IS the atomic-write protocol: its raw
+                // File::create on the temp file is the one sanctioned site.
+                "crates/obs/src/durable.rs".into(),
             ],
         }
     }

@@ -26,6 +26,8 @@ pub const UNORDERED_ITER: &str = "unordered-iteration";
 pub const UNSAFE_AUDIT: &str = "unsafe-without-audit";
 /// See [`WALLCLOCK`].
 pub const NARROWING_CAST: &str = "narrowing-cast-in-kernel";
+/// See [`WALLCLOCK`].
+pub const RAW_FS_WRITE: &str = "raw-fs-write-in-durable-path";
 /// Meta-rule: a suppression that silenced nothing.
 pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
 /// Meta-rule: a suppression the engine could not parse.
@@ -38,6 +40,7 @@ pub const RULES: &[&str] = &[
     UNORDERED_ITER,
     UNSAFE_AUDIT,
     NARROWING_CAST,
+    RAW_FS_WRITE,
 ];
 
 /// One finding, pointing at a workspace-relative `file:line`.
@@ -334,6 +337,40 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnosti
                          clamp/round/min the value first (silent wraparound \
                          corrupts masks), or suppress with the range invariant",
                         code[i + 1].text
+                    ),
+                );
+            }
+        }
+    }
+
+    // --- raw-fs-write-in-durable-path ----------------------------------
+    // Library code must persist through `seaice_obs::durable` (checksummed
+    // frame, write-temp → fsync → rename): a raw `fs::write` or
+    // `File::create` can leave a torn, unverifiable file behind a crash.
+    if kind == FileKind::Library && !path_in(&cfg.fswrite_allow) {
+        for (i, t) in code.iter().enumerate() {
+            if flags[i].in_test {
+                continue;
+            }
+            let path_call = |obj: &str, meth: &str| {
+                t.is_ident(obj)
+                    && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                    && code.get(i + 3).is_some_and(|t| t.is_ident(meth))
+                    && code.get(i + 4).is_some_and(|t| t.is_punct('('))
+            };
+            if path_call("fs", "write") || path_call("File", "create") {
+                push(
+                    RAW_FS_WRITE,
+                    t.line,
+                    format!(
+                        "`{}::{}` in library code bypasses the durable layer: \
+                         a crash mid-write leaves a torn, unverifiable file — \
+                         route through `seaice_obs::durable` (write_framed / \
+                         write_atomic), or suppress with the reason the \
+                         artifact tolerates torn writes",
+                        t.text,
+                        code[i + 3].text
                     ),
                 );
             }
@@ -843,6 +880,43 @@ mod tests {
     fn cast_outside_a_loop_is_fine() {
         let src = "pub fn k(x: f32) -> u8 {\n    x as u8\n}\n";
         assert!(lint("crates/imgproc/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_fs_write_fires_in_library_code() {
+        let src = "use std::fs;\nfn f() {\n    fs::write(\"x.json\", b\"{}\").unwrap();\n}\n";
+        let d = lint("crates/s2/src/x.rs", src);
+        assert!(
+            d.iter().any(|d| d.rule == RAW_FS_WRITE && d.line == 3),
+            "{d:?}"
+        );
+        let src = "use std::fs::File;\nfn f() {\n    let _ = File::create(\"x.ppm\");\n}\n";
+        let d = lint("crates/imgproc/src/x.rs", src);
+        assert!(
+            d.iter().any(|d| d.rule == RAW_FS_WRITE && d.line == 3),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn raw_fs_write_is_allowed_in_durable_tests_and_bins() {
+        let src = "use std::fs;\nfn f() {\n    let _ = fs::write(\"x\", b\"y\");\n}\n";
+        // The durable layer itself implements the protocol.
+        assert!(lint("crates/obs/src/durable.rs", src).is_empty());
+        // Tests and binaries write scratch files freely.
+        assert!(lint("tests/durability.rs", src).is_empty());
+        assert!(lint("crates/cli/src/bin/seaice.rs", src).is_empty());
+        // Reads never fire, nor do other fs:: calls.
+        let src = "use std::fs;\nfn f() -> Vec<u8> {\n    fs::read(\"x\").unwrap_or_default()\n}\n";
+        assert!(lint("crates/s2/src/x.rs", src)
+            .iter()
+            .all(|d| d.rule != RAW_FS_WRITE));
+    }
+
+    #[test]
+    fn raw_fs_write_suppression_works() {
+        let src = "use std::fs;\nfn f() {\n    // seaice-lint: allow(raw-fs-write-in-durable-path) reason=\"debug artifact, regenerable\"\n    let _ = fs::write(\"x\", b\"y\");\n}\n";
+        assert!(lint("crates/s2/src/x.rs", src).is_empty());
     }
 
     #[test]

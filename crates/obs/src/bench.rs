@@ -177,7 +177,11 @@ impl Summary {
     /// instead of panicking).
     pub fn write_to_dir(&self, dir: &Path) -> Result<PathBuf, String> {
         let path = dir.join(self.file_name());
-        std::fs::write(&path, self.to_json())
+        // Atomic (temp + fsync + rename) but unframed: BENCH files stay
+        // plain JSON for every external consumer.
+        let ctx = crate::durable::DurableCtx::disabled();
+        let key = crate::durable::path_key(&path);
+        crate::durable::write_atomic(&path, self.to_json().as_bytes(), &ctx, key)
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         Ok(path)
     }

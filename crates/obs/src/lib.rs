@@ -20,6 +20,9 @@
 //! * [`bench`]: the `BENCH_<area>.json` perf-trajectory schema
 //!   (`seaice-bench/1`), its writer, and the regression comparator
 //!   behind `reproduce bench-check`.
+//! * [`durable`]: crash-consistent persistence — checksummed atomic
+//!   file writes with seeded IO fault injection — which every durable
+//!   artifact in the workspace routes through (DESIGN.md §4.8).
 //!
 //! Enablement is process-global and one-way: call [`enable_metrics`] /
 //! [`trace::enable`] at startup (the CLI does this behind `--metrics`-
@@ -29,10 +32,12 @@
 #![forbid(unsafe_code)]
 
 pub mod bench;
+pub mod durable;
 pub mod json;
 pub mod registry;
 pub mod trace;
 
+pub use durable::{DurableCtx, DurableError, RetryPolicy};
 pub use registry::{Counter, Gauge, Histogram, Recorder};
 pub use trace::{Clock, ManualClock, SpanGuard, Tracer, WallClock};
 

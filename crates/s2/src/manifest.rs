@@ -60,12 +60,23 @@ impl Manifest {
         Ok(m)
     }
 
-    /// Writes the manifest to a file.
+    /// Writes the manifest to a file atomically (write-temp → fsync →
+    /// rename, via the durable layer): a crash mid-save leaves either
+    /// the old manifest or the new one, never a torn hybrid. The bytes
+    /// stay plain pretty-printed JSON.
     ///
     /// # Errors
     /// I/O or serialization failures.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        std::fs::write(path, self.to_json()?)
+        let path = path.as_ref();
+        let ctx = seaice_obs::durable::DurableCtx::disabled();
+        seaice_obs::durable::write_atomic(
+            path,
+            self.to_json()?.as_bytes(),
+            &ctx,
+            seaice_obs::durable::path_key(path),
+        )
+        .map_err(|e| e.into_io())
     }
 
     /// Reads a manifest from a file.

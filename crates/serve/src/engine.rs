@@ -81,6 +81,13 @@ pub struct EngineConfig {
     /// `seaice_core`'s held-out set) and every replica shares the frozen
     /// int8 network.
     pub backend: InferBackend,
+    /// Worker restarts at or past this count flip `/healthz` to
+    /// `degraded` (still HTTP 200 — the engine answers, but an operator
+    /// should look). `0` disables the restart trigger.
+    pub degraded_restart_threshold: u64,
+    /// Deadline sheds at or past this count flip `/healthz` to
+    /// `degraded`. `0` disables the shed trigger.
+    pub degraded_deadline_threshold: u64,
 }
 
 impl EngineConfig {
@@ -96,6 +103,8 @@ impl EngineConfig {
             filter: false,
             deadline: None,
             backend: InferBackend::F32,
+            degraded_restart_threshold: 3,
+            degraded_deadline_threshold: 64,
         }
     }
 }
@@ -304,6 +313,10 @@ pub struct StatsSnapshot {
     pub workers: usize,
     /// Forward implementation every replica runs (`"f32"` or `"int8"`).
     pub backend: String,
+    /// `"ok"` or `"degraded"` — what `GET /healthz` reports. Degraded
+    /// means worker restarts or deadline sheds crossed their configured
+    /// thresholds; the engine still serves.
+    pub health: String,
     /// Retries, restarts, and shed reasons.
     pub robustness: RobustnessSnapshot,
     /// End-to-end request latency (submit → response ready).
@@ -525,6 +538,22 @@ impl Engine {
         crate::sync::lock(&self.stats.latency).record(d);
     }
 
+    /// `"ok"`, or `"degraded"` once worker restarts or deadline sheds
+    /// cross their [`EngineConfig`] thresholds. Degraded is a warning
+    /// state: the engine still answers (the probe stays HTTP 200) but the
+    /// fault-recovery machinery has been earning its keep.
+    pub fn health(&self) -> &'static str {
+        let restarts = self.stats.worker_restarts.load(Ordering::Relaxed);
+        let sheds = self.stats.shed_deadline.load(Ordering::Relaxed);
+        let rt = self.cfg.degraded_restart_threshold;
+        let dt = self.cfg.degraded_deadline_threshold;
+        if (rt > 0 && restarts >= rt) || (dt > 0 && sheds >= dt) {
+            "degraded"
+        } else {
+            "ok"
+        }
+    }
+
     /// A point-in-time stats snapshot.
     pub fn stats(&self) -> StatsSnapshot {
         let cache = crate::sync::lock(&self.cache);
@@ -563,6 +592,7 @@ impl Engine {
             queue_capacity: self.queue.capacity(),
             workers: self.cfg.workers,
             backend: self.cfg.backend.to_string(),
+            health: self.health().to_string(),
             robustness: RobustnessSnapshot {
                 worker_restarts: self.stats.worker_restarts.load(Ordering::Relaxed),
                 batch_retries: self.stats.batch_retries.load(Ordering::Relaxed),

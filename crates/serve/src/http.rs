@@ -13,7 +13,11 @@
 //!   raw latency buckets and cache eviction count).
 //! * `GET /metrics` — the same numbers in Prometheus text exposition
 //!   format, plus the process-wide `seaice-obs` registry.
-//! * `GET /healthz` — liveness probe.
+//! * `GET /healthz` — liveness probe: HTTP 200 with
+//!   `{"status":"ok"}`, or `{"status":"degraded"}` once worker restarts
+//!   or deadline sheds cross the engine's configured thresholds (the
+//!   engine still serves; degraded is an operator warning, not an
+//!   outage).
 //!
 //! Connections are `Connection: close`; shutdown stops the acceptor and
 //! then shuts the engine down gracefully (drain, then join).
@@ -170,7 +174,10 @@ fn handle(engine: &Engine, stream: TcpStream) -> io::Result<()> {
             "text/plain; version=0.0.4",
             engine.metrics_prometheus().as_bytes(),
         ),
-        ("GET", "/healthz") => respond(stream, 200, "text/plain", b"ok"),
+        ("GET", "/healthz") => {
+            let body = format!("{{\"status\":\"{}\"}}", engine.health());
+            respond(stream, 200, "application/json", body.as_bytes())
+        }
         _ => respond(stream, 404, "text/plain", b"not found"),
     }
 }
@@ -303,7 +310,11 @@ mod tests {
 
         let (status, body) = request(addr, "GET", "/healthz", b"");
         assert_eq!(status, 200);
-        assert_eq!(body, b"ok");
+        assert_eq!(body, br#"{"status":"ok"}"#);
+        // The same state rides along in /stats.
+        let (_, body) = request(addr, "GET", "/stats", b"");
+        let stats_text = String::from_utf8(body).unwrap();
+        assert!(stats_text.contains("\"health\":\"ok\""), "{stats_text}");
 
         let (status, _) = request(addr, "GET", "/nope", b"");
         assert_eq!(status, 404);

@@ -1,13 +1,27 @@
 //! Model checkpointing: serialize the configuration plus every parameter
 //! tensor to JSON, restore into a freshly built network.
+//!
+//! On-disk files go through `seaice_obs::durable` (DESIGN.md §4.8):
+//! [`save`] writes a CRC32-framed payload with the atomic
+//! temp-fsync-rename protocol, and [`load`]/[`load_quantized`] verify
+//! the checksum before parsing — a torn or bit-flipped checkpoint is
+//! always detected, never silently restored. Legacy unframed JSON files
+//! (written before the durable layer existed) still load: a file
+//! without the frame magic is parsed as-is.
 
 use crate::config::UNetConfig;
 use crate::model::UNet;
 use crate::quant::{CalibrationSet, QuantizedUNet};
 use seaice_nn::Tensor;
+use seaice_obs::durable::{self, DurableCtx};
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
+
+/// Ceiling on a checkpoint file's size: anything larger is rejected
+/// before the bytes are read (the largest real checkpoint here is a few
+/// MiB of JSON; 256 MiB is generous headroom, not a plausible file).
+pub const MAX_CHECKPOINT_BYTES: u64 = durable::MAX_PAYLOAD_BYTES;
 
 /// On-disk checkpoint payload.
 #[derive(Clone, Serialize, Deserialize)]
@@ -96,14 +110,21 @@ pub fn try_restore_quantized(
 /// I/O failures, and `InvalidData` with a descriptive message when the
 /// file is corrupt or the calibration set does not fit the architecture.
 pub fn load_quantized(path: impl AsRef<Path>, calib: &CalibrationSet) -> io::Result<QuantizedUNet> {
+    load_quantized_with(path, calib, &DurableCtx::disabled())
+}
+
+/// [`load_quantized`] with an explicit durable context (the soak
+/// harness's fault-injected path).
+///
+/// # Errors
+/// As [`load_quantized`].
+pub fn load_quantized_with(
+    path: impl AsRef<Path>,
+    calib: &CalibrationSet,
+    ctx: &DurableCtx,
+) -> io::Result<QuantizedUNet> {
     let path = path.as_ref();
-    let bytes = std::fs::read(path)?;
-    let ckpt: Checkpoint = serde_json::from_slice(&bytes).map_err(|e| {
-        io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("corrupt checkpoint {}: {e}", path.display()),
-        )
-    })?;
+    let ckpt = read_checkpoint(path, ctx)?;
     try_restore_quantized(&ckpt, calib).map_err(|e| {
         io::Error::new(
             io::ErrorKind::InvalidData,
@@ -112,31 +133,76 @@ pub fn load_quantized(path: impl AsRef<Path>, calib: &CalibrationSet) -> io::Res
     })
 }
 
-/// Saves a model checkpoint as JSON.
+/// Saves a model checkpoint: JSON payload, CRC32-framed, written
+/// atomically (temp + fsync + rename).
 ///
 /// # Errors
 /// I/O or serialization failures.
 pub fn save(model: &mut UNet, path: impl AsRef<Path>) -> io::Result<()> {
-    let ckpt = snapshot(model);
-    let json = serde_json::to_vec(&ckpt).map_err(io::Error::other)?;
-    std::fs::write(path, json)
+    save_with(model, path, &DurableCtx::disabled())
 }
 
-/// Loads a model checkpoint from JSON.
+/// [`save`] with an explicit durable context (the soak harness's
+/// fault-injected path).
 ///
 /// # Errors
-/// I/O failures, and `InvalidData` with a descriptive message when the
-/// file is truncated, not JSON, or a valid JSON payload whose parameters
-/// do not match the architecture it claims.
-pub fn load(path: impl AsRef<Path>) -> io::Result<UNet> {
+/// As [`save`]; on error the target holds either nothing or the previous
+/// complete checkpoint, never a torn file.
+pub fn save_with(model: &mut UNet, path: impl AsRef<Path>, ctx: &DurableCtx) -> io::Result<()> {
     let path = path.as_ref();
-    let bytes = std::fs::read(path)?;
-    let ckpt: Checkpoint = serde_json::from_slice(&bytes).map_err(|e| {
+    let ckpt = snapshot(model);
+    save_checkpoint_payload(&ckpt, path, ctx)
+}
+
+/// Writes an already-extracted [`Checkpoint`] durably (what `distrib`'s
+/// epoch spill and the stream-stage snapshot use).
+///
+/// # Errors
+/// I/O or serialization failures.
+pub fn save_checkpoint_payload(ckpt: &Checkpoint, path: &Path, ctx: &DurableCtx) -> io::Result<()> {
+    let json = serde_json::to_vec(ckpt).map_err(io::Error::other)?;
+    durable::write_framed(path, &json, ctx, durable::path_key(path)).map_err(|e| e.into_io())
+}
+
+/// Reads and checksum-verifies a checkpoint file into its payload
+/// struct, applying the size guards *before* the bytes are read.
+///
+/// # Errors
+/// `NotFound` for a missing file; `InvalidData` with a descriptive
+/// message for an empty file, an implausibly large file (>
+/// [`MAX_CHECKPOINT_BYTES`], guarded against metadata so no allocation
+/// happens), a failed checksum, or unparseable JSON.
+pub fn read_checkpoint(path: &Path, ctx: &DurableCtx) -> io::Result<Checkpoint> {
+    let bytes =
+        durable::read_framed(path, ctx, durable::path_key(path)).map_err(|e| e.into_io())?;
+    serde_json::from_slice(&bytes).map_err(|e| {
         io::Error::new(
             io::ErrorKind::InvalidData,
             format!("corrupt checkpoint {}: {e}", path.display()),
         )
-    })?;
+    })
+}
+
+/// Loads a model checkpoint (checksum-verified for framed files, parsed
+/// as-is for legacy unframed JSON).
+///
+/// # Errors
+/// I/O failures, and `InvalidData` with a descriptive message when the
+/// file is empty, implausibly large, fails its checksum, is truncated,
+/// not JSON, or a valid JSON payload whose parameters do not match the
+/// architecture it claims.
+pub fn load(path: impl AsRef<Path>) -> io::Result<UNet> {
+    load_with(path, &DurableCtx::disabled())
+}
+
+/// [`load`] with an explicit durable context (the soak harness's
+/// fault-injected path).
+///
+/// # Errors
+/// As [`load`].
+pub fn load_with(path: impl AsRef<Path>, ctx: &DurableCtx) -> io::Result<UNet> {
+    let path = path.as_ref();
+    let ckpt = read_checkpoint(path, ctx)?;
     try_restore(&ckpt).map_err(|e| {
         io::Error::new(
             io::ErrorKind::InvalidData,
@@ -182,6 +248,77 @@ mod tests {
         let mut b = load(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(b.forward(&x, false), ya);
+    }
+
+    #[test]
+    fn empty_and_implausibly_large_files_are_rejected_before_parsing() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let calib = calib();
+
+        // Empty file: never a valid checkpoint, rejected descriptively.
+        let empty = dir.join(format!("seaice-ckpt-empty-{pid}.json"));
+        std::fs::write(&empty, b"").unwrap();
+        for e in [
+            load(&empty).err().expect("empty must fail"),
+            load_quantized(&empty, &calib).expect_err("empty must fail quantized"),
+        ] {
+            assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+            assert!(e.to_string().contains("empty"), "{e}");
+        }
+
+        // Implausibly large file: rejected from metadata, before any
+        // read. A sparse file keeps the test instant.
+        let huge = dir.join(format!("seaice-ckpt-huge-{pid}.json"));
+        let f = std::fs::File::create(&huge).unwrap();
+        f.set_len(MAX_CHECKPOINT_BYTES + 1024).unwrap();
+        drop(f);
+        for e in [
+            load(&huge).err().expect("huge must fail"),
+            load_quantized(&huge, &calib).expect_err("huge must fail quantized"),
+        ] {
+            assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+            assert!(e.to_string().contains("implausibly large"), "{e}");
+        }
+
+        for f in [empty, huge] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn framed_save_detects_bitflips_and_accepts_legacy_files() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let mut model = tiny();
+        let x = uniform(&[1, 3, 8, 8], 0.0, 1.0, 4);
+        let want = model.forward(&x, false);
+
+        // save() writes a framed file; a flipped payload bit must be
+        // detected on load, never silently restored.
+        let framed = dir.join(format!("seaice-ckpt-framed-{pid}.json"));
+        save(&mut model, &framed).unwrap();
+        let mut bytes = std::fs::read(&framed).unwrap();
+        assert_eq!(&bytes[..8], seaice_obs::durable::MAGIC, "save must frame");
+        let mid = (seaice_obs::durable::HEADER_LEN + (bytes.len() / 2)).min(bytes.len() - 1);
+        bytes[mid] ^= 0x10;
+        std::fs::write(&framed, &bytes).unwrap();
+        let e = load(&framed).err().expect("bit-flip must be detected");
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("checksum mismatch"), "{e}");
+        let e = load_quantized(&framed, &calib()).expect_err("quantized path too");
+        assert!(e.to_string().contains("checksum mismatch"), "{e}");
+
+        // A legacy unframed JSON checkpoint (pre-durable format) still
+        // loads and restores the same network.
+        let legacy = dir.join(format!("seaice-ckpt-legacy-{pid}.json"));
+        std::fs::write(&legacy, serde_json::to_vec(&snapshot(&mut model)).unwrap()).unwrap();
+        let mut restored = load(&legacy).unwrap();
+        assert_eq!(restored.forward(&x, false), want);
+
+        for f in [framed, legacy] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`core`] | `seaice-core` | the end-to-end parallel workflow |
 //! | [`serve`] | `seaice-serve` | batched, cache-aware inference serving engine |
 //! | [`stream`] | `seaice-stream` | backpressured streaming DAG scheduler |
+//! | [`obs`] | `seaice-obs` | tracing, metrics, and the durable (checksummed atomic) IO layer |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 #![forbid(unsafe_code)]
@@ -33,6 +34,7 @@ pub use seaice_label as label;
 pub use seaice_mapreduce as mapreduce;
 pub use seaice_metrics as metrics;
 pub use seaice_nn as nn;
+pub use seaice_obs as obs;
 pub use seaice_s2 as s2;
 pub use seaice_serve as serve;
 pub use seaice_stream as stream;

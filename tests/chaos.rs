@@ -302,3 +302,54 @@ fn stream_survives_a_killed_stage_worker_with_identical_drift_series() {
     let infer = &chaos.report.stages[3];
     assert_eq!(sink.items_in, infer.items_out, "the DAG must fully drain");
 }
+
+// ---------------------------------------------------------------------
+// stream: EVERY worker of a stage fails on every attempt. The last-
+// worker guard must keep one worker pulling (a stage may never retire
+// its final worker), so the DAG still drains and the run surfaces
+// StreamError::Exhausted instead of hanging.
+// ---------------------------------------------------------------------
+
+#[test]
+fn stream_with_every_stage_worker_failing_drains_and_errors_instead_of_hanging() {
+    let cfg = seaice::core::StreamWorkflowConfig::tiny();
+    let ckpt = seaice::core::train_stream_model(&cfg);
+
+    // Both label-stage (index 2) workers panic on every attempt they
+    // make: there is no healthy worker left to reroute retries to.
+    let faults = Arc::new(FaultPlan::seeded(0xDEAD).fail_keys(
+        seaice::stream::FAULT_SITE_WORKER,
+        &[mix(2, 0), mix(2, 1)],
+        FaultAction::Panic,
+    ));
+    let err = seaice::core::run_stream(
+        &cfg,
+        &ckpt,
+        seaice::stream::StreamPolicy::resilient(),
+        Arc::clone(&faults),
+    )
+    .expect_err("a stage with zero healthy workers cannot produce a series");
+
+    match err {
+        seaice::stream::StreamError::Exhausted { items, report } => {
+            assert!(
+                !items.is_empty(),
+                "every label item must have run out of attempts"
+            );
+            // The guard held: the DAG drained instead of deadlocking, so
+            // the report is complete and downstream stages saw nothing.
+            let label = &report.stages[2];
+            assert_eq!(
+                label.items_out, 0,
+                "no label item may have slipped through a permanently failing stage"
+            );
+            assert!(
+                faults.injections_fired() as usize >= items.len(),
+                "each exhausted item burned real injected attempts"
+            );
+        }
+        seaice::stream::StreamError::Supervisor { panics, .. } => {
+            panic!("attempt isolation must contain injected panics, but {panics} escaped")
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Tier-1 durability suite: crash-consistent state across the workflow.
+//!
+//! The load-bearing invariant is **kill–resume byte-identity**: a stream
+//! run killed mid-feed and restarted from its durable checkpoint must
+//! produce a drift series byte-identical to an uninterrupted run. On top
+//! of that: corrupt checkpoints (bit flips, torn writes) must always be
+//! *detected and discarded* — never silently loaded — on every load
+//! path, and checkpoint-write faults must cost only replayed work, never
+//! correctness.
+
+use seaice::core::{
+    run_stream, run_stream_resumable, train_stream_model, StreamResumeConfig, StreamWorkflowConfig,
+};
+use seaice::faults::{FaultAction, FaultPlan};
+use seaice::obs::durable::{self, DurableCtx};
+use seaice::stream::StreamPolicy;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("seaice-durability-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn killed_and_resumed_stream_run_is_byte_identical_to_uninterrupted() {
+    let cfg = StreamWorkflowConfig::tiny();
+    let ckpt = train_stream_model(&cfg);
+    let policy = StreamPolicy::default();
+    let faults = Arc::new(FaultPlan::disabled());
+    let dctx = DurableCtx::disabled();
+
+    // Uninterrupted reference.
+    let want = run_stream(&cfg, &ckpt, policy, Arc::clone(&faults))
+        .expect("reference run")
+        .series
+        .to_bytes();
+
+    let dir = scratch("kill-resume");
+    let path = dir.join("stream.ckpt");
+
+    // Run 1: checkpoint every 2 scenes, die after 3 — the third scene's
+    // work falls past the last checkpoint boundary and is lost, exactly
+    // like a real kill.
+    let r1 = run_stream_resumable(
+        &cfg,
+        &ckpt,
+        policy,
+        Arc::clone(&faults),
+        &StreamResumeConfig::new(&path, 2).killed_after(3),
+        &dctx,
+    )
+    .expect("the killed run itself must not error");
+    assert!(!r1.finished, "the simulated kill must have fired");
+    assert_eq!(r1.resumed_from, 0);
+    assert!(
+        r1.scenes_done >= 2,
+        "at least one checkpoint must have landed"
+    );
+    assert!(r1.scenes_done < r1.total_scenes);
+    assert!(r1.checkpoints_written >= 1);
+    assert!(r1.series.is_none(), "a killed run has no final series");
+
+    // Run 2: restart from the durable checkpoint and finish.
+    let r2 = run_stream_resumable(
+        &cfg,
+        &ckpt,
+        policy,
+        Arc::clone(&faults),
+        &StreamResumeConfig::new(&path, 2),
+        &dctx,
+    )
+    .expect("the resumed run must finish");
+    assert!(r2.finished);
+    assert_eq!(
+        r2.resumed_from, r1.scenes_done,
+        "the resume must pick up exactly at the checkpoint watermark"
+    );
+    assert!(!r2.corrupt_checkpoint_discarded);
+    assert_eq!(
+        r2.series.expect("finished run has a series").to_bytes(),
+        want,
+        "kill + resume must be byte-identical to the uninterrupted run"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bitflipped_checkpoint_is_discarded_and_the_rerun_stays_byte_identical() {
+    let cfg = StreamWorkflowConfig::tiny();
+    let ckpt = train_stream_model(&cfg);
+    let policy = StreamPolicy::default();
+    let faults = Arc::new(FaultPlan::disabled());
+    let dctx = DurableCtx::disabled();
+
+    let want = run_stream(&cfg, &ckpt, policy, Arc::clone(&faults))
+        .expect("reference run")
+        .series
+        .to_bytes();
+
+    let dir = scratch("corrupt-ckpt");
+    let path = dir.join("stream.ckpt");
+
+    // Leave a checkpoint behind, then flip one bit in its payload.
+    let r1 = run_stream_resumable(
+        &cfg,
+        &ckpt,
+        policy,
+        Arc::clone(&faults),
+        &StreamResumeConfig::new(&path, 2).killed_after(3),
+        &dctx,
+    )
+    .unwrap();
+    assert!(r1.checkpoints_written >= 1);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x04;
+    std::fs::write(&path, &bytes).unwrap();
+
+    // The resume must detect the corruption, refuse the checkpoint, and
+    // restart from scratch — correctness over progress.
+    let r2 = run_stream_resumable(
+        &cfg,
+        &ckpt,
+        policy,
+        Arc::clone(&faults),
+        &StreamResumeConfig::new(&path, 2),
+        &dctx,
+    )
+    .expect("a corrupt checkpoint must not sink the run");
+    assert!(
+        r2.corrupt_checkpoint_discarded,
+        "the flipped bit must have been detected, not silently loaded"
+    );
+    assert_eq!(r2.resumed_from, 0, "nothing recoverable → fresh start");
+    assert!(r2.finished);
+    assert_eq!(
+        r2.series.expect("series").to_bytes(),
+        want,
+        "a discarded checkpoint costs replayed work, never correctness"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_checkpoint_writes_cost_replayed_work_but_never_correctness() {
+    let cfg = StreamWorkflowConfig::tiny();
+    let ckpt = train_stream_model(&cfg);
+    let policy = StreamPolicy::default();
+    let worker_faults = Arc::new(FaultPlan::disabled());
+
+    let want = run_stream(&cfg, &ckpt, policy, Arc::clone(&worker_faults))
+        .expect("reference run")
+        .series
+        .to_bytes();
+
+    let dir = scratch("torn-write");
+    let path = dir.join("stream.ckpt");
+
+    // Tear the scenes_done = 2 checkpoint write on its first attempt
+    // (torn writes are not transient, so there is no second attempt).
+    // The checkpoint is keyed by its watermark and each attempt mixes in
+    // the attempt index.
+    let io_faults = Arc::new(FaultPlan::seeded(0x70B4).fail_keys(
+        durable::SITE_WRITE_TORN,
+        &[seaice::faults::mix(2, 0)],
+        FaultAction::Panic,
+    ));
+    let dctx = DurableCtx::with_faults(Arc::clone(&io_faults));
+
+    // Run 1: the only checkpoint before the kill is torn → the target
+    // file must be left untouched (here: absent), not half-written.
+    let r1 = run_stream_resumable(
+        &cfg,
+        &ckpt,
+        policy,
+        Arc::clone(&worker_faults),
+        &StreamResumeConfig::new(&path, 2).killed_after(3),
+        &dctx,
+    )
+    .expect("a failed checkpoint write must not sink the run");
+    assert_eq!(r1.checkpoint_write_failures, 1);
+    assert!(
+        !path.exists(),
+        "an atomic write that fails must leave no partial target file"
+    );
+
+    // Run 2: nothing durable survived, so the restart replays from
+    // scratch — and still lands byte-identical.
+    let r2 = run_stream_resumable(
+        &cfg,
+        &ckpt,
+        policy,
+        Arc::clone(&worker_faults),
+        &StreamResumeConfig::new(&path, 2),
+        &dctx,
+    )
+    .expect("the rerun must finish");
+    assert_eq!(r2.resumed_from, 0);
+    assert!(!r2.corrupt_checkpoint_discarded);
+    assert!(r2.finished);
+    assert!(
+        r2.checkpoint_write_failures >= 1,
+        "the targeted key fires on every visit, so the rerun tears too"
+    );
+    assert_eq!(
+        r2.series.expect("series").to_bytes(),
+        want,
+        "torn checkpoint writes must never leak into the results"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -5,7 +5,7 @@
 
 use seaice::imgproc::buffer::Image;
 use seaice::s2::synth::{generate, SceneConfig};
-use seaice::serve::{Engine, EngineConfig, ServeError, Ticket};
+use seaice::serve::{tile_key, Engine, EngineConfig, HttpServer, ServeError, Ticket};
 use seaice::unet::checkpoint::{snapshot, Checkpoint};
 use seaice::unet::{UNet, UNetConfig};
 use std::sync::Arc;
@@ -241,4 +241,83 @@ fn push_wait_under_concurrent_shutdown_drains_inflight_and_refuses_new() {
     ));
     // Everything admitted was actually computed (cache disabled).
     assert_eq!(engine.stats().ok, answered as u64);
+}
+
+#[test]
+fn healthz_degrades_after_a_worker_restart_but_keeps_serving() {
+    use seaice::faults::{mix, FaultAction, FaultPlan};
+    use std::io::{Read, Write};
+
+    let t = tile(7000);
+    // Kill the (single) replica on this tile's first attempt; the retry
+    // rebuilds it, which is exactly the signal the degraded state counts.
+    let faults = Arc::new(FaultPlan::seeded(17).fail_keys(
+        "serve.worker",
+        &[mix(tile_key(&t), 0)],
+        FaultAction::Panic,
+    ));
+    let engine = Arc::new(
+        Engine::with_faults(
+            &tiny_ckpt(16),
+            EngineConfig {
+                workers: 1,
+                max_batch_size: 1,
+                max_wait: Duration::from_millis(1),
+                queue_capacity: 16,
+                cache_capacity: 0,
+                filter: false,
+                degraded_restart_threshold: 1,
+                ..EngineConfig::for_tile(16)
+            },
+            Arc::clone(&faults),
+        )
+        .unwrap(),
+    );
+    let mut server = HttpServer::start(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    let get = |path: &str| -> (u16, String) {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        let head = format!("GET {path} HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+        stream.write_all(head.as_bytes()).unwrap();
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).unwrap();
+        let split = response
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("no header terminator");
+        let headtxt = String::from_utf8_lossy(&response[..split]).into_owned();
+        let status: u16 = headtxt
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("no status");
+        (
+            status,
+            String::from_utf8_lossy(&response[split + 4..]).into_owned(),
+        )
+    };
+
+    // Before any fault: healthy.
+    let (status, body) = get("/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, r#"{"status":"ok"}"#);
+
+    // The killed replica is restarted and still answers the request...
+    assert_eq!(engine.classify(t).unwrap().len(), 256);
+    assert_eq!(faults.injections_fired(), 1);
+
+    // ...but with degraded_restart_threshold = 1 the probe now warns —
+    // still HTTP 200, since the engine is serving.
+    let (status, body) = get("/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, r#"{"status":"degraded"}"#);
+    let (status, stats) = get("/stats");
+    assert_eq!(status, 200);
+    assert!(stats.contains(r#""health":"degraded""#), "{stats}");
+    assert!(stats.contains(r#""worker_restarts":1"#), "{stats}");
+
+    // Degraded is a warning, not an outage: requests still succeed.
+    assert_eq!(engine.classify(tile(7001)).unwrap().len(), 256);
+    server.shutdown();
 }
