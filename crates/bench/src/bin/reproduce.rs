@@ -24,6 +24,7 @@
 //!   all         everything above
 //!   bench-check compare BENCH_*.json against baselines  [--current DIR] [--baseline DIR]
 //!   trace-check validate a Chrome trace_event JSON file  (positional: the file)
+//!   sarif-check validate a seaice-lint SARIF 2.1.0 file   (positional: the file)
 //! ```
 //!
 //! PPM/PGM images for the figure targets land in `--out` (default
@@ -108,7 +109,8 @@ fn print_usage() {
     eprintln!(
         "usage: reproduce <table1|table2|table3|table4|table5|fig11|fig13|fig14|scenes|serve|infer|chaos|stream|soak|ablation|sweep|night|all> [--scale small|medium|large] [--out DIR] [--trace FILE]\n\
          \x20      reproduce bench-check [--current DIR] [--baseline DIR]\n\
-         \x20      reproduce trace-check <trace.json>"
+         \x20      reproduce trace-check <trace.json>\n\
+         \x20      reproduce sarif-check <lint.sarif>"
     );
 }
 
@@ -184,11 +186,98 @@ fn run_trace_check(file: Option<&str>) -> ! {
     }
 }
 
+/// Validates a SARIF 2.1.0 file produced by `seaice-lint --format sarif`;
+/// exits nonzero when it is malformed or not a seaice-lint run.
+fn run_sarif_check(file: Option<&str>) -> ! {
+    let Some(file) = file else {
+        eprintln!("sarif-check: missing SARIF file argument");
+        std::process::exit(2);
+    };
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sarif-check: cannot read {file}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let doc = match seaice_obs::json::parse(&src) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("sarif-check: {file}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match validate_sarif(&doc) {
+        Ok((rules, results)) => {
+            println!("sarif-check: OK — {rules} rules declared, {results} result(s)");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("sarif-check: {file}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Checks the SARIF shape `seaice-lint` emits: version 2.1.0, one run with
+/// the `seaice-lint` driver, every result's ruleId declared by the driver.
+fn validate_sarif(doc: &seaice_obs::json::Value) -> Result<(usize, usize), String> {
+    let version = doc
+        .get("version")
+        .and_then(|v| v.as_str())
+        .ok_or("missing `version`")?;
+    if version != "2.1.0" {
+        return Err(format!("unexpected SARIF version `{version}`"));
+    }
+    let runs = doc
+        .get("runs")
+        .and_then(|v| v.as_arr())
+        .ok_or("missing `runs` array")?;
+    let run = runs.first().ok_or("empty `runs` array")?;
+    let driver = run
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .ok_or("missing `tool.driver`")?;
+    let name = driver
+        .get("name")
+        .and_then(|v| v.as_str())
+        .ok_or("missing driver `name`")?;
+    if name != "seaice-lint" {
+        return Err(format!("unexpected driver `{name}`"));
+    }
+    let rules = driver
+        .get("rules")
+        .and_then(|v| v.as_arr())
+        .ok_or("missing driver `rules`")?;
+    let ids: Vec<&str> = rules
+        .iter()
+        .filter_map(|r| r.get("id").and_then(|v| v.as_str()))
+        .collect();
+    if ids.len() != rules.len() {
+        return Err("driver rule without an `id`".into());
+    }
+    let results = run
+        .get("results")
+        .and_then(|v| v.as_arr())
+        .ok_or("missing `results` array")?;
+    for (i, res) in results.iter().enumerate() {
+        let rule = res
+            .get("ruleId")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("result {i} missing `ruleId`"))?;
+        if !ids.contains(&rule) {
+            return Err(format!("result {i} cites undeclared rule `{rule}`"));
+        }
+    }
+    Ok((ids.len(), results.len()))
+}
+
 fn main() {
     let args = parse_args();
     match args.target.as_str() {
         "bench-check" => run_bench_check(&args.current, &args.baseline),
         "trace-check" => run_trace_check(args.operand.as_deref()),
+        "sarif-check" => run_sarif_check(args.operand.as_deref()),
         _ => {}
     }
     if args.trace.is_some() {

@@ -17,7 +17,7 @@
 //! seaice classify  --model model.json --in scene.ppm --out pred.ppm
 //!                  [--tile 32] [--no-filter] [--parallel]
 //! seaice analyze   --labels labels.ppm
-//! seaice lint      [--root DIR] [--json]
+//! seaice lint      [--root DIR] [--format text|json|sarif] [--explain RULE]
 //! ```
 //!
 //! Label images use the paper's color code: red = thick ice, blue = thin

@@ -1,0 +1,570 @@
+//! Call-graph construction and the lock-site table.
+//!
+//! For every function body the scanner extracts:
+//!
+//! - **calls** — `name(...)`, `recv.name(...)`, `path::name(...)` sites,
+//!   macro invocations and keywords excluded;
+//! - **acquisitions** — `recv.lock()` and free `lock(&path)` /
+//!   `sync::lock(&path)` sites, each with a *lock identity* derived from
+//!   the guarded variable/field;
+//! - **guard liveness** — a guard bound by `let [mut] g = ...lock...;`
+//!   lives to the end of its enclosing block, or until `drop(g)`; an
+//!   unbound (temporary) guard lives to the end of its statement, or to
+//!   the end of the block a `for`/`while`/`if` header feeds. A guard
+//!   handed to `Condvar::wait`-style calls (the guard appears among the
+//!   call's arguments) stays live — the wait atomically releases and
+//!   reacquires it;
+//! - **events under guard** — nested acquisitions, blocking calls, and
+//!   ordinary calls (for the one-hop rules) recorded while ≥1 guard is
+//!   live.
+//!
+//! Lock identities are qualified so that the same lock names match
+//! across functions while unrelated locals stay distinct:
+//! `crate::ImplType::self.field` for `self.*` receivers,
+//! `crate::FILE::path` for field chains on other roots (two fns of one
+//! file locking `shared.stats` meet at one node), and
+//! `crate::FILE::fn::name` for bare locals. This is an approximation —
+//! index expressions (`stats[i]`) collapse to their base chain — and its
+//! blind spots are documented in DESIGN.md §4.9.
+
+use crate::lexer::Tok;
+use crate::model::{FnDef, Workspace};
+
+/// Keywords and control forms that look like `ident (` but are not calls.
+const NOT_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "fn", "let", "mut", "ref", "move",
+    "else", "unsafe", "impl", "pub", "use", "mod", "struct", "enum", "trait", "where", "dyn",
+    "box", "await", "async", "const", "static", "type", "continue", "break", "self", "Self",
+    "super", "crate",
+];
+
+/// One call site inside a fn body.
+#[derive(Clone, Debug)]
+pub struct Call {
+    /// Bare callee name (last path segment / method name).
+    pub name: String,
+    /// `::`-path segments preceding the name (`fs` for `fs::read`).
+    pub path: Vec<String>,
+    /// True for `.name(...)` method syntax.
+    pub method: bool,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// One lock acquisition site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Acquire {
+    /// Qualified lock identity (see module docs).
+    pub lock_id: String,
+    /// Unqualified source text of the guarded place (`self.state`).
+    pub raw: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// A nested acquisition: `inner` acquired while `outer`'s guard is live.
+#[derive(Clone, Debug)]
+pub struct NestedAcquire {
+    pub outer: Acquire,
+    pub inner: Acquire,
+    /// Set when the inner acquisition happens inside a callee reached
+    /// from the scanned fn (one call-hop): the call's line in the caller.
+    pub via: Option<(String, u32)>,
+}
+
+/// A blocking call made while a guard is live.
+#[derive(Clone, Debug)]
+pub struct BlockedCall {
+    pub held: Acquire,
+    /// Callee name (`send`, `recv`, `fs::write`, ...).
+    pub callee: String,
+    /// 1-based line of the blocking call.
+    pub line: u32,
+}
+
+/// Everything the concurrency rules need from one fn body.
+#[derive(Clone, Debug, Default)]
+pub struct FnConcurrency {
+    /// Every acquisition in the body (test regions excluded).
+    pub acquires: Vec<Acquire>,
+    /// Nested acquisitions observed directly in this body.
+    pub nested: Vec<NestedAcquire>,
+    /// Blocking calls under a live guard.
+    pub blocked: Vec<BlockedCall>,
+    /// Non-blocking calls made while ≥1 guard was live, with the
+    /// innermost live guard (for the one-hop lock-order rule).
+    pub calls_under_guard: Vec<(Acquire, Call)>,
+    /// Every call in the body (for the taint graph).
+    pub calls: Vec<Call>,
+    /// Lines of direct wall-clock reads (`Instant::now`, `SystemTime::`).
+    pub wallclock: Vec<u32>,
+}
+
+struct LiveGuard {
+    acq: Acquire,
+    /// Binding name, `None` for statement temporaries.
+    name: Option<String>,
+    /// Brace depth (relative to body) the guard dies at the close of.
+    depth: usize,
+    /// For temporaries: token index past which the guard is dead.
+    ends: Option<usize>,
+}
+
+/// Scans one fn body. `ws` and `blocking` drive call classification.
+pub fn scan_fn(ws: &Workspace<'_>, f: &FnDef, blocking: &[String]) -> FnConcurrency {
+    let ctx = ws.file_of(f);
+    let code = &ctx.code;
+    let (start, end) = f.body;
+    let mut out = FnConcurrency::default();
+    let mut guards: Vec<LiveGuard> = Vec::new();
+    let mut depth = 0usize;
+
+    let mut i = start;
+    while i <= end && i < code.len() {
+        let t = &code[i];
+        if ctx.flags.get(i).map(|fl| fl.in_test).unwrap_or(false) && !f.is_test {
+            // A #[cfg(test)] nested region inside a non-test fn body.
+            i += 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            guards.retain(|g| g.depth <= depth || g.ends.is_some_and(|e| e > i));
+            i += 1;
+            continue;
+        }
+        // Temporaries die when their statement ends.
+        guards.retain(|g| g.ends.map(|e| i <= e).unwrap_or(true));
+
+        // drop(g) kills a named guard.
+        if t.is_ident("drop")
+            && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && code.get(i + 2).map(|n| n.is_ident2()).unwrap_or(false)
+            && code.get(i + 3).is_some_and(|n| n.is_punct(')'))
+        {
+            let victim = &code[i + 2].text;
+            guards.retain(|g| g.name.as_deref() != Some(victim.as_str()));
+            i += 4;
+            continue;
+        }
+
+        if let Some((raw, after)) = detect_acquire(code, i) {
+            let acq = Acquire {
+                lock_id: qualify(&raw, f, ctx.rel.as_str()),
+                raw: raw.clone(),
+                line: t.line,
+            };
+            // Distinct locks form an order edge; relocking the same lock
+            // is a self-edge (an unconditional self-deadlock) — both are
+            // cycles for the lock-order rule to report.
+            for g in &guards {
+                out.nested.push(NestedAcquire {
+                    outer: g.acq.clone(),
+                    inner: acq.clone(),
+                    via: None,
+                });
+            }
+            out.acquires.push(acq.clone());
+            let (name, bind_depth, ends) = guard_binding(code, i, after, depth);
+            guards.push(LiveGuard {
+                acq,
+                name,
+                depth: bind_depth,
+                ends,
+            });
+            i = after;
+            continue;
+        }
+
+        if let Some(call) = detect_call(code, i) {
+            // Arguments span: from the `(` right after the name.
+            let open = i + 1;
+            let close = matching_paren(code, open);
+            let is_blocking = blocking.iter().any(|b| b == &call.name)
+                || (call.path.last().is_some_and(|p| p == "fs" || p == "File")
+                    && matches!(
+                        call.name.as_str(),
+                        "read" | "write" | "read_to_string" | "open" | "create" | "copy"
+                    ));
+            // A live guard passed as an argument is a Condvar-style
+            // handoff: the call releases and reacquires it atomically.
+            let handoff = guards.iter().any(|g| {
+                g.name
+                    .as_deref()
+                    .is_some_and(|n| ((open + 1)..close).any(|j| code[j].is_ident(n)))
+            });
+            if is_blocking && !guards.is_empty() && !handoff {
+                for g in &guards {
+                    let callee = if call.path.is_empty() {
+                        call.name.clone()
+                    } else {
+                        format!("{}::{}", call.path.join("::"), call.name)
+                    };
+                    out.blocked.push(BlockedCall {
+                        held: g.acq.clone(),
+                        callee,
+                        line: call.line,
+                    });
+                }
+            } else if !is_blocking && !guards.is_empty() && call.name != "lock" {
+                if let Some(g) = guards.last() {
+                    out.calls_under_guard.push((g.acq.clone(), call.clone()));
+                }
+            }
+            out.calls.push(call);
+            i += 1;
+            continue;
+        }
+
+        // Direct wall-clock reads (taint sources for transitive-wallclock).
+        if (t.is_ident("Instant")
+            && code.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && code.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && code.get(i + 3).is_some_and(|n| n.is_ident("now")))
+            || (t.is_ident("SystemTime") && code.get(i + 1).is_some_and(|n| n.is_punct(':')))
+        {
+            out.wallclock.push(t.line);
+        }
+
+        i += 1;
+    }
+    out
+}
+
+/// Detects a lock acquisition at token `i`. Returns the raw guarded
+/// place and the index to resume scanning from.
+fn detect_acquire(code: &[Tok], i: usize) -> Option<(String, usize)> {
+    if !code[i].is_ident("lock") {
+        return None;
+    }
+    if !code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+        return None;
+    }
+    // `fn lock(...)` is the helper's definition, not a call.
+    if i > 0 && code[i - 1].is_ident("fn") {
+        return None;
+    }
+    if i > 0 && code[i - 1].is_punct('.') {
+        // `recv.lock()` — std Mutex::lock takes no arguments.
+        if !code.get(i + 2).is_some_and(|n| n.is_punct(')')) {
+            return None;
+        }
+        let raw = receiver_chain(code, i - 2)?;
+        return Some((raw, i + 3));
+    }
+    // Free / path-qualified helper: `lock(&self.state)`, `sync::lock(&m)`.
+    let close = matching_paren(code, i + 1);
+    let mut j = i + 2;
+    // Skip leading `&` / `mut`.
+    while j < close && (code[j].is_punct('&') || code[j].is_ident("mut")) {
+        j += 1;
+    }
+    let mut parts = Vec::new();
+    while j < close {
+        if code[j].is_ident2() {
+            parts.push(code[j].text.clone());
+            if code.get(j + 1).is_some_and(|n| n.is_punct('.'))
+                && code.get(j + 2).map(|n| n.is_ident2()).unwrap_or(false)
+            {
+                j += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    Some((parts.join("."), close + 1))
+}
+
+/// Walks back from `i` over a `a.b.c` receiver chain ending at `i`.
+fn receiver_chain(code: &[Tok], i: usize) -> Option<String> {
+    let mut parts = Vec::new();
+    let mut j = i;
+    loop {
+        if !code.get(j).map(|t| t.is_ident2()).unwrap_or(false) {
+            break;
+        }
+        parts.push(code[j].text.clone());
+        if j >= 2 && code[j - 1].is_punct('.') && code[j - 2].is_ident2() {
+            j -= 2;
+        } else {
+            break;
+        }
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    parts.reverse();
+    Some(parts.join("."))
+}
+
+/// Qualifies a raw lock place into a workspace-wide lock identity.
+fn qualify(raw: &str, f: &FnDef, rel: &str) -> String {
+    let krate = &f.crate_name;
+    if let Some(rest) = raw.strip_prefix("self.") {
+        match &f.owner {
+            Some(o) => return format!("{krate}::{o}::self.{rest}"),
+            None => return format!("{krate}::{rel}::self.{rest}"),
+        }
+    }
+    if raw.contains('.') {
+        // Field chain on a non-self root: file-scoped, so sibling fns
+        // sharing the same `shared.stats`-style place meet at one node.
+        return format!("{krate}::{rel}::{raw}");
+    }
+    if raw.chars().all(|c| c.is_ascii_uppercase() || c == '_') {
+        // SCREAMING_CASE: a static, crate-scoped.
+        return format!("{krate}::{raw}");
+    }
+    // Bare local: fn-scoped.
+    format!("{krate}::{rel}::{}::{raw}", f.name)
+}
+
+/// Detects a call at token `i` (`name(`, `.name(`, `path::name(`).
+fn detect_call(code: &[Tok], i: usize) -> Option<Call> {
+    let t = &code[i];
+    if !t.is_ident2() || !code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+        return None;
+    }
+    if NOT_CALLS.contains(&t.text.as_str()) {
+        return None;
+    }
+    if i > 0 && code[i - 1].is_ident("fn") {
+        return None;
+    }
+    let method = i > 0 && code[i - 1].is_punct('.');
+    let mut path = Vec::new();
+    if !method {
+        // Walk back over `seg ::` pairs.
+        let mut j = i;
+        while j >= 3
+            && code[j - 1].is_punct(':')
+            && code[j - 2].is_punct(':')
+            && code[j - 3].is_ident2()
+        {
+            path.push(code[j - 3].text.clone());
+            j -= 3;
+        }
+        path.reverse();
+    }
+    Some(Call {
+        name: t.text.clone(),
+        path,
+        method,
+        line: t.line,
+    })
+}
+
+/// Index of the `)` matching the `(` at `open` (or the last token).
+fn matching_paren(code: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < code.len() {
+        if code[j].is_punct('(') {
+            depth += 1;
+        } else if code[j].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// True when every method chained onto the acquisition between `after`
+/// and the statement's `;` passes the guard through unchanged.
+fn chain_preserves_guard(code: &[Tok], after: usize) -> bool {
+    let mut k = after;
+    loop {
+        match code.get(k) {
+            Some(t) if t.is_punct(';') => return true,
+            Some(t)
+                if t.is_punct('.')
+                    && code.get(k + 1).is_some_and(|n| {
+                        n.is_ident("unwrap") || n.is_ident("unwrap_or_else") || n.is_ident("expect")
+                    })
+                    && code.get(k + 2).is_some_and(|n| n.is_punct('(')) =>
+            {
+                k = matching_paren(code, k + 2) + 1;
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// Resolves the guard binding for an acquisition at token `acq_idx`
+/// whose expression ends at `after`. Returns (binding name, depth the
+/// guard dies at, statement end for temporaries).
+fn guard_binding(
+    code: &[Tok],
+    acq_idx: usize,
+    after: usize,
+    depth: usize,
+) -> (Option<String>, usize, Option<usize>) {
+    // Find the statement start: nearest `;` / `{` / `}` behind us.
+    let mut j = acq_idx;
+    while j > 0 {
+        let t = &code[j - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        j -= 1;
+    }
+    // `let [mut] name = ...;` binds the *guard* only when everything
+    // chained after the acquisition preserves it (`.unwrap()`,
+    // `.unwrap_or_else(..)`, `.expect(..)` — the poison-recovery idiom).
+    // `let v = lock(&pool).pop()...` binds the popped value instead: the
+    // guard is a statement temporary.
+    if code.get(j).is_some_and(|t| t.is_ident("let")) {
+        let mut k = j + 1;
+        if code.get(k).is_some_and(|t| t.is_ident("mut")) {
+            k += 1;
+        }
+        if code.get(k).map(|t| t.is_ident2()).unwrap_or(false)
+            && code.get(k + 1).is_some_and(|t| t.is_punct('='))
+            && chain_preserves_guard(code, after)
+        {
+            return (Some(code[k].text.clone()), depth, None);
+        }
+    }
+    // Temporary: dies at the end of the statement — the next `;`, or if
+    // a block opens first (`for ... in lock(..) {`, `if lock(..).x {`)
+    // at the close of that block (Rust extends block-header temporaries
+    // to the full construct for `for`; for `if`/`while` this
+    // over-approximates, erring toward reporting).
+    let mut k = after;
+    let mut paren = 0usize;
+    while k < code.len() {
+        let t = &code[k];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren = paren.saturating_sub(1);
+        } else if paren == 0 && t.is_punct(';') {
+            return (None, depth, Some(k));
+        } else if paren == 0 && t.is_punct('{') {
+            // Lives to the matching close of this block.
+            let mut d = 0usize;
+            let mut m = k;
+            while m < code.len() {
+                if code[m].is_punct('{') {
+                    d += 1;
+                } else if code[m].is_punct('}') {
+                    d -= 1;
+                    if d == 0 {
+                        return (None, depth, Some(m));
+                    }
+                }
+                m += 1;
+            }
+            return (None, depth, Some(code.len() - 1));
+        } else if paren == 0 && t.is_punct('}') {
+            return (None, depth, Some(k));
+        }
+        k += 1;
+    }
+    (None, depth, Some(code.len().saturating_sub(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileCtx;
+
+    fn scan(src: &str) -> FnConcurrency {
+        let ctx = FileCtx::new("crates/core/src/x.rs", src);
+        let files = vec![ctx];
+        let ws = Workspace::build(&files);
+        let blocking: Vec<String> = crate::LintConfig::default().blocking_calls;
+        assert!(!ws.fns.is_empty(), "no fns parsed");
+        scan_fn(&ws, &ws.fns[0], &blocking)
+    }
+
+    #[test]
+    fn method_lock_and_helper_lock_both_register() {
+        let s = scan("struct S { a: std::sync::Mutex<u32> }\nimpl S {\n    fn f(&self, m: &std::sync::Mutex<u32>) {\n        let g = self.a.lock();\n        let h = lock(m);\n        let _ = (g, h);\n    }\n}\n");
+        assert_eq!(s.acquires.len(), 2);
+        assert_eq!(s.acquires[0].raw, "self.a");
+        assert_eq!(s.acquires[1].raw, "m");
+        // Nested: m acquired while self.a held.
+        assert_eq!(s.nested.len(), 1);
+        assert_eq!(s.nested[0].outer.raw, "self.a");
+        assert_eq!(s.nested[0].inner.raw, "m");
+    }
+
+    #[test]
+    fn drop_ends_a_guard() {
+        let s = scan(
+            "fn f(a: &std::sync::Mutex<u32>, b: &std::sync::Mutex<u32>) {\n    let g = lock(a);\n    drop(g);\n    let h = lock(b);\n    let _ = h;\n}\n",
+        );
+        assert!(s.nested.is_empty(), "{:?}", s.nested);
+    }
+
+    #[test]
+    fn inner_block_scopes_a_guard() {
+        let s = scan(
+            "fn f(a: &std::sync::Mutex<u32>, b: &std::sync::Mutex<u32>) {\n    {\n        let g = lock(a);\n        let _ = g;\n    }\n    let h = lock(b);\n    let _ = h;\n}\n",
+        );
+        assert!(s.nested.is_empty(), "{:?}", s.nested);
+    }
+
+    #[test]
+    fn blocking_call_under_guard_is_recorded() {
+        let s = scan(
+            "fn f(a: &std::sync::Mutex<u32>, ch: &std::sync::mpsc::Sender<u32>) {\n    let g = lock(a);\n    let _ = ch.send(1);\n    let _ = g;\n}\n",
+        );
+        assert_eq!(s.blocked.len(), 1);
+        assert_eq!(s.blocked[0].callee, "send");
+        assert_eq!(s.blocked[0].line, 3);
+    }
+
+    #[test]
+    fn condvar_wait_handoff_is_exempt() {
+        let s = scan(
+            "fn f(a: &std::sync::Mutex<u32>, cv: &std::sync::Condvar) {\n    let mut g = lock(a);\n    g = cv.wait(g).unwrap_or_else(|e| e.into_inner());\n    let _ = g;\n}\n",
+        );
+        assert!(s.blocked.is_empty(), "{:?}", s.blocked);
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let s = scan(
+            "fn f(a: &std::sync::Mutex<u32>, ch: &std::sync::mpsc::Sender<u32>) {\n    *lock(a) += 1;\n    let _ = ch.send(1);\n}\n",
+        );
+        assert!(s.blocked.is_empty(), "{:?}", s.blocked);
+    }
+
+    #[test]
+    fn for_header_temporary_lives_through_the_loop() {
+        let s = scan(
+            "fn f(a: &std::sync::Mutex<Vec<u32>>, b: &std::sync::Mutex<u32>) {\n    for x in lock(a).iter() {\n        let g = lock(b);\n        let _ = (x, g);\n    }\n}\n",
+        );
+        assert_eq!(s.nested.len(), 1, "{:?}", s.nested);
+        assert_eq!(s.nested[0].outer.raw, "a");
+        assert_eq!(s.nested[0].inner.raw, "b");
+    }
+
+    #[test]
+    fn wallclock_reads_are_taint_sources() {
+        let s = scan("fn f() -> std::time::Instant {\n    std::time::Instant::now()\n}\n");
+        assert_eq!(s.wallclock, vec![2]);
+    }
+
+    #[test]
+    fn calls_are_extracted_with_paths() {
+        let s = scan("fn f() {\n    helper();\n    seaice_obs::durable::write_framed();\n    obj.method();\n}\n");
+        let names: Vec<&str> = s.calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["helper", "write_framed", "method"]);
+        assert_eq!(s.calls[1].path, vec!["seaice_obs", "durable"]);
+        assert!(s.calls[2].method);
+    }
+}

@@ -1,0 +1,532 @@
+//! Pass 2: the three interprocedural rules over the workspace symbol
+//! graph ([`crate::model`]) and per-fn concurrency facts
+//! ([`crate::graph`]).
+//!
+//! - **`lock-order-inversion`** — every nested acquisition (`B` taken
+//!   while `A`'s guard is live, directly or one call-hop deep through a
+//!   uniquely-named callee) contributes a directed edge `A → B` to the
+//!   workspace lock-order graph. Any cycle — including the 1-cycle of
+//!   relocking a lock already held — is reported once, with every
+//!   acquisition that forms the cycle attached as a related span.
+//! - **`blocking-call-under-lock`** — a call whose name is in the
+//!   configured blocking set (or a `fs::`/`File::` IO path call) made
+//!   while ≥1 guard is live. Condvar-style handoffs (the guard itself is
+//!   an argument) are exempt: the wait releases the lock atomically.
+//! - **`transitive-wallclock`** — wall-clock taint (`Instant::now`,
+//!   `SystemTime::`) propagated backward through the call graph. A call
+//!   edge propagates only when *every* same-named candidate is tainted,
+//!   so trait dispatch with one deterministic implementation (the
+//!   `Clock` pattern: `WallClock` reads time, `ManualClock` does not)
+//!   never taints callers. Reported at Library-kind fns outside the
+//!   wall-clock allowlist whose taint arrived *via a call* (direct reads
+//!   are `wallclock-in-deterministic-path`'s job), with the full chain
+//!   down to the clock read as related spans.
+//!
+//! Suppressions attach to each diagnostic's primary span, exactly like
+//! the intra-file rules.
+
+use crate::graph::{scan_fn, Call, FnConcurrency};
+use crate::model::{FnDef, Workspace};
+use crate::rules::{
+    Diagnostic, FileKind, Related, BLOCKING_UNDER_LOCK, LOCK_ORDER, TRANSITIVE_WALLCLOCK,
+};
+use crate::LintConfig;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Callee names never resolved through the workspace symbol table:
+/// ubiquitous std method/function names where a bare-name match is far
+/// more likely to be `Iterator::collect` than a same-named workspace fn.
+/// (Resolution is name-based with no receiver types; this list is the
+/// documented blind-spot tradeoff — DESIGN.md §4.9.)
+const COMMON_NAMES: &[&str] = &[
+    "collect",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "len",
+    "is_empty",
+    "clone",
+    "to_string",
+    "to_vec",
+    "into",
+    "from",
+    "default",
+    "new",
+    "map",
+    "and_then",
+    "filter",
+    "fold",
+    "extend",
+    "contains",
+    "contains_key",
+    "sort",
+    "sort_by",
+    "drain",
+    "entry",
+    "take",
+    "replace",
+    "min",
+    "max",
+    "abs",
+    "write",
+    "read",
+    "flush",
+    "any",
+    "all",
+    "find",
+    "position",
+    "count",
+    "sum",
+    "zip",
+    "rev",
+    "chain",
+    "split",
+    "trim",
+    "parse",
+    "push_str",
+    "starts_with",
+    "ends_with",
+    "clear",
+    "run",
+    "apply",
+    "eval",
+    "reset",
+    "update",
+    "finish",
+    "close",
+    "open",
+    "init",
+    "name",
+    "id",
+    "key",
+    "value",
+];
+
+/// One witnessed lock-order edge `from → to`. The two acquisitions live
+/// in different files when the edge is one call-hop deep.
+#[derive(Clone, Debug)]
+struct EdgeEv {
+    outer_file: String,
+    inner_file: String,
+    fn_pretty: String,
+    outer_line: u32,
+    inner_line: u32,
+    /// `Some((callee_pretty, call_line))` when the inner acquisition is
+    /// one call-hop deep.
+    via: Option<(String, u32)>,
+}
+
+/// How a fn became wall-clock tainted.
+#[derive(Clone, Copy, Debug)]
+enum Taint {
+    /// Reads the clock itself, at this line.
+    Direct(u32),
+    /// Calls tainted fn `callee` (index into `ws.fns`) at this line.
+    Via { line: u32, callee: usize },
+}
+
+/// Runs all three interprocedural rules. Diagnostics are unsorted and
+/// unsuppressed; the caller routes them per primary file.
+pub(crate) fn interproc_rules(ws: &Workspace<'_>, cfg: &LintConfig) -> Vec<Diagnostic> {
+    // Scan every non-test fn once.
+    let scans: Vec<FnConcurrency> = ws
+        .fns
+        .iter()
+        .map(|f| {
+            if f.is_test {
+                FnConcurrency::default()
+            } else {
+                scan_fn(ws, f, &cfg.blocking_calls)
+            }
+        })
+        .collect();
+
+    let mut diags = Vec::new();
+    diags.extend(lock_order(ws, &scans));
+    diags.extend(blocking_under_lock(ws, &scans));
+    diags.extend(transitive_wallclock(ws, &scans, cfg));
+    diags
+}
+
+/// Resolves a call to its unique non-test workspace candidate, if any.
+/// Path-qualified free calls must name the candidate's owner type or
+/// crate in their last path segment, so `std::thread::sleep` (or any
+/// other foreign path) never resolves to a same-named workspace fn.
+fn unique_candidate<'w>(ws: &'w Workspace<'_>, call: &Call) -> Option<(usize, &'w FnDef)> {
+    if COMMON_NAMES.contains(&call.name.as_str()) {
+        return None;
+    }
+    let cands = ws.by_name.get(&call.name)?;
+    if cands.len() != 1 {
+        return None;
+    }
+    let idx = cands[0];
+    let f = &ws.fns[idx];
+    if !call.method {
+        if let Some(last) = call.path.last() {
+            let owner_ok = f.owner.as_deref() == Some(last.as_str());
+            let krate = f.crate_name.replace('-', "_");
+            let krate_ok = *last == krate || *last == format!("seaice_{krate}");
+            if !owner_ok && !krate_ok {
+                return None;
+            }
+        }
+    }
+    Some((idx, f))
+}
+
+fn lock_order(ws: &Workspace<'_>, scans: &[FnConcurrency]) -> Vec<Diagnostic> {
+    // Build the edge multigraph.
+    let mut edges: BTreeMap<(String, String), Vec<EdgeEv>> = BTreeMap::new();
+    for (i, f) in ws.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let rel = ws.file_of(f).rel.clone();
+        for n in &scans[i].nested {
+            edges
+                .entry((n.outer.lock_id.clone(), n.inner.lock_id.clone()))
+                .or_default()
+                .push(EdgeEv {
+                    outer_file: rel.clone(),
+                    inner_file: rel.clone(),
+                    fn_pretty: f.pretty.clone(),
+                    outer_line: n.outer.line,
+                    inner_line: n.inner.line,
+                    via: n.via.clone(),
+                });
+        }
+        // One hop: a call made under a guard pulls in the unique callee's
+        // own acquisitions.
+        for (held, call) in &scans[i].calls_under_guard {
+            let Some((ci, callee)) = unique_candidate(ws, call) else {
+                continue;
+            };
+            for acq in &scans[ci].acquires {
+                edges
+                    .entry((held.lock_id.clone(), acq.lock_id.clone()))
+                    .or_default()
+                    .push(EdgeEv {
+                        outer_file: rel.clone(),
+                        inner_file: ws.file_of(callee).rel.clone(),
+                        fn_pretty: f.pretty.clone(),
+                        outer_line: held.line,
+                        inner_line: acq.line,
+                        via: Some((callee.pretty.clone(), call.line)),
+                    });
+            }
+        }
+    }
+
+    // Adjacency over distinct lock ids.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a.as_str()).or_default().insert(b.as_str());
+    }
+
+    let mut diags = Vec::new();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+
+    for ((a, b), evs) in &edges {
+        let ev = &evs[0];
+        if a == b {
+            // Relock: unconditional self-deadlock.
+            let mut d = Diagnostic::new(
+                LOCK_ORDER,
+                ev.inner_file.clone(),
+                ev.inner_line,
+                format!(
+                    "lock `{a}` acquired while already held in `{}`: relocking \
+                     a non-reentrant mutex deadlocks unconditionally",
+                    ev.fn_pretty
+                ),
+            );
+            d.related.push(Related {
+                file: ev.outer_file.clone(),
+                line: ev.outer_line,
+                note: format!("first acquisition of `{a}`"),
+            });
+            if let Some((callee, line)) = &ev.via {
+                d.related.push(Related {
+                    file: ev.outer_file.clone(),
+                    line: *line,
+                    note: format!("reacquired inside `{callee}`, called here"),
+                });
+            }
+            diags.push(d);
+            continue;
+        }
+        // A cycle through this edge exists iff `b` reaches `a`.
+        let Some(path) = shortest_path(&adj, b, a) else {
+            continue;
+        };
+        // Cycle node set: a, b, then the path back to a.
+        let mut cycle: Vec<String> = vec![a.clone(), b.clone()];
+        cycle.extend(path.iter().skip(1).map(|s| s.to_string()));
+        // `path` ends at `a`; drop the duplicate.
+        cycle.pop();
+        // Report each cycle once, keyed by its sorted node set, from the
+        // edge whose tail is the smallest node (deterministic anchor).
+        let mut key = cycle.clone();
+        key.sort();
+        if a.as_str() != key[0] || !reported.insert(key) {
+            continue;
+        }
+        let chain = cycle
+            .iter()
+            .chain(std::iter::once(&cycle[0]))
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        let mut d = Diagnostic::new(
+            LOCK_ORDER,
+            ev.outer_file.clone(),
+            ev.outer_line,
+            format!(
+                "lock-order inversion: cycle {chain}; threads taking these \
+                 locks in opposing orders can deadlock"
+            ),
+        );
+        // Attach every acquisition pair along the cycle.
+        let n = cycle.len();
+        for k in 0..n {
+            let from = &cycle[k];
+            let to = &cycle[(k + 1) % n];
+            if let Some(evs) = edges.get(&(from.clone(), to.clone())) {
+                let e = &evs[0];
+                let via = match &e.via {
+                    Some((callee, line)) => format!(" via `{callee}` (called at line {line})"),
+                    None => String::new(),
+                };
+                d.related.push(Related {
+                    file: e.outer_file.clone(),
+                    line: e.outer_line,
+                    note: format!("`{}` acquires `{from}`", e.fn_pretty),
+                });
+                d.related.push(Related {
+                    file: e.inner_file.clone(),
+                    line: e.inner_line,
+                    note: format!("then `{to}` while `{from}` is held{via}"),
+                });
+            }
+        }
+        diags.push(d);
+    }
+    diags
+}
+
+/// BFS shortest path `from → … → to` over the adjacency map. Returns the
+/// node list starting at `from` and ending at `to`.
+fn shortest_path<'g>(
+    adj: &BTreeMap<&'g str, BTreeSet<&'g str>>,
+    from: &str,
+    to: &str,
+) -> Option<Vec<&'g str>> {
+    let (&from_key, _) = adj.get_key_value(from)?;
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::from([from_key]);
+    let mut seen: BTreeSet<&str> = BTreeSet::from([from_key]);
+    while let Some(cur) = queue.pop_front() {
+        if cur == to {
+            let mut path = vec![cur];
+            let mut c = cur;
+            while let Some(&p) = prev.get(c) {
+                path.push(p);
+                c = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if let Some(nexts) = adj.get(cur) {
+            for &nx in nexts {
+                if seen.insert(nx) {
+                    prev.insert(nx, cur);
+                    queue.push_back(nx);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn blocking_under_lock(ws: &Workspace<'_>, scans: &[FnConcurrency]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (i, f) in ws.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let ctx = ws.file_of(f);
+        if ctx.kind == FileKind::TestLike {
+            continue;
+        }
+        // Group held guards per (line, callee) so one call site yields one
+        // diagnostic with every live guard as a related span.
+        let mut by_site: BTreeMap<(u32, &str), Vec<&crate::graph::Acquire>> = BTreeMap::new();
+        for b in &scans[i].blocked {
+            by_site
+                .entry((b.line, b.callee.as_str()))
+                .or_default()
+                .push(&b.held);
+        }
+        for ((line, callee), held) in by_site {
+            let locks = held
+                .iter()
+                .map(|h| format!("`{}`", h.raw))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let mut d = Diagnostic::new(
+                BLOCKING_UNDER_LOCK,
+                ctx.rel.clone(),
+                line,
+                format!(
+                    "blocking call `{callee}` in `{}` while holding {locks}: \
+                     every other thread touching the lock stalls behind this \
+                     call (and a panic inside it poisons the guard) — drop the \
+                     guard first, or suppress with the bound that makes the \
+                     wait short",
+                    f.pretty
+                ),
+            );
+            for h in held {
+                d.related.push(Related {
+                    file: ctx.rel.clone(),
+                    line: h.line,
+                    note: format!("guard of `{}` acquired here and still live", h.raw),
+                });
+            }
+            diags.push(d);
+        }
+    }
+    diags
+}
+
+fn transitive_wallclock(
+    ws: &Workspace<'_>,
+    scans: &[FnConcurrency],
+    cfg: &LintConfig,
+) -> Vec<Diagnostic> {
+    let n = ws.fns.len();
+    // A direct read whose line carries a wallclock suppression does not
+    // taint: the written reason already vouches for the site.
+    let mut sups_by_file: BTreeMap<usize, Vec<crate::rules::Suppression>> = BTreeMap::new();
+    let mut taint: Vec<Option<Taint>> = vec![None; n];
+    for (i, s) in scans.iter().enumerate() {
+        let f = &ws.fns[i];
+        let sups = sups_by_file
+            .entry(f.file)
+            .or_insert_with(|| crate::rules::collect_suppressions(ws.file_of(f)).0);
+        let line = s.wallclock.iter().copied().find(|&l| {
+            !sups
+                .iter()
+                .any(|sp| sp.covers_rule(l, crate::rules::WALLCLOCK))
+        });
+        if let Some(line) = line {
+            taint[i] = Some(Taint::Direct(line));
+        }
+    }
+    // Fixpoint: a call taints its caller only when every candidate
+    // sharing the callee name is tainted (must-analysis; see module docs).
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            if taint[i].is_some() || ws.fns[i].is_test {
+                continue;
+            }
+            for call in &scans[i].calls {
+                if COMMON_NAMES.contains(&call.name.as_str()) {
+                    continue;
+                }
+                let Some(cands) = ws.by_name.get(&call.name) else {
+                    continue;
+                };
+                if cands.is_empty() || !cands.iter().all(|&c| taint[c].is_some()) {
+                    continue;
+                }
+                taint[i] = Some(Taint::Via {
+                    line: call.line,
+                    callee: cands[0],
+                });
+                changed = true;
+                break;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let allowed = |rel: &str| -> bool {
+        cfg.wallclock_allow
+            .iter()
+            .any(|p| rel.starts_with(p.as_str()))
+    };
+
+    let mut diags = Vec::new();
+    for (i, f) in ws.fns.iter().enumerate() {
+        let Some(Taint::Via { line, callee }) = taint[i] else {
+            continue;
+        };
+        let ctx = ws.file_of(f);
+        if ctx.kind != FileKind::Library || allowed(&ctx.rel) || f.is_test {
+            continue;
+        }
+        // Walk the chain down to the clock read, opening with the
+        // definition of the fn whose determinism is at stake.
+        let mut related = vec![Related {
+            file: ctx.rel.clone(),
+            line: f.line,
+            note: format!("`{}` defined here", f.pretty),
+        }];
+        let mut names = vec![f.pretty.clone()];
+        let mut cur = callee;
+        let mut hop_line = line;
+        let mut hop_file = ctx.rel.clone();
+        loop {
+            let cf = &ws.fns[cur];
+            related.push(Related {
+                file: hop_file.clone(),
+                line: hop_line,
+                note: format!("calls `{}`", cf.pretty),
+            });
+            names.push(cf.pretty.clone());
+            match taint[cur] {
+                Some(Taint::Direct(l)) => {
+                    related.push(Related {
+                        file: ws.file_of(cf).rel.clone(),
+                        line: l,
+                        note: "reads the wall clock here".into(),
+                    });
+                    break;
+                }
+                Some(Taint::Via { line: l, callee: c }) => {
+                    hop_file = ws.file_of(cf).rel.clone();
+                    hop_line = l;
+                    cur = c;
+                }
+                None => break,
+            }
+        }
+        diags.push(Diagnostic {
+            rule: TRANSITIVE_WALLCLOCK,
+            file: ctx.rel.clone(),
+            line,
+            message: format!(
+                "`{}` reaches the wall clock through {}: a deterministic path \
+                 inheriting real time two hops away breaks replayability just \
+                 as surely as a direct read — inject the obs Clock instead, or \
+                 suppress with the reason this path tolerates wall time",
+                f.pretty,
+                names.join(" -> ")
+            ),
+            related,
+        });
+    }
+    diags
+}

@@ -14,20 +14,39 @@
 //! (`#[cfg(test)]` regions, loop depth). That keeps it std-only and fast
 //! enough to run in tier-1 tests on every build.
 //!
+//! Since PR 10 the analyzer is two-pass and workspace-level: pass 1
+//! (`model`, `graph`) parses every file into a lightweight item model
+//! and extracts a call graph plus a lock-site table; pass 2 (`interproc`)
+//! runs the interprocedural concurrency rules (`lock-order-inversion`,
+//! `blocking-call-under-lock`, `transitive-wallclock`) over the graph.
+//!
 //! Entry points: [`lint_workspace`] (walks every workspace `.rs` file),
-//! [`lint_file`] (one file), [`rules::lint_source`] (in-memory source,
-//! used by the fixture tests). Diagnostics render as `file:line: [rule]
-//! message` or as JSON via [`render_json`].
+//! [`lint_file`] (one file), [`lint_sources`] (in-memory batch — the unit
+//! the interprocedural pass sees), [`rules::lint_source`] (one in-memory
+//! file, used by the fixture tests). Diagnostics render as `file:line:
+//! [rule] message` text, as JSON via [`render_json`], or as SARIF 2.1.0
+//! via [`sarif::render_sarif`].
 #![forbid(unsafe_code)]
 
+pub mod explain;
+mod graph;
+mod interproc;
 pub mod lexer;
+mod model;
 pub mod rules;
+pub mod sarif;
 
-pub use rules::{lint_source, Diagnostic, FileKind, RULES};
+pub use rules::{lint_source, Diagnostic, FileKind, Related, RULES};
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// Directory names the workspace walker never descends into, shared by
+/// every entry point so CI, tests, and the CLI agree on the file set.
+/// (`reproduce-out/` holds generated artifacts; linting them would make
+/// `--deny-all` depend on which reproduce targets last ran.)
+pub const SKIP_DIRS: &[&str] = &["target", "vendor", "reproduce-out"];
 
 /// Path allowlists steering rule applicability. Paths are
 /// workspace-relative prefixes compared with forward slashes.
@@ -44,6 +63,10 @@ pub struct LintConfig {
     /// durable layer itself, which implements the checksummed atomic
     /// protocol everyone else must route through.
     pub fswrite_allow: Vec<String>,
+    /// Call names `blocking-call-under-lock` treats as blocking. Bare
+    /// names matched against the callee of any call made under a live
+    /// guard (`fs::`/`File::` IO path calls are flagged built-in).
+    pub blocking_calls: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -70,21 +93,85 @@ impl Default for LintConfig {
                 // File::create on the temp file is the one sanctioned site.
                 "crates/obs/src/durable.rs".into(),
             ],
+            blocking_calls: [
+                "send",
+                "recv",
+                "recv_timeout",
+                "wait",
+                "wait_timeout",
+                "join",
+                "sleep",
+                "park",
+                "push_wait",
+                "read_to_string",
+                "read_exact",
+                "write_all",
+                "sync_all",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         }
     }
 }
 
+/// Lints a batch of in-memory sources as one workspace: the six
+/// intra-file rules per file, the three interprocedural rules over the
+/// whole batch, then each file's suppressions applied to both. This is
+/// the unit of analysis — [`lint_workspace`] feeds it every file at once
+/// so call chains and lock orders resolve across crate boundaries.
+pub fn lint_sources(files: &[(&str, &str)], cfg: &LintConfig) -> Vec<Diagnostic> {
+    let ctxs: Vec<rules::FileCtx> = files
+        .iter()
+        .map(|(rel, src)| rules::FileCtx::new(rel, src))
+        .collect();
+
+    // Per-file: intra rules + suppression tables.
+    let mut per_file: Vec<Vec<Diagnostic>> = Vec::with_capacity(ctxs.len());
+    let mut sups = Vec::with_capacity(ctxs.len());
+    let mut meta: Vec<Diagnostic> = Vec::new();
+    for ctx in &ctxs {
+        per_file.push(rules::intra_rules(ctx, cfg));
+        let (s, malformed) = rules::collect_suppressions(ctx);
+        sups.push(s);
+        meta.extend(malformed);
+    }
+
+    // Workspace pass: route each interprocedural diagnostic to its
+    // primary file's bucket so that file's suppressions cover it.
+    let ws = model::Workspace::build(&ctxs);
+    for d in interproc::interproc_rules(&ws, cfg) {
+        match ctxs.iter().position(|c| c.rel == d.file) {
+            Some(i) => per_file[i].push(d),
+            None => meta.push(d),
+        }
+    }
+
+    let mut out = Vec::new();
+    for (i, ctx) in ctxs.iter().enumerate() {
+        let diags = &mut per_file[i];
+        rules::apply_suppressions(diags, &mut sups[i]);
+        out.append(diags);
+        out.extend(rules::unused_suppressions(&ctx.rel, &sups[i]));
+    }
+    out.extend(meta);
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    out
+}
+
 /// Lints a single file on disk. `rel_path` must be the workspace-relative
-/// path (it drives rule selection); `root` is the workspace root.
+/// path (it drives rule selection); `root` is the workspace root. The
+/// interprocedural rules run with only this file in scope.
 pub fn lint_file(root: &Path, rel_path: &str, cfg: &LintConfig) -> io::Result<Vec<Diagnostic>> {
     let src = fs::read_to_string(root.join(rel_path))?;
     Ok(rules::lint_source(rel_path, &src, cfg))
 }
 
 /// Walks every `.rs` file in the workspace (crates/, src/, tests/,
-/// examples/, benches/ — skipping vendor/, target/, and dot-dirs) and
-/// lints each. Diagnostics are sorted by (file, line, rule) so output is
-/// byte-stable across runs and platforms.
+/// examples/, benches/ — skipping [`SKIP_DIRS`] and dot-dirs) and lints
+/// the batch through [`lint_sources`]. The file list is sorted byte-wise
+/// on the relative path string so diagnostic order is identical across
+/// platforms regardless of `read_dir` order.
 pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<Vec<Diagnostic>> {
     let mut files = Vec::new();
     for top in ["crates", "src", "tests", "examples", "benches"] {
@@ -93,19 +180,24 @@ pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<Vec<Diagnosti
             collect_rs(&dir, &mut files)?;
         }
     }
-    files.sort();
-    let mut diags = Vec::new();
-    for f in &files {
-        let rel = f
-            .strip_prefix(root)
-            .unwrap_or(f)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let src = fs::read_to_string(f)?;
-        diags.extend(rules::lint_source(&rel, &src, cfg));
+    let mut rel_files: Vec<(String, PathBuf)> = files
+        .into_iter()
+        .map(|f| {
+            let rel = f
+                .strip_prefix(root)
+                .unwrap_or(&f)
+                .to_string_lossy()
+                .replace('\\', "/");
+            (rel, f)
+        })
+        .collect();
+    rel_files.sort_by(|a, b| a.0.as_bytes().cmp(b.0.as_bytes()));
+    let mut srcs = Vec::with_capacity(rel_files.len());
+    for (rel, path) in &rel_files {
+        srcs.push((rel.clone(), fs::read_to_string(path)?));
     }
-    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
-    Ok(diags)
+    let borrowed: Vec<(&str, &str)> = srcs.iter().map(|(r, s)| (r.as_str(), s.as_str())).collect();
+    Ok(lint_sources(&borrowed, cfg))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -114,7 +206,7 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
         let path = entry.path();
         let name = entry.file_name();
         let name = name.to_string_lossy();
-        if name.starts_with('.') || name == "target" || name == "vendor" {
+        if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
             continue;
         }
         if path.is_dir() {
@@ -143,7 +235,24 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
         s.push_str(&d.line.to_string());
         s.push_str(",\"message\":\"");
         s.push_str(&escape_json(&d.message));
-        s.push_str("\"}");
+        s.push('"');
+        if !d.related.is_empty() {
+            s.push_str(",\"related\":[");
+            for (j, r) in d.related.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str("{\"file\":\"");
+                s.push_str(&escape_json(&r.file));
+                s.push_str("\",\"line\":");
+                s.push_str(&r.line.to_string());
+                s.push_str(",\"note\":\"");
+                s.push_str(&escape_json(&r.note));
+                s.push_str("\"}");
+            }
+            s.push(']');
+        }
+        s.push('}');
     }
     if !diags.is_empty() {
         s.push('\n');
@@ -152,7 +261,7 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
     s
 }
 
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -181,20 +290,40 @@ mod tests {
 
     #[test]
     fn json_escaping() {
-        let d = vec![Diagnostic {
-            rule: rules::PANIC_IN_LIB,
-            file: "a\\b\".rs".into(),
-            line: 3,
-            message: "tab\there".into(),
-        }];
+        let d = vec![Diagnostic::new(
+            rules::PANIC_IN_LIB,
+            "a\\b\".rs",
+            3,
+            "tab\there".into(),
+        )];
         let j = render_json(&d);
         assert!(j.contains("a\\\\b\\\".rs"));
         assert!(j.contains("tab\\there"));
         assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(!j.contains("related"));
+    }
+
+    #[test]
+    fn json_related_spans_render_as_an_array() {
+        let mut d = Diagnostic::new(rules::LOCK_ORDER, "a.rs", 3, "cycle".into());
+        d.related.push(Related {
+            file: "b.rs".into(),
+            line: 9,
+            note: "other acquisition".into(),
+        });
+        let j = render_json(&[d]);
+        assert!(j.contains("\"related\":[{\"file\":\"b.rs\",\"line\":9,"));
     }
 
     #[test]
     fn empty_json_is_an_empty_array() {
         assert_eq!(render_json(&[]), "[]");
+    }
+
+    #[test]
+    fn skip_dirs_cover_generated_trees() {
+        for d in ["target", "vendor", "reproduce-out"] {
+            assert!(SKIP_DIRS.contains(&d));
+        }
     }
 }

@@ -5,26 +5,39 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use seaice_lint::explain::{explain, ALL_RULES};
+use seaice_lint::sarif::render_sarif;
 use seaice_lint::{lint_file, lint_workspace, render_json, LintConfig};
 
 const USAGE: &str = "\
-seaice-lint: workspace static analyzer for determinism / panic-freedom / unsafe-audit invariants
+seaice-lint: workspace static analyzer for determinism / panic-freedom / lock-discipline invariants
 
 USAGE:
-    seaice-lint --workspace [--root <dir>] [--json] [--deny-all]
-    seaice-lint [--root <dir>] [--json] <file.rs>...
+    seaice-lint --workspace [--root <dir>] [--format text|json|sarif] [--deny-all]
+    seaice-lint [--root <dir>] [--format text|json|sarif] <file.rs>...
+    seaice-lint --explain <rule>
 
 OPTIONS:
-    --workspace   lint every .rs file under crates/, src/, tests/, examples/, benches/
-    --root <dir>  workspace root (default: current directory)
-    --json        emit diagnostics as a JSON array instead of file:line text
-    --deny-all    treat every diagnostic as fatal (the default; accepted so CI
-                  invocations state their intent explicitly)
+    --workspace       lint every .rs file under crates/, src/, tests/, examples/, benches/
+                      (skipping target/, vendor/, reproduce-out/), with the
+                      interprocedural rules resolving across all of them
+    --root <dir>      workspace root (default: current directory)
+    --format <fmt>    output format: text (default), json, or sarif (SARIF 2.1.0)
+    --json            shorthand for --format json (kept for compatibility)
+    --explain <rule>  print what a rule catches, why, and an example suppression
+    --deny-all        treat every diagnostic as fatal (the default; accepted so CI
+                      invocations state their intent explicitly)
 ";
+
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 fn main() -> ExitCode {
     let mut workspace = false;
-    let mut json = false;
+    let mut format = Format::Text;
     let mut root = PathBuf::from(".");
     let mut files: Vec<String> = Vec::new();
 
@@ -32,7 +45,39 @@ fn main() -> ExitCode {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--workspace" => workspace = true,
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                Some(other) => {
+                    eprintln!("error: unknown format `{other}` (text|json|sarif)\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("error: --format needs an argument (text|json|sarif)\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain" => match args.next() {
+                Some(rule) => match explain(&rule) {
+                    Some(blurb) => {
+                        println!("{rule}\n{}\n\n{blurb}", "-".repeat(rule.len()));
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!("error: unknown rule `{rule}`. Known rules:");
+                        for r in ALL_RULES {
+                            eprintln!("    {r}");
+                        }
+                        return ExitCode::from(2);
+                    }
+                },
+                None => {
+                    eprintln!("error: --explain needs a rule name\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--deny-all" => {} // all rules already deny; kept for explicit CI intent
             "--root" => match args.next() {
                 Some(r) => root = PathBuf::from(r),
@@ -53,7 +98,7 @@ fn main() -> ExitCode {
         }
     }
     if !workspace && files.is_empty() {
-        eprintln!("error: pass --workspace or one or more .rs files\n\n{USAGE}");
+        eprintln!("error: pass --workspace, one or more .rs files, or --explain <rule>\n\n{USAGE}");
         return ExitCode::from(2);
     }
 
@@ -79,16 +124,18 @@ fn main() -> ExitCode {
     }
     diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
 
-    if json {
-        println!("{}", render_json(&diags));
-    } else {
-        for d in &diags {
-            println!("{d}");
-        }
-        if diags.is_empty() {
-            eprintln!("seaice-lint: clean");
-        } else {
-            eprintln!("seaice-lint: {} diagnostic(s)", diags.len());
+    match format {
+        Format::Json => println!("{}", render_json(&diags)),
+        Format::Sarif => print!("{}", render_sarif(&diags)),
+        Format::Text => {
+            for d in &diags {
+                println!("{d}");
+            }
+            if diags.is_empty() {
+                eprintln!("seaice-lint: clean");
+            } else {
+                eprintln!("seaice-lint: {} diagnostic(s)", diags.len());
+            }
         }
     }
     if diags.is_empty() {

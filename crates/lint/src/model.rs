@@ -1,0 +1,338 @@
+//! Pass 1 of the interprocedural analyzer: a lightweight item model.
+//!
+//! Every workspace file is parsed (at token level — no full grammar) into
+//! the set of function definitions it contains: name, owning `impl` type
+//! or enclosing module, the token range of the body, and whether the
+//! function lives in a test region. The model is deliberately
+//! approximate: it tracks brace structure, `impl`/`mod` headers, and
+//! `fn` signatures, which is enough to anchor a call graph and a
+//! lock-site table without a real parser. Known blind spots (const-
+//! generic `{..}` expressions in signatures, nested closures counted as
+//! part of their enclosing fn) are documented in DESIGN.md §4.9.
+
+use crate::lexer::Tok;
+use crate::rules::{FileCtx, FileKind};
+use std::collections::BTreeMap;
+
+/// One function definition found in pass 1.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// Bare function name (`send`, `recv`, `run_stream`).
+    pub name: String,
+    /// The `impl` type or innermost enclosing `mod` name, when any.
+    pub owner: Option<String>,
+    /// Display path: `owner::name` or just `name`.
+    pub pretty: String,
+    /// Index into the workspace file list.
+    pub file: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Code-token index of the body's opening `{` (inclusive) and closing
+    /// `}` (inclusive).
+    pub body: (usize, usize),
+    /// True for fns inside `#[cfg(test)]` regions or test-like files —
+    /// excluded from the symbol graph entirely.
+    pub is_test: bool,
+    /// Crate name derived from the path (`stream` for
+    /// `crates/stream/...`, `seaice` for the root `src/`).
+    pub crate_name: String,
+}
+
+/// The workspace symbol graph input: every file's context plus every
+/// function definition, indexed by bare name for call resolution.
+pub struct Workspace<'a> {
+    /// All file contexts, in walk order.
+    pub files: &'a [FileCtx],
+    /// Every non-test function definition.
+    pub fns: Vec<FnDef>,
+    /// Bare fn name → indices into `fns`, each list sorted. Call
+    /// resolution is name-based: a call site resolves to *all* fns
+    /// sharing the callee name (the graph layer decides how much
+    /// ambiguity each rule tolerates).
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl<'a> Workspace<'a> {
+    /// Builds the item model over every file.
+    pub fn build(files: &'a [FileCtx]) -> Self {
+        let mut fns = Vec::new();
+        for (fi, ctx) in files.iter().enumerate() {
+            parse_fns(ctx, fi, &mut fns);
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            if !f.is_test {
+                by_name.entry(f.name.clone()).or_default().push(i);
+            }
+        }
+        Workspace {
+            files,
+            fns,
+            by_name,
+        }
+    }
+
+    /// The file context a fn was parsed from.
+    pub fn file_of(&self, f: &FnDef) -> &FileCtx {
+        &self.files[f.file]
+    }
+}
+
+fn crate_of(rel: &str) -> String {
+    let p = rel.replace('\\', "/");
+    if let Some(rest) = p.strip_prefix("crates/") {
+        rest.split('/').next().unwrap_or("").to_string()
+    } else if p.starts_with("src/") {
+        "seaice".to_string()
+    } else {
+        // tests/, examples/, benches/ at the root.
+        p.split('/').next().unwrap_or("").to_string()
+    }
+}
+
+/// Scans one file's code tokens for `fn` items, tracking `impl`/`mod`
+/// context by brace depth.
+fn parse_fns(ctx: &FileCtx, file_idx: usize, out: &mut Vec<FnDef>) {
+    let code = &ctx.code;
+    let crate_name = crate_of(&ctx.rel);
+    let mut depth = 0usize;
+    // (depth at which the owner's `{` opened, owner name)
+    let mut owners: Vec<(usize, String)> = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        let t = &code[i];
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            while owners.last().is_some_and(|(d, _)| *d == depth) {
+                owners.pop();
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("impl") {
+            if let Some((name, open)) = impl_header(code, i) {
+                owners.push((depth, name));
+                depth += 1;
+                i = open + 1;
+                continue;
+            }
+        }
+        if t.is_ident("mod")
+            && code.get(i + 1).map(|n| n.is_ident2()).unwrap_or(false)
+            && code.get(i + 2).is_some_and(|n| n.is_punct('{'))
+        {
+            owners.push((depth, code[i + 1].text.clone()));
+            depth += 1;
+            i += 3;
+            continue;
+        }
+        if t.is_ident("fn") && code.get(i + 1).map(|n| n.is_ident2()).unwrap_or(false) {
+            let name_idx = i + 1;
+            if let Some((open, close)) = fn_body(code, name_idx) {
+                let name = code[name_idx].text.clone();
+                let owner = owners.last().map(|(_, n)| n.clone());
+                let pretty = match &owner {
+                    Some(o) => format!("{o}::{name}"),
+                    None => name.clone(),
+                };
+                let is_test = ctx.kind == FileKind::TestLike
+                    || ctx.flags.get(name_idx).map(|f| f.in_test).unwrap_or(false);
+                out.push(FnDef {
+                    name,
+                    owner,
+                    pretty,
+                    file: file_idx,
+                    line: t.line,
+                    body: (open, close),
+                    is_test,
+                    crate_name: crate_name.clone(),
+                });
+                // Continue scanning *inside* the body too, so nested fns
+                // and the brace/owner tracking stay consistent.
+                i = name_idx + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// From the token after `impl`, finds the implemented type name and the
+/// index of the body's `{`. Handles `impl<T> Foo<T>`, `impl Trait for
+/// Foo`, and `where` clauses; returns `None` for headers it cannot
+/// follow (the fns inside are then attributed to the enclosing context).
+fn impl_header(code: &[Tok], impl_idx: usize) -> Option<(String, usize)> {
+    let mut i = impl_idx + 1;
+    // Skip leading generic params `<...>`.
+    i = skip_angles(code, i);
+    let mut last_ident: Option<String> = None;
+    let mut in_where = false;
+    let mut steps = 0;
+    while i < code.len() && steps < 120 {
+        steps += 1;
+        let t = &code[i];
+        if t.is_punct('{') {
+            return last_ident.map(|n| (n, i));
+        }
+        if t.is_ident("for") {
+            // `impl Trait for Type`: the type after `for` wins.
+            last_ident = None;
+            i += 1;
+            continue;
+        }
+        if t.is_ident("where") {
+            // Type name is settled; scan on to the `{` without letting
+            // bound idents overwrite it.
+            in_where = true;
+            i += 1;
+            continue;
+        }
+        if !in_where && t.is_ident2() && !matches!(t.text.as_str(), "dyn" | "mut" | "const") {
+            last_ident = Some(t.text.clone());
+            i += 1;
+            i = skip_angles(code, i);
+            continue;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Skips one balanced `<...>` group starting at `i`, if present.
+fn skip_angles(code: &[Tok], i: usize) -> usize {
+    if !code.get(i).is_some_and(|t| t.is_punct('<')) {
+        return i;
+    }
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < code.len() {
+        if code[j].is_punct('<') {
+            depth += 1;
+        } else if code[j].is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// From the fn *name* token, finds the body's `{`..`}` token range.
+/// Returns `None` for bodiless declarations (trait methods, externs).
+fn fn_body(code: &[Tok], name_idx: usize) -> Option<(usize, usize)> {
+    let mut paren = 0usize;
+    let mut j = name_idx + 1;
+    while j < code.len() {
+        let t = &code[j];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren = paren.saturating_sub(1);
+        } else if paren == 0 && t.is_punct(';') {
+            return None;
+        } else if paren == 0 && t.is_punct('{') {
+            // Matching close.
+            let mut depth = 0usize;
+            let open = j;
+            while j < code.len() {
+                if code[j].is_punct('{') {
+                    depth += 1;
+                } else if code[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((open, j));
+                    }
+                }
+                j += 1;
+            }
+            return Some((open, code.len() - 1));
+        }
+        j += 1;
+    }
+    None
+}
+
+impl Tok {
+    /// True for any identifier token (keyword filtering happens at the
+    /// call-extraction layer, which knows the position's grammar).
+    pub(crate) fn is_ident2(&self) -> bool {
+        self.kind == crate::lexer::TokKind::Ident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LintConfig;
+
+    fn ws_fns(src: &str) -> Vec<(String, Option<String>, u32)> {
+        let _ = LintConfig::default();
+        let ctx = FileCtx::new("crates/core/src/x.rs", src);
+        let files = vec![ctx];
+        let ws = Workspace::build(&files);
+        ws.fns
+            .iter()
+            .map(|f| (f.name.clone(), f.owner.clone(), f.line))
+            .collect()
+    }
+
+    #[test]
+    fn free_and_impl_fns_are_modeled() {
+        let src = "fn top() {}\npub struct S;\nimpl S {\n    pub fn m(&self) -> u8 { 0 }\n}\n";
+        let fns = ws_fns(src);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0], ("top".into(), None, 1));
+        assert_eq!(fns[1], ("m".into(), Some("S".into()), 4));
+    }
+
+    #[test]
+    fn impl_trait_for_type_attributes_to_the_type() {
+        let src =
+            "struct T;\ntrait Tr { fn go(&self); }\nimpl Tr for T {\n    fn go(&self) {}\n}\n";
+        let fns = ws_fns(src);
+        // The trait decl `fn go(&self);` has no body and is skipped.
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0], ("go".into(), Some("T".into()), 4));
+    }
+
+    #[test]
+    fn generic_impls_and_where_clauses_resolve() {
+        let src =
+            "struct Q<T>(T);\nimpl<T: Clone> Q<T> where T: Send {\n    fn pull(&self) {}\n}\n";
+        let fns = ws_fns(src);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].1.as_deref(), Some("Q"));
+    }
+
+    #[test]
+    fn mod_nesting_owns_fns_and_pops() {
+        let src = "mod inner {\n    pub fn a() {}\n}\nfn b() {}\n";
+        let fns = ws_fns(src);
+        assert_eq!(fns[0], ("a".into(), Some("inner".into()), 2));
+        assert_eq!(fns[1], ("b".into(), None, 4));
+    }
+
+    #[test]
+    fn test_region_fns_are_marked_and_excluded_from_by_name() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let ctx = FileCtx::new("crates/core/src/x.rs", src);
+        let files = vec![ctx];
+        let ws = Workspace::build(&files);
+        assert!(ws.by_name.contains_key("real"));
+        assert!(!ws.by_name.contains_key("helper"));
+    }
+
+    #[test]
+    fn crate_names_derive_from_paths() {
+        assert_eq!(crate_of("crates/stream/src/channel.rs"), "stream");
+        assert_eq!(crate_of("src/lib.rs"), "seaice");
+        assert_eq!(crate_of("tests/chaos.rs"), "tests");
+    }
+}

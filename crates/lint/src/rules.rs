@@ -1,22 +1,25 @@
 //! The rule engine: file classification, token annotation (test regions,
-//! loop depth), the five invariant rules, and the suppression protocol.
+//! loop depth), the six intra-file invariant rules, and the suppression
+//! protocol shared with the interprocedural pass ([`crate::interproc`]).
 //!
-//! Every rule reports [`Diagnostic`]s with a `file:line` span. A
-//! diagnostic can be silenced only by an inline comment of the form
+//! Every rule reports [`Diagnostic`]s with a `file:line` span (inter-
+//! procedural rules add [`Related`] spans for the other ends of a chain).
+//! A diagnostic can be silenced only by an inline comment of the form
 //!
 //! ```text
 //! // seaice-lint: allow(rule-name) reason="why this is sound"
 //! ```
 //!
-//! on the same line (trailing) or the line directly above (standalone).
-//! The reason is mandatory, and a suppression that silences nothing is
-//! itself an error — so stale suppressions cannot rot in the tree.
+//! on the same line (trailing) or the line directly above (standalone) of
+//! the *primary* span. The reason is mandatory, and a suppression that
+//! silences nothing is itself an error — so stale suppressions cannot rot
+//! in the tree.
 
 use crate::lexer::{tokenize, Tok, TokKind};
 use crate::LintConfig;
 
-/// Rule identifiers (stable strings: they appear in suppressions, JSON
-/// output, and CI logs).
+/// Rule identifiers (stable strings: they appear in suppressions, JSON /
+/// SARIF output, `--explain`, and CI logs).
 pub const WALLCLOCK: &str = "wallclock-in-deterministic-path";
 /// See [`WALLCLOCK`].
 pub const PANIC_IN_LIB: &str = "panic-in-library";
@@ -28,6 +31,14 @@ pub const UNSAFE_AUDIT: &str = "unsafe-without-audit";
 pub const NARROWING_CAST: &str = "narrowing-cast-in-kernel";
 /// See [`WALLCLOCK`].
 pub const RAW_FS_WRITE: &str = "raw-fs-write-in-durable-path";
+/// Interprocedural: inconsistent lock acquisition order across the
+/// workspace lock-order graph (see [`crate::interproc`]).
+pub const LOCK_ORDER: &str = "lock-order-inversion";
+/// Interprocedural: a blocking call while a mutex guard is live.
+pub const BLOCKING_UNDER_LOCK: &str = "blocking-call-under-lock";
+/// Interprocedural: wall-clock reached from a deterministic path through
+/// a call chain (the direct-read case is [`WALLCLOCK`]).
+pub const TRANSITIVE_WALLCLOCK: &str = "transitive-wallclock";
 /// Meta-rule: a suppression that silenced nothing.
 pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
 /// Meta-rule: a suppression the engine could not parse.
@@ -41,19 +52,51 @@ pub const RULES: &[&str] = &[
     UNSAFE_AUDIT,
     NARROWING_CAST,
     RAW_FS_WRITE,
+    LOCK_ORDER,
+    BLOCKING_UNDER_LOCK,
+    TRANSITIVE_WALLCLOCK,
 ];
 
-/// One finding, pointing at a workspace-relative `file:line`.
+/// A secondary span of a multi-span (interprocedural) diagnostic: the
+/// other acquisition of an inverted pair, each hop of a wall-clock chain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Related {
+    /// Workspace-relative path of the related location.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What happens at this span (one clause, no trailing period).
+    pub note: String,
+}
+
+/// One finding, pointing at a workspace-relative `file:line`, optionally
+/// with related spans (interprocedural rules report whole chains).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Which rule fired (one of the constants in this module).
     pub rule: &'static str,
-    /// Workspace-relative path.
+    /// Workspace-relative path of the primary span (suppressions attach
+    /// here).
     pub file: String,
-    /// 1-based line.
+    /// 1-based line of the primary span.
     pub line: u32,
     /// Human-readable explanation.
     pub message: String,
+    /// Secondary spans (empty for intra-file rules).
+    pub related: Vec<Related>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with no related spans.
+    pub fn new(rule: &'static str, file: impl Into<String>, line: u32, message: String) -> Self {
+        Diagnostic {
+            rule,
+            file: file.into(),
+            line,
+            message,
+            related: Vec::new(),
+        }
+    }
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -62,7 +105,11 @@ impl std::fmt::Display for Diagnostic {
             f,
             "{}:{}: [{}] {}",
             self.file, self.line, self.rule, self.message
-        )
+        )?;
+        for r in &self.related {
+            write!(f, "\n    at {}:{}: {}", r.file, r.line, r.note)?;
+        }
+        Ok(())
     }
 }
 
@@ -73,7 +120,7 @@ pub enum FileKind {
     Library,
     /// Binary entry points (`src/bin/`, `src/main.rs`): panic-freedom and
     /// wall-clock rules are relaxed (a CLI may panic loudly and time
-    /// itself).
+    /// itself); lock-discipline rules still apply.
     Binary,
     /// Tests, benches, examples: panic-freedom and wall-clock rules are
     /// relaxed; `unsafe` still demands an audit comment.
@@ -101,15 +148,53 @@ pub fn classify(rel_path: &str) -> FileKind {
 
 /// Per-token annotations computed in a single structural pass.
 #[derive(Clone, Copy, Default)]
-struct Flags {
+pub(crate) struct Flags {
     /// Inside an item annotated `#[cfg(test)]` / `#[test]`.
-    in_test: bool,
+    pub(crate) in_test: bool,
     /// Number of enclosing `for`/`while`/`loop` bodies.
-    loop_depth: u16,
+    pub(crate) loop_depth: u16,
+}
+
+/// One file's tokenized, annotated source — the unit both lint passes
+/// share, so the file is lexed exactly once.
+pub(crate) struct FileCtx {
+    /// Workspace-relative path (forward slashes).
+    pub(crate) rel: String,
+    /// Rule-selection class of the path.
+    pub(crate) kind: FileKind,
+    /// Non-comment tokens in source order.
+    pub(crate) code: Vec<Tok>,
+    /// Comment tokens (suppressions, SAFETY audits).
+    pub(crate) comments: Vec<Tok>,
+    /// Per-`code`-token annotations.
+    pub(crate) flags: Vec<Flags>,
+}
+
+impl FileCtx {
+    pub(crate) fn new(rel_path: &str, src: &str) -> Self {
+        let kind = classify(rel_path);
+        let mut code = Vec::new();
+        let mut comments = Vec::new();
+        for t in tokenize(src) {
+            if t.is_comment() {
+                comments.push(t);
+            } else {
+                code.push(t);
+            }
+        }
+        let flags = annotate(&code);
+        FileCtx {
+            rel: rel_path.to_string(),
+            kind,
+            code,
+            comments,
+            flags,
+        }
+    }
 }
 
 /// An inline `seaice-lint: allow(...)` comment.
-struct Suppression {
+pub(crate) struct Suppression {
     /// Rules it names.
     rules: Vec<String>,
     /// Line of the comment itself.
@@ -120,24 +205,37 @@ struct Suppression {
     used: Vec<bool>,
 }
 
-/// Lints one file's source text. `rel_path` is the workspace-relative
-/// path used both for reporting and for rule selection (allowlists,
-/// kernel paths, test/bin classification).
+impl Suppression {
+    /// True when this suppression covers `line` and names `rule`. Used by
+    /// the interprocedural pass to stop suppressed wall-clock reads from
+    /// tainting their callers (the written reason already vouches for the
+    /// site; propagating anyway would force a second suppression at every
+    /// caller).
+    pub(crate) fn covers_rule(&self, line: u32, rule: &str) -> bool {
+        self.covers == line && self.rules.iter().any(|r| r == rule)
+    }
+}
+
+/// Lints one file's source text in isolation (fixture entry point; the
+/// workspace walk batches files through [`crate::lint_sources`] so the
+/// interprocedural pass sees every file at once).
 pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
-    let kind = classify(rel_path);
-    let toks = tokenize(src);
-    let code: Vec<&Tok> = toks.iter().filter(|t| !t.is_comment()).collect();
-    let comments: Vec<&Tok> = toks.iter().filter(|t| t.is_comment()).collect();
-    let flags = annotate(&code);
+    crate::lint_sources(&[(rel_path, src)], cfg)
+}
+
+/// Runs the six intra-file rules over one file. Suppressions are NOT
+/// applied here — the caller merges these with the interprocedural
+/// diagnostics first, then applies the file's suppressions to both.
+pub(crate) fn intra_rules(ctx: &FileCtx, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let kind = ctx.kind;
+    let rel_path = ctx.rel.as_str();
+    let code = &ctx.code;
+    let comments = &ctx.comments;
+    let flags = &ctx.flags;
 
     let mut diags: Vec<Diagnostic> = Vec::new();
     let mut push = |rule: &'static str, line: u32, message: String| {
-        let d = Diagnostic {
-            rule,
-            file: rel_path.to_string(),
-            line,
-            message,
-        };
+        let d = Diagnostic::new(rule, rel_path, line, message);
         if !diags.contains(&d) {
             diags.push(d);
         }
@@ -225,7 +323,7 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnosti
 
     // --- unordered-iteration -------------------------------------------
     if kind != FileKind::TestLike {
-        let unordered = unordered_bindings(&code);
+        let unordered = unordered_bindings(code);
         for (i, t) in code.iter().enumerate() {
             if flags[i].in_test {
                 continue;
@@ -264,10 +362,8 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnosti
             // `for x in [&[mut]] <name> {` — direct iteration.
             if t.is_ident("for") {
                 let mut j = i + 1;
-                let mut found_in = false;
                 while j < code.len() && !code[j].is_punct('{') && j < i + 40 {
                     if code[j].is_ident("in") {
-                        found_in = true;
                         let mut k = j + 1;
                         while k < code.len() && (code[k].is_punct('&') || code[k].is_ident("mut")) {
                             k += 1;
@@ -293,13 +389,12 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnosti
                     }
                     j += 1;
                 }
-                let _ = found_in;
             }
         }
     }
 
     // --- unsafe-without-audit ------------------------------------------
-    for t in &code {
+    for t in code {
         if t.is_ident("unsafe") {
             let audited = comments.iter().any(|c| {
                 c.text.contains("SAFETY:") && c.line <= t.line && t.line.saturating_sub(c.line) <= 3
@@ -327,7 +422,7 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnosti
                 && code
                     .get(i + 1)
                     .is_some_and(|t| matches!(t.text.as_str(), "u8" | "i8" | "u16" | "i16"))
-                && !cast_is_guarded(&code, i)
+                && !cast_is_guarded(code, i)
             {
                 push(
                     NARROWING_CAST,
@@ -377,10 +472,16 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnosti
         }
     }
 
-    // --- suppressions ---------------------------------------------------
+    diags
+}
+
+/// Parses every suppression comment in the file. Returns the suppressions
+/// plus diagnostics for the malformed ones.
+pub(crate) fn collect_suppressions(ctx: &FileCtx) -> (Vec<Suppression>, Vec<Diagnostic>) {
     let mut suppressions = Vec::new();
-    let code_lines: Vec<u32> = code.iter().map(|t| t.line).collect();
-    for c in &comments {
+    let mut diags = Vec::new();
+    let code_lines: Vec<u32> = ctx.code.iter().map(|t| t.line).collect();
+    for c in &ctx.comments {
         // Doc comments (`///`, `//!`, `/** */`, `/*! */`) are documentation,
         // not directives: prose *describing* the suppression syntax must not
         // parse as a suppression.
@@ -389,11 +490,12 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnosti
         }
         match parse_suppression(&c.text) {
             None => {}
-            Some(Err(why)) => push(
+            Some(Err(why)) => diags.push(Diagnostic::new(
                 MALFORMED_SUPPRESSION,
+                ctx.rel.as_str(),
                 c.line,
                 format!("unparseable suppression: {why}"),
-            ),
+            )),
             Some(Ok(rules)) => {
                 let trailing = code_lines.contains(&c.line);
                 let covers = if trailing {
@@ -417,11 +519,17 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnosti
             }
         }
     }
+    (suppressions, diags)
+}
+
+/// Drops every diagnostic covered by a suppression, marking the matching
+/// suppression entry used. Meta-rule diagnostics are never suppressible.
+pub(crate) fn apply_suppressions(diags: &mut Vec<Diagnostic>, sups: &mut [Suppression]) {
     diags.retain(|d| {
         if matches!(d.rule, UNUSED_SUPPRESSION | MALFORMED_SUPPRESSION) {
             return true;
         }
-        for s in &mut suppressions {
+        for s in sups.iter_mut() {
             if s.covers == d.line {
                 if let Some(idx) = s.rules.iter().position(|r| r == d.rule) {
                     s.used[idx] = true;
@@ -431,25 +539,28 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnosti
         }
         true
     });
-    for s in &suppressions {
+}
+
+/// One diagnostic per suppression entry that silenced nothing.
+pub(crate) fn unused_suppressions(rel: &str, sups: &[Suppression]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for s in sups {
         for (idx, rule) in s.rules.iter().enumerate() {
             if !s.used[idx] {
-                diags.push(Diagnostic {
-                    rule: UNUSED_SUPPRESSION,
-                    file: rel_path.to_string(),
-                    line: s.at_line,
-                    message: format!(
+                out.push(Diagnostic::new(
+                    UNUSED_SUPPRESSION,
+                    rel,
+                    s.at_line,
+                    format!(
                         "suppression of `{rule}` silences nothing on line {}: \
                          remove it so stale allowances cannot rot in the tree",
                         s.covers
                     ),
-                });
+                ));
             }
         }
     }
-
-    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    diags
+    out
 }
 
 /// Parses a `seaice-lint:` comment. `None` when the marker is absent,
@@ -501,7 +612,7 @@ fn parse_suppression(comment: &str) -> Option<Result<Vec<String>, String>> {
 /// `HashMap`/`HashSet` anywhere in the file. File-local and heuristic by
 /// design: a cross-module unordered binding still gets caught at its
 /// defining file, which is where the iteration almost always lives.
-fn unordered_bindings(code: &[&Tok]) -> Vec<String> {
+fn unordered_bindings(code: &[Tok]) -> Vec<String> {
     let mut names = Vec::new();
     for (i, t) in code.iter().enumerate() {
         if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
@@ -514,7 +625,7 @@ fn unordered_bindings(code: &[&Tok]) -> Vec<String> {
         while j > 0 && hops < 10 {
             j -= 1;
             hops += 1;
-            let p = code[j];
+            let p = &code[j];
             let path_part = p.is_punct(':')
                 || p.is_punct('&')
                 || p.is_punct('<')
@@ -548,7 +659,7 @@ fn unordered_bindings(code: &[&Tok]) -> Vec<String> {
 /// True when the narrowing cast at `code[as_idx]` is preceded, within the
 /// same expression, by a range-guarding call (`clamp`, `min`, `round`,
 /// `floor`, …) or casts a bare literal.
-fn cast_is_guarded(code: &[&Tok], as_idx: usize) -> bool {
+fn cast_is_guarded(code: &[Tok], as_idx: usize) -> bool {
     const GUARDS: &[&str] = &[
         "clamp",
         "min",
@@ -568,14 +679,14 @@ fn cast_is_guarded(code: &[&Tok], as_idx: usize) -> bool {
     while i > 0 && steps < 60 {
         i -= 1;
         steps += 1;
-        let t = code[i];
+        let t = &code[i];
         if t.is_punct(')') {
             // Skip the balanced group — but a guard *inside* it (e.g.
             // `(x % 256) as u8`, `(x.min(255)) as u8`) still counts.
             let mut depth = 1;
             while i > 0 && depth > 0 {
                 i -= 1;
-                let g = code[i];
+                let g = &code[i];
                 if g.is_punct(')') {
                     depth += 1;
                 } else if g.is_punct('(') {
@@ -607,8 +718,11 @@ fn cast_is_guarded(code: &[&Tok], as_idx: usize) -> bool {
 }
 
 /// Computes per-token flags (test regions, loop depth) in one pass.
-fn annotate(code: &[&Tok]) -> Vec<Flags> {
+pub(crate) fn annotate(code: &[Tok]) -> Vec<Flags> {
     let mut flags = vec![Flags::default(); code.len()];
+    if code.is_empty() {
+        return flags;
+    }
     let mut brace_depth: usize = 0;
     // Brace depth at which the innermost #[cfg(test)] item body opened.
     let mut test_at: Option<usize> = None;
@@ -619,7 +733,7 @@ fn annotate(code: &[&Tok]) -> Vec<Flags> {
 
     let mut i = 0;
     while i < code.len() {
-        let t = code[i];
+        let t = &code[i];
         // Attributes: scan `#[...]`, checking for a `test` marker.
         if t.is_punct('#') && code.get(i + 1).is_some_and(|t| t.is_punct('[')) {
             let start = i;
@@ -628,7 +742,7 @@ fn annotate(code: &[&Tok]) -> Vec<Flags> {
             let mut saw_not = false;
             i += 1;
             while i < code.len() {
-                let a = code[i];
+                let a = &code[i];
                 if a.is_punct('[') {
                     depth += 1;
                 } else if a.is_punct(']') {
@@ -972,5 +1086,12 @@ mod tests {
         let d = lint("crates/core/src/x.rs", src);
         assert!(d.iter().any(|d| d.rule == PANIC_IN_LIB));
         assert!(d.iter().any(|d| d.rule == UNUSED_SUPPRESSION));
+    }
+
+    #[test]
+    fn new_interproc_rules_are_suppressible_names() {
+        for r in [LOCK_ORDER, BLOCKING_UNDER_LOCK, TRANSITIVE_WALLCLOCK] {
+            assert!(RULES.contains(&r), "{r} must be in RULES");
+        }
     }
 }

@@ -1,0 +1,124 @@
+//! SARIF 2.1.0 output (minimal static-analysis schema) so CI can surface
+//! diagnostics as annotations. One run, one driver (`seaice-lint`), every
+//! known rule declared in `tool.driver.rules`, and each multi-span
+//! interprocedural finding mapped to `relatedLocations`. Hand-rolled JSON
+//! like the rest of the crate; CI round-trips the output through the
+//! `seaice-obs` JSON parser to keep it honest.
+
+use crate::escape_json;
+use crate::explain::{explain, ALL_RULES};
+use crate::rules::Diagnostic;
+
+/// SARIF version emitted (and asserted by the CI `sarif-check` step).
+pub const SARIF_VERSION: &str = "2.1.0";
+/// Driver name in `tool.driver.name`.
+pub const DRIVER_NAME: &str = "seaice-lint";
+
+/// Renders diagnostics as one SARIF 2.1.0 log with a single run.
+pub fn render_sarif(diags: &[Diagnostic]) -> String {
+    let mut s = String::with_capacity(4096 + diags.len() * 256);
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"seaice-lint\",\n");
+    s.push_str("          \"informationUri\": \"https://example.invalid/seaice-lint\",\n");
+    s.push_str("          \"rules\": [\n");
+    for (i, rule) in ALL_RULES.iter().enumerate() {
+        let short = explain(rule)
+            .and_then(|b| b.lines().next().map(str::to_string))
+            .unwrap_or_default();
+        s.push_str("            {\"id\": \"");
+        s.push_str(&escape_json(rule));
+        s.push_str("\", \"shortDescription\": {\"text\": \"");
+        s.push_str(&escape_json(&short));
+        s.push_str("\"}}");
+        s.push_str(if i + 1 < ALL_RULES.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n        {\"ruleId\": \"");
+        s.push_str(&escape_json(d.rule));
+        s.push_str("\", \"level\": \"error\", \"message\": {\"text\": \"");
+        s.push_str(&escape_json(&d.message));
+        s.push_str("\"}, \"locations\": [");
+        s.push_str(&location(&d.file, d.line));
+        s.push(']');
+        if !d.related.is_empty() {
+            s.push_str(", \"relatedLocations\": [");
+            for (j, r) in d.related.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&related_location(&r.file, r.line, &r.note));
+            }
+            s.push(']');
+        }
+        s.push('}');
+    }
+    if !diags.is_empty() {
+        s.push_str("\n      ");
+    }
+    s.push_str("]\n    }\n  ]\n}\n");
+    s
+}
+
+fn location(file: &str, line: u32) -> String {
+    format!(
+        "{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+         \"region\": {{\"startLine\": {line}}}}}}}",
+        escape_json(file)
+    )
+}
+
+fn related_location(file: &str, line: u32, note: &str) -> String {
+    format!(
+        "{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+         \"region\": {{\"startLine\": {line}}}}}, \"message\": {{\"text\": \"{}\"}}}}",
+        escape_json(file),
+        escape_json(note)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Related, BLOCKING_UNDER_LOCK, PANIC_IN_LIB};
+
+    #[test]
+    fn sarif_declares_every_rule_and_maps_related_spans() {
+        let mut d = Diagnostic::new(
+            BLOCKING_UNDER_LOCK,
+            "crates/x/src/a.rs",
+            7,
+            "blocked".into(),
+        );
+        d.related.push(Related {
+            file: "crates/x/src/a.rs".into(),
+            line: 3,
+            note: "guard acquired here".into(),
+        });
+        let plain = Diagnostic::new(PANIC_IN_LIB, "crates/x/src/b.rs", 2, "panic".into());
+        let s = render_sarif(&[d, plain]);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"seaice-lint\""));
+        for rule in ALL_RULES {
+            assert!(s.contains(&format!("\"id\": \"{rule}\"")), "{rule} missing");
+        }
+        assert!(s.contains("\"relatedLocations\""));
+        assert!(s.contains("\"startLine\": 3"));
+        // Exactly one relatedLocations key: the plain diagnostic omits it.
+        assert_eq!(s.matches("relatedLocations").count(), 1);
+    }
+
+    #[test]
+    fn empty_run_has_an_empty_results_array() {
+        let s = render_sarif(&[]);
+        assert!(s.contains("\"results\": []"));
+    }
+}

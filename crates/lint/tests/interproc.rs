@@ -1,0 +1,492 @@
+//! Fixture corpus for the interprocedural rules (PR 10): true positives
+//! pinned to exact multi-span diagnostics, and false-positive twins —
+//! guard dropped or scoped away before the blocking call, locks always
+//! taken in one order, wall-clock chains rooted only in allowlisted
+//! crates — pinned to zero diagnostics.
+
+use seaice_lint::rules::{BLOCKING_UNDER_LOCK, LOCK_ORDER, TRANSITIVE_WALLCLOCK};
+use seaice_lint::{lint_sources, Diagnostic, LintConfig};
+
+fn lint(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+    lint_sources(files, &LintConfig::default())
+}
+
+// --- lock-order-inversion: true positives -----------------------------
+
+#[test]
+fn opposing_acquisition_orders_report_one_cycle_with_all_four_spans() {
+    let src = "\
+use std::sync::Mutex;
+pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    pub fn ab(&self) -> u32 {
+        let g = self.a.lock();
+        let h = self.b.lock();
+        let _ = (g, h); 0
+    }
+    pub fn ba(&self) -> u32 {
+        let h = self.b.lock();
+        let g = self.a.lock();
+        let _ = (g, h); 0
+    }
+}
+";
+    let d = lint(&[("crates/core/src/locks.rs", src)]);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].rule, LOCK_ORDER);
+    // Primary span: the first acquisition of the smallest lock id
+    // (`core::S::self.a`, taken in `ab` at line 5).
+    assert_eq!(
+        (d[0].file.as_str(), d[0].line),
+        ("crates/core/src/locks.rs", 5)
+    );
+    assert!(d[0]
+        .message
+        .contains("core::S::self.a -> core::S::self.b -> core::S::self.a"));
+    // Both acquisition chains: (5,6) from `ab`, (10,11) from `ba`.
+    let spans: Vec<u32> = d[0].related.iter().map(|r| r.line).collect();
+    assert_eq!(spans, vec![5, 6, 10, 11], "{:?}", d[0].related);
+    assert!(d[0].related[0].note.contains("S::ab"));
+    assert!(d[0].related[2].note.contains("S::ba"));
+}
+
+#[test]
+fn the_cycle_spans_files_when_the_fns_do() {
+    let a = "\
+use std::sync::Mutex;
+pub static M_A: Mutex<u32> = Mutex::new(0);
+pub static M_B: Mutex<u32> = Mutex::new(0);
+pub fn ab() {
+    let g = M_A.lock();
+    let h = M_B.lock();
+    let _ = (g, h);
+}
+";
+    let b = "\
+use crate::locks::{M_A, M_B};
+pub fn ba() {
+    let h = M_B.lock();
+    let g = M_A.lock();
+    let _ = (g, h);
+}
+";
+    let d = lint(&[
+        ("crates/core/src/locks.rs", a),
+        ("crates/core/src/other.rs", b),
+    ]);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].rule, LOCK_ORDER);
+    let files: Vec<&str> = d[0].related.iter().map(|r| r.file.as_str()).collect();
+    assert!(files.contains(&"crates/core/src/locks.rs"));
+    assert!(files.contains(&"crates/core/src/other.rs"));
+}
+
+#[test]
+fn relocking_a_held_lock_is_the_one_node_cycle() {
+    let src = "\
+use std::sync::Mutex;
+pub fn double(m: &Mutex<u32>) -> u32 {
+    let g = lock(m);
+    let h = lock(m);
+    let _ = (g, h); 0
+}
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+";
+    let d = lint(&[("crates/core/src/relock.rs", src)]);
+    let d: Vec<_> = d.iter().filter(|d| d.rule == LOCK_ORDER).collect();
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].line, 4);
+    assert!(d[0].message.contains("already held"));
+    assert_eq!(d[0].related[0].line, 3);
+}
+
+#[test]
+fn one_call_hop_deep_inversion_is_found_via_the_unique_callee() {
+    let src = "\
+use std::sync::{Mutex, MutexGuard};
+pub static M_A: Mutex<u32> = Mutex::new(0);
+pub static M_B: Mutex<u32> = Mutex::new(0);
+pub fn outer() {
+    let g = lock(&M_A);
+    helper_acq();
+    let _ = g;
+}
+pub fn helper_acq() {
+    let h = lock(&M_B);
+    let _ = h;
+}
+pub fn other() {
+    let h = lock(&M_B);
+    let g = lock(&M_A);
+    let _ = (g, h);
+}
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+";
+    let d = lint(&[("crates/core/src/onehop.rs", src)]);
+    let d: Vec<_> = d.iter().filter(|d| d.rule == LOCK_ORDER).collect();
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert!(d[0].message.contains("core::M_A -> core::M_B -> core::M_A"));
+    assert!(
+        d[0].related
+            .iter()
+            .any(|r| r.note.contains("via `helper_acq`")),
+        "one-hop evidence must name the callee: {:?}",
+        d[0].related
+    );
+}
+
+// --- lock-order-inversion: false positives ----------------------------
+
+#[test]
+fn consistent_acquisition_order_in_every_fn_is_clean() {
+    let src = "\
+use std::sync::Mutex;
+pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    pub fn one(&self) {
+        let g = self.a.lock();
+        let h = self.b.lock();
+        let _ = (g, h);
+    }
+    pub fn two(&self) {
+        let g = self.a.lock();
+        let h = self.b.lock();
+        let _ = (g, h);
+    }
+}
+";
+    assert_eq!(lint(&[("crates/core/src/ordered.rs", src)]), vec![]);
+}
+
+#[test]
+fn sequential_acquisitions_of_the_same_lock_are_not_a_relock() {
+    // `let v = lock(&pool).pop()` binds the popped value, not the guard:
+    // the guard is a statement temporary, dead before the second lock.
+    // (Regression fixture for the stream_workflow model-pool pattern.)
+    let src = "\
+use std::sync::{Mutex, MutexGuard};
+pub fn roundtrip(pool: &Mutex<Vec<u32>>) {
+    let v = lock(pool).pop().unwrap_or(0);
+    lock(pool).push(v + 1);
+}
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+";
+    assert_eq!(lint(&[("crates/core/src/pool.rs", src)]), vec![]);
+}
+
+// --- blocking-call-under-lock: true positive --------------------------
+
+#[test]
+fn send_under_a_live_guard_reports_call_and_acquisition_spans() {
+    let src = "\
+use std::sync::{mpsc, Mutex};
+pub struct Q { st: Mutex<u32> }
+impl Q {
+    pub fn bad(&self, ch: &mpsc::Sender<u32>) {
+        let g = self.st.lock();
+        ch.send(1).ok();
+        drop(g);
+    }
+}
+";
+    let d = lint(&[("crates/stream/src/q.rs", src)]);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].rule, BLOCKING_UNDER_LOCK);
+    assert_eq!(
+        (d[0].file.as_str(), d[0].line),
+        ("crates/stream/src/q.rs", 6)
+    );
+    assert!(d[0].message.contains("`send`") && d[0].message.contains("`self.st`"));
+    assert_eq!(d[0].related.len(), 1);
+    assert_eq!(d[0].related[0].line, 5);
+    assert!(d[0].related[0].note.contains("still live"));
+}
+
+#[test]
+fn file_io_under_a_guard_is_blocking_too() {
+    let src = "\
+use std::sync::Mutex;
+pub fn snapshot(m: &Mutex<Vec<u8>>) -> std::io::Result<Vec<u8>> {
+    let g = m.lock();
+    let bytes = std::fs::read(\"state.bin\")?;
+    let _ = g;
+    Ok(bytes)
+}
+";
+    let d = lint(&[("crates/stream/src/io_lock.rs", src)]);
+    assert!(
+        d.iter()
+            .any(|d| d.rule == BLOCKING_UNDER_LOCK && d.line == 4),
+        "{d:?}"
+    );
+}
+
+// --- blocking-call-under-lock: false positives ------------------------
+
+#[test]
+fn dropping_the_guard_before_the_send_is_clean() {
+    let src = "\
+use std::sync::{mpsc, Mutex};
+pub fn good(m: &Mutex<u32>, ch: &mpsc::Sender<u32>) {
+    let g = m.lock();
+    let _ = g;
+    drop(g);
+    ch.send(1).ok();
+}
+";
+    assert_eq!(lint(&[("crates/stream/src/drop_first.rs", src)]), vec![]);
+}
+
+#[test]
+fn a_guard_scoped_to_an_inner_block_is_clean() {
+    let src = "\
+use std::sync::{mpsc, Mutex};
+pub fn good(m: &Mutex<u32>, ch: &mpsc::Sender<u32>) {
+    {
+        let g = m.lock();
+        let _ = g;
+    }
+    ch.send(1).ok();
+}
+";
+    assert_eq!(lint(&[("crates/stream/src/scoped.rs", src)]), vec![]);
+}
+
+#[test]
+fn condvar_wait_handoff_keeps_the_guard_but_is_not_blocking_under_lock() {
+    // `cv.wait(g)` atomically releases and reacquires: the guard being
+    // an argument of the wait is the exemption signature.
+    let src = "\
+use std::sync::{Condvar, Mutex};
+pub struct Gate { st: Mutex<bool>, cv: Condvar }
+impl Gate {
+    pub fn block_until_open(&self) {
+        let mut g = self.st.lock().unwrap_or_else(|e| e.into_inner());
+        while !*g {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+";
+    assert_eq!(lint(&[("crates/stream/src/gate.rs", src)]), vec![]);
+}
+
+// --- transitive-wallclock: true positive ------------------------------
+
+#[test]
+fn a_deterministic_fn_reaching_the_clock_through_a_call_reports_the_chain() {
+    let timing = "\
+pub fn wall_ms() -> u128 {
+    std::time::Instant::now().elapsed().as_millis()
+}
+";
+    let uses = "\
+pub fn stamp() -> u128 {
+    wall_ms()
+}
+";
+    let d = lint(&[
+        ("crates/serve/src/timing.rs", timing),
+        ("crates/core/src/uses.rs", uses),
+    ]);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].rule, TRANSITIVE_WALLCLOCK);
+    // Primary: the tainting call inside the deterministic crate.
+    assert_eq!(
+        (d[0].file.as_str(), d[0].line),
+        ("crates/core/src/uses.rs", 2)
+    );
+    assert!(d[0].message.contains("stamp -> wall_ms"));
+    // Chain: definition, the call hop, the clock read.
+    let chain: Vec<(&str, u32)> = d[0]
+        .related
+        .iter()
+        .map(|r| (r.file.as_str(), r.line))
+        .collect();
+    assert_eq!(
+        chain,
+        vec![
+            ("crates/core/src/uses.rs", 1),
+            ("crates/core/src/uses.rs", 2),
+            ("crates/serve/src/timing.rs", 2),
+        ],
+        "{:?}",
+        d[0].related
+    );
+    assert!(d[0].related[2].note.contains("wall clock"));
+}
+
+#[test]
+fn two_hop_chains_report_every_hop() {
+    let timing =
+        "pub fn wall_ms() -> u128 {\n    std::time::Instant::now().elapsed().as_millis()\n}\n";
+    let mid = "pub fn stamp_once() -> u128 {\n    wall_ms()\n}\n";
+    let top = "pub fn stamp_twice() -> u128 {\n    stamp_once() * 2\n}\n";
+    let d = lint(&[
+        ("crates/serve/src/timing.rs", timing),
+        ("crates/core/src/mid.rs", mid),
+        ("crates/core/src/top.rs", top),
+    ]);
+    let top_diag = d
+        .iter()
+        .find(|d| d.file == "crates/core/src/top.rs")
+        .expect("top fn must report");
+    assert!(top_diag
+        .message
+        .contains("stamp_twice -> stamp_once -> wall_ms"));
+    // mid reports too (its own suppression point), so exactly two diags.
+    assert_eq!(d.len(), 2, "{d:?}");
+}
+
+// --- transitive-wallclock: false positives ----------------------------
+
+#[test]
+fn chains_rooted_only_in_allowlisted_crates_are_clean() {
+    let timing = "\
+pub fn wall_ms() -> u128 {
+    std::time::Instant::now().elapsed().as_millis()
+}
+pub fn report() -> u128 {
+    wall_ms() + 1
+}
+";
+    let bench = "\
+pub fn measure() -> u128 {
+    wall_ms()
+}
+pub fn wall_ms() -> u128 {
+    std::time::Instant::now().elapsed().as_millis()
+}
+";
+    assert_eq!(
+        lint(&[
+            ("crates/serve/src/timing.rs", timing),
+            ("crates/bench/src/measure.rs", bench),
+        ]),
+        vec![]
+    );
+}
+
+#[test]
+fn trait_dispatch_with_one_deterministic_impl_does_not_taint() {
+    // The Clock pattern: `now_us2` resolves to both WallClock (tainted)
+    // and ManualClock (clean), so the call must NOT propagate taint.
+    let clocks = "\
+pub struct WallClock;
+pub struct ManualClock;
+impl WallClock {
+    pub fn now_us2(&self) -> u64 {
+        std::time::Instant::now().elapsed().as_micros() as u64
+    }
+}
+impl ManualClock {
+    pub fn now_us2(&self) -> u64 {
+        42
+    }
+}
+";
+    let uses = "\
+pub fn tick(c: &crate::clocks::ManualClock) -> u64 {
+    c.now_us2()
+}
+";
+    assert_eq!(
+        lint(&[
+            ("crates/obs/src/clocks.rs", clocks),
+            ("crates/core/src/tick.rs", uses),
+        ]),
+        vec![]
+    );
+}
+
+#[test]
+fn a_suppressed_direct_read_does_not_taint_its_callers() {
+    let measured = "\
+pub fn measured() -> u128 {
+    // seaice-lint: allow(wallclock-in-deterministic-path) reason=\"reported as the timing table value, never feeds ordering\"
+    std::time::Instant::now().elapsed().as_millis()
+}
+";
+    let uses = "pub fn caller() -> u128 {\n    measured()\n}\n";
+    assert_eq!(
+        lint(&[
+            ("crates/mapreduce/src/measured.rs", measured),
+            ("crates/core/src/caller.rs", uses),
+        ]),
+        vec![]
+    );
+}
+
+// --- suppression protocol on the new rules ----------------------------
+
+#[test]
+fn each_new_rule_is_suppressible_at_its_primary_span() {
+    let blocking = "\
+use std::sync::{mpsc, Mutex};
+pub fn bounded(m: &Mutex<u32>, ch: &mpsc::Sender<u32>) {
+    let g = m.lock();
+    // seaice-lint: allow(blocking-call-under-lock) reason=\"unbounded channel; send cannot block\"
+    ch.send(1).ok();
+    drop(g);
+}
+";
+    assert_eq!(
+        lint(&[("crates/stream/src/sup_block.rs", blocking)]),
+        vec![]
+    );
+
+    let order = "\
+use std::sync::Mutex;
+pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    pub fn ab(&self) {
+        // seaice-lint: allow(lock-order-inversion) reason=\"ba only runs in the single-threaded constructor\"
+        let g = self.a.lock();
+        let h = self.b.lock();
+        let _ = (g, h);
+    }
+    pub fn ba(&self) {
+        let h = self.b.lock();
+        let g = self.a.lock();
+        let _ = (g, h);
+    }
+}
+";
+    assert_eq!(lint(&[("crates/core/src/sup_order.rs", order)]), vec![]);
+
+    let timing =
+        "pub fn wall_ms() -> u128 {\n    std::time::Instant::now().elapsed().as_millis()\n}\n";
+    let uses = "\
+pub fn stamp() -> u128 {
+    // seaice-lint: allow(transitive-wallclock) reason=\"stamp feeds the log line only\"
+    wall_ms()
+}
+";
+    assert_eq!(
+        lint(&[
+            ("crates/serve/src/timing.rs", timing),
+            ("crates/core/src/sup_taint.rs", uses),
+        ]),
+        vec![]
+    );
+}
+
+#[test]
+fn an_unused_suppression_of_a_new_rule_is_still_an_error() {
+    let src = "\
+pub fn quiet() -> u32 {
+    // seaice-lint: allow(blocking-call-under-lock) reason=\"stale\"
+    7
+}
+";
+    let d = lint(&[("crates/core/src/stale.rs", src)]);
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].rule, "unused-suppression");
+    assert_eq!(d[0].line, 2);
+}

@@ -839,8 +839,13 @@ fn worker_loop(
             continue;
         }
 
+        // Fill the cache and record latencies under the guards, but hand
+        // the results back only after both guards drop: replying inside
+        // the critical section stalls every cache/stats reader behind
+        // per-request channel traffic (`blocking-call-under-lock`).
         let mut cache_guard = crate::sync::lock(cache);
         let mut latency_guard = crate::sync::lock(&stats.latency);
+        let mut ready = Vec::with_capacity(batch.len());
         for (i, req) in batch.into_iter().enumerate() {
             let mask = Arc::new(preds[i * plane..(i + 1) * plane].to_vec());
             cache_guard.insert(req.key, Arc::clone(&mask));
@@ -852,8 +857,13 @@ fn worker_loop(
                 obs.tracer.complete_ending_now("serve.request", "serve", us);
             }
             stats.computed.fetch_add(1, Ordering::Relaxed);
+            ready.push((req.tx, mask));
+        }
+        drop(latency_guard);
+        drop(cache_guard);
+        for (tx, mask) in ready {
             // A vanished waiter (dropped ticket) is not an error.
-            req.tx.send(Ok(mask)).ok();
+            tx.send(Ok(mask)).ok();
         }
     }
 }

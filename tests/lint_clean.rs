@@ -9,6 +9,45 @@
 
 use std::path::Path;
 
+/// The SARIF report for the workspace must be valid JSON with the shape
+/// CI's `reproduce sarif-check` gate expects: version 2.1.0, a single
+/// `seaice-lint` driver declaring every rule, and (for a clean tree) an
+/// empty `results` array.
+#[test]
+fn workspace_sarif_round_trips_through_obs_json() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cfg = seaice_lint::LintConfig::default();
+    let diags = seaice_lint::lint_workspace(root, &cfg).expect("workspace walk failed");
+    let sarif = seaice_lint::sarif::render_sarif(&diags);
+    let doc = seaice_obs::json::parse(&sarif).expect("SARIF output must parse as JSON");
+    assert_eq!(
+        doc.get("version").and_then(|v| v.as_str()),
+        Some(seaice_lint::sarif::SARIF_VERSION)
+    );
+    let runs = doc
+        .get("runs")
+        .and_then(|v| v.as_arr())
+        .expect("runs array");
+    let driver = runs[0]
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .expect("tool.driver");
+    assert_eq!(
+        driver.get("name").and_then(|v| v.as_str()),
+        Some(seaice_lint::sarif::DRIVER_NAME)
+    );
+    let rules = driver
+        .get("rules")
+        .and_then(|v| v.as_arr())
+        .expect("driver rules");
+    assert_eq!(rules.len(), seaice_lint::explain::ALL_RULES.len());
+    let results = runs[0]
+        .get("results")
+        .and_then(|v| v.as_arr())
+        .expect("results array");
+    assert!(results.is_empty(), "clean workspace must emit no results");
+}
+
 #[test]
 fn workspace_is_lint_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
